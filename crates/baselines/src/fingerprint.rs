@@ -1,0 +1,262 @@
+//! Fingerprint index — the precomputed-walk variant of Monte Carlo
+//! (Fogaras & Rácz \[7\], discussed in the paper's Related Work).
+//!
+//! The index stores `r` √c-walks ("fingerprints") for *every* node; a
+//! query replays stored walks instead of sampling fresh ones, estimating
+//! `s(u, v)` as the fraction of trials whose stored walks meet. This
+//! removes all random-walk generation from the query path but pays the
+//! cost the paper calls out: "the index structure incurs tremendous space
+//! and preprocessing overheads, which makes it inapplicable on sizable
+//! graphs" — `Θ(n·r·E\[ℓ\])` node ids, two-plus orders of magnitude beyond
+//! the graph itself at accuracy-relevant `r`.
+//!
+//! Walks are stored flattened (CSR-style offsets into one id array) so
+//! the reported [`FingerprintIndex::index_bytes`] is an honest measure of
+//! what the method costs.
+
+use probesim_graph::{GraphView, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for the fingerprint index.
+#[derive(Debug, Clone, Copy)]
+pub struct FingerprintConfig {
+    /// Decay factor `c`.
+    pub decay: f64,
+    /// Stored walks per node (`r`); accuracy follows the MC Chernoff
+    /// bound `r ≥ ln(2/δ)/(2ε²)`.
+    pub num_walks: usize,
+    /// Cap on stored walk length in nodes.
+    pub max_walk_nodes: usize,
+    /// RNG seed for index construction.
+    pub seed: u64,
+}
+
+impl Default for FingerprintConfig {
+    fn default() -> Self {
+        FingerprintConfig {
+            decay: 0.6,
+            num_walks: 100,
+            max_walk_nodes: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// The prebuilt fingerprint index.
+#[derive(Debug, Clone)]
+pub struct FingerprintIndex {
+    config: FingerprintConfig,
+    num_nodes: usize,
+    /// `offsets[v * r + j] .. offsets[v * r + j + 1]` is walk `j` of node
+    /// `v` in `data` (the start node is implicit, so entries are the walk
+    /// *after* position 0).
+    offsets: Vec<u64>,
+    data: Vec<NodeId>,
+}
+
+impl FingerprintIndex {
+    /// Builds the index: `r` walks from every node. Θ(n·r) walk samples —
+    /// this is the preprocessing ProbeSim exists to avoid.
+    pub fn build<G: GraphView>(graph: &G, config: FingerprintConfig) -> Self {
+        let n = graph.num_nodes();
+        let r = config.num_walks;
+        let sqrt_c = config.decay.sqrt();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut offsets: Vec<u64> = Vec::with_capacity(n * r + 1);
+        offsets.push(0);
+        let mut data: Vec<NodeId> = Vec::new();
+        let mut walk_buf: Vec<NodeId> = Vec::with_capacity(8);
+        for v in graph.nodes() {
+            for _ in 0..r {
+                walk_buf.clear();
+                walk_buf.push(v);
+                probesim_core::walk::extend_walk(
+                    graph,
+                    &mut walk_buf,
+                    sqrt_c,
+                    config.max_walk_nodes,
+                    &mut rng,
+                );
+                data.extend_from_slice(&walk_buf[1..]);
+                offsets.push(data.len() as u64);
+            }
+        }
+        FingerprintIndex {
+            config,
+            num_nodes: n,
+            offsets,
+            data,
+        }
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &FingerprintConfig {
+        &self.config
+    }
+
+    /// Index footprint in bytes (offsets + walk ids).
+    pub fn index_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.data.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Stored walk `j` of node `v`, excluding the implicit start node.
+    #[inline]
+    fn walk(&self, v: NodeId, j: usize) -> &[NodeId] {
+        let idx = v as usize * self.config.num_walks + j;
+        &self.data[self.offsets[idx] as usize..self.offsets[idx + 1] as usize]
+    }
+
+    /// True when stored walks `j` of `u` and `v` meet (same node at the
+    /// same step, comparing positions 1.. since position 0 differs).
+    #[inline]
+    fn walks_meet(&self, u: NodeId, v: NodeId, j: usize) -> bool {
+        self.walk(u, j)
+            .iter()
+            .zip(self.walk(v, j))
+            .any(|(a, b)| a == b)
+    }
+
+    /// Estimates `s(u, v)` from the stored fingerprints.
+    pub fn pair(&self, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            return 1.0;
+        }
+        let r = self.config.num_walks;
+        let meets = (0..r).filter(|&j| self.walks_meet(u, v, j)).count();
+        meets as f64 / r as f64
+    }
+
+    /// Single-source scores against every node — no fresh random walks,
+    /// but still Θ(n·r·E\[ℓ\]) comparisons.
+    pub fn single_source(&self, u: NodeId) -> Vec<f64> {
+        assert!((u as usize) < self.num_nodes, "query node out of range");
+        let r = self.config.num_walks;
+        let mut meets = vec![0u32; self.num_nodes];
+        // Invert the comparison loop: for each trial, mark u's walk
+        // positions once, then stream every node's stored walk against it.
+        let mut position_of_step: Vec<NodeId> = Vec::new();
+        for j in 0..r {
+            position_of_step.clear();
+            position_of_step.extend_from_slice(self.walk(u, j));
+            if position_of_step.is_empty() {
+                continue;
+            }
+            for v in 0..self.num_nodes as NodeId {
+                if v == u {
+                    continue;
+                }
+                let met = self
+                    .walk(v, j)
+                    .iter()
+                    .zip(&position_of_step)
+                    .any(|(a, b)| a == b);
+                if met {
+                    meets[v as usize] += 1;
+                }
+            }
+        }
+        let mut scores: Vec<f64> = meets.into_iter().map(|m| m as f64 / r as f64).collect();
+        scores[u as usize] = 1.0;
+        scores
+    }
+
+    /// Top-k via the single-source scores.
+    pub fn top_k(&self, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        let scores = self.single_source(u);
+        probesim_core::top_k_from_scores(&scores, u, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probesim_graph::toy::{toy_graph, A, D, TABLE2, TOY_DECAY};
+    use probesim_graph::CsrGraph;
+
+    fn toy_index(r: usize) -> FingerprintIndex {
+        FingerprintIndex::build(
+            &toy_graph(),
+            FingerprintConfig {
+                decay: TOY_DECAY,
+                num_walks: r,
+                max_walk_nodes: 64,
+                seed: 42,
+            },
+        )
+    }
+
+    #[test]
+    fn pair_estimates_match_ground_truth() {
+        let idx = toy_index(20_000);
+        for v in 1..8u32 {
+            let est = idx.pair(A, v);
+            assert!(
+                (est - TABLE2[v as usize]).abs() < 0.02,
+                "s(a,{v}): {est} vs {}",
+                TABLE2[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn single_source_agrees_with_pair() {
+        let idx = toy_index(5_000);
+        let scores = idx.single_source(A);
+        for v in 1..8u32 {
+            assert!(
+                (scores[v as usize] - idx.pair(A, v)).abs() < 1e-12,
+                "node {v}: single-source and pair must replay identical walks"
+            );
+        }
+        assert_eq!(scores[A as usize], 1.0);
+    }
+
+    #[test]
+    fn top1_is_d_on_toy_graph() {
+        let idx = toy_index(8_000);
+        assert_eq!(idx.top_k(A, 1)[0].0, D);
+    }
+
+    #[test]
+    fn index_space_scales_with_walks_and_nodes() {
+        let small = toy_index(50);
+        let big = toy_index(500);
+        assert!(big.index_bytes() > 8 * small.index_bytes());
+        // The paper's point: the index dwarfs the graph itself.
+        let graph_bytes = toy_graph().memory_bytes();
+        assert!(big.index_bytes() > 10 * graph_bytes);
+    }
+
+    #[test]
+    fn queries_are_deterministic_replays() {
+        let idx = toy_index(300);
+        assert_eq!(idx.single_source(A), idx.single_source(A));
+    }
+
+    #[test]
+    fn dead_end_nodes_store_empty_walks() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2)]);
+        let idx = FingerprintIndex::build(
+            &g,
+            FingerprintConfig {
+                decay: 0.6,
+                num_walks: 50,
+                max_walk_nodes: 16,
+                seed: 1,
+            },
+        );
+        // Node 0 has no in-edges: all its walks are empty, so it meets
+        // nothing.
+        let scores = idx.single_source(0);
+        assert_eq!(scores[1], 0.0);
+        assert_eq!(scores[2], 0.0);
+        // Nodes 1 and 2 share the single parent 0: their walks are all
+        // exactly [0], so they always meet (s ≈ c in truth; the stored-walk
+        // estimator returns the meet fraction 1.0 · ... per trial both
+        // walks survive the √c step — fraction ≈ c).
+        let s12 = idx.pair(1, 2);
+        assert!((s12 - 0.6).abs() < 0.15, "siblings: {s12}");
+    }
+}

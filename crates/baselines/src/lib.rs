@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # probesim-baselines
+//!
+//! Every comparison algorithm of the ProbeSim paper's evaluation
+//! (Section 6), implemented from scratch:
+//!
+//! * [`power::PowerMethod`] — exact all-pairs SimRank (Jeh & Widom); the
+//!   ground-truth oracle for the small-graph experiments (Figures 4–7) and
+//!   the semantics TopSim-SM truncates.
+//! * [`mc::MonteCarlo`] — the index-free Monte Carlo estimator over
+//!   √c-walk pairs; both the "MC" baseline and the pooling "expert" of the
+//!   large-graph experiments.
+//! * [`tsf::Tsf`] — the Two-stage Sampling Framework (Shao et al.), the
+//!   state-of-the-art *index-based* method for dynamic graphs: `Rg` one-way
+//!   graphs with incremental maintenance, reproducing both of its known
+//!   approximations (all-step meeting counts, cycle blindness).
+//! * [`fingerprint::FingerprintIndex`] — the precomputed-walk index of
+//!   Fogaras & Rácz (the paper's Related Work \[7\]): query-time walk replay
+//!   bought with Θ(n·r·E\[ℓ\]) index space.
+//! * [`topsim::TopSim`] — the TopSim-SM family (Lee et al.): exhaustive
+//!   depth-`T` walk enumeration equal to the Power Method with `T`
+//!   iterations, plus the Trun (degree/η trimming) and Prio (budgeted
+//!   expansion) heuristic variants.
+//!
+//! All engines operate on any [`probesim_graph::GraphView`] and expose
+//! `single_source` / `top_k` entry points mirroring
+//! [`probesim_core::ProbeSim`], so the evaluation harness can drive them
+//! uniformly.
+
+pub mod fingerprint;
+pub mod mc;
+pub mod power;
+pub mod topsim;
+pub mod tsf;
+
+pub use fingerprint::{FingerprintConfig, FingerprintIndex};
+pub use mc::MonteCarlo;
+pub use power::{PowerMethod, SimMatrix};
+pub use topsim::{TopSim, TopSimConfig, TopSimVariant};
+pub use tsf::{Tsf, TsfConfig};

@@ -1,0 +1,92 @@
+//! Criterion benchmark: the cost of keeping each method consistent with a
+//! dynamic graph — the paper's central motivation.
+//!
+//! Measured per engine:
+//!
+//! * **ProbeSim** — nothing to maintain; the "update cost" is exactly the
+//!   graph mutation itself.
+//! * **TSF** — index build, plus the incremental one-way-graph
+//!   maintenance for a batch of edge insertions.
+//! * **Fingerprint** — index build (no incremental story exists: stored
+//!   walks through a changed region are invalidated wholesale, which is
+//!   why the paper calls precomputed-walk indexes unfit for dynamic
+//!   graphs; we bench the rebuild).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use probesim_baselines::{FingerprintConfig, FingerprintIndex, Tsf, TsfConfig};
+use probesim_datasets::gens;
+use probesim_graph::{DynamicGraph, GraphView};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_index_maintenance(c: &mut Criterion) {
+    let base = gens::chung_lu(10_000, 80_000, 2.3, 42);
+    let tsf_config = TsfConfig {
+        decay: 0.6,
+        rg: 100,
+        rq: 20,
+        depth: 10,
+        seed: 7,
+    };
+    let fp_config = FingerprintConfig {
+        decay: 0.6,
+        num_walks: 50,
+        max_walk_nodes: 32,
+        seed: 7,
+    };
+
+    let mut group = c.benchmark_group("index_maintenance");
+    group.sample_size(10);
+
+    group.bench_function("tsf_build", |b| {
+        b.iter(|| black_box(Tsf::build(&base, tsf_config)));
+    });
+
+    group.bench_function("fingerprint_build", |b| {
+        b.iter(|| black_box(FingerprintIndex::build(&base, fp_config)));
+    });
+
+    // 1000 edge insertions: graph mutation only (= ProbeSim's total
+    // update cost) vs. graph mutation + TSF index maintenance.
+    let updates: Vec<(u32, u32)> = {
+        let mut rng = StdRng::seed_from_u64(11);
+        (0..1000)
+            .map(|_| {
+                let u = rng.gen_range(0..base.num_nodes() as u32);
+                let v = rng.gen_range(0..base.num_nodes() as u32);
+                (u, v)
+            })
+            .filter(|&(u, v)| u != v)
+            .collect()
+    };
+
+    group.bench_function("probesim_1000_updates", |b| {
+        b.iter(|| {
+            let mut g = DynamicGraph::from_edges(base.num_nodes(), &base.edges());
+            for &(u, v) in &updates {
+                g.insert_edge(u, v);
+            }
+            black_box(g.num_edges())
+        });
+    });
+
+    group.bench_function("tsf_1000_updates", |b| {
+        b.iter(|| {
+            let mut g = DynamicGraph::from_edges(base.num_nodes(), &base.edges());
+            let mut tsf = Tsf::build(&g, tsf_config);
+            let mut rng = StdRng::seed_from_u64(13);
+            for &(u, v) in &updates {
+                if g.insert_edge(u, v) {
+                    tsf.on_edge_inserted(&g, u, v, &mut rng);
+                }
+            }
+            black_box(tsf.index_bytes())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Criterion micro-benchmark: the three PROBE variants on a mid-size
+//! power-law graph — the core cost driver of every ProbeSim query.
+//!
+//! Expected shape (matches Sections 3.3 / 4.3 of the paper): deterministic
+//! probe cost grows with the reachable frontier (up to O(m)); randomized is
+//! capped near O(n); hybrid tracks deterministic on cheap paths and caps
+//! like randomized on expensive ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probesim_core::probe::{self, ProbeParams};
+use probesim_core::result::QueryStats;
+use probesim_core::walk::sample_walk;
+use probesim_core::workspace::ProbeWorkspace;
+use probesim_datasets::gens;
+use probesim_graph::GraphView;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_probes(c: &mut Criterion) {
+    let graph = gens::chung_lu(20_000, 160_000, 2.3, 42);
+    let sqrt_c = 0.6f64.sqrt();
+    let mut rng = StdRng::seed_from_u64(7);
+    // A fixed bundle of representative walks (length >= 3 preferred).
+    let mut walks: Vec<Vec<u32>> = Vec::new();
+    let queries: Vec<u32> = graph
+        .nodes()
+        .filter(|&v| graph.has_in_edges(v))
+        .take(64)
+        .collect();
+    for &u in &queries {
+        let w = sample_walk(&graph, u, sqrt_c, 8, &mut rng);
+        if w.len() >= 3 {
+            walks.push(w);
+        }
+        if walks.len() == 16 {
+            break;
+        }
+    }
+    assert!(!walks.is_empty());
+    let n = graph.num_nodes();
+    let params_pruned = ProbeParams {
+        sqrt_c,
+        epsilon_p: 0.002,
+    };
+    let params_exact = ProbeParams {
+        sqrt_c,
+        epsilon_p: 0.0,
+    };
+
+    let mut group = c.benchmark_group("probe");
+    group.sample_size(20);
+    for (label, params) in [("exact", params_exact), ("pruned", params_pruned)] {
+        group.bench_with_input(
+            BenchmarkId::new("deterministic", label),
+            &params,
+            |b, params| {
+                let mut ws = ProbeWorkspace::new(n);
+                let mut acc = vec![0.0f64; n];
+                let mut stats = QueryStats::default();
+                b.iter(|| {
+                    for w in &walks {
+                        probe::deterministic(
+                            &graph,
+                            black_box(w),
+                            params,
+                            1.0,
+                            &mut ws,
+                            &mut acc,
+                            &mut stats,
+                        );
+                    }
+                });
+            },
+        );
+    }
+    group.bench_function("randomized", |b| {
+        let mut ws = ProbeWorkspace::new(n);
+        let mut acc = vec![0.0f64; n];
+        let mut stats = QueryStats::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| {
+            for w in &walks {
+                probe::randomized(
+                    &graph,
+                    black_box(w),
+                    &params_exact,
+                    1.0,
+                    &mut ws,
+                    &mut acc,
+                    &mut stats,
+                    &mut rng,
+                );
+            }
+        });
+    });
+    group.bench_function("hybrid", |b| {
+        let mut ws = ProbeWorkspace::new(n);
+        let mut acc = vec![0.0f64; n];
+        let mut stats = QueryStats::default();
+        let mut rng = StdRng::seed_from_u64(13);
+        b.iter(|| {
+            for w in &walks {
+                probe::hybrid(
+                    &graph,
+                    black_box(w),
+                    &params_pruned,
+                    1.0,
+                    1,
+                    0.5,
+                    &mut ws,
+                    &mut acc,
+                    &mut stats,
+                    &mut rng,
+                );
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probes);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmark: full single-source queries — ProbeSim at several
+//! error levels against the baselines, on a small power-law graph. The
+//! relative ordering (ProbeSim fast at moderate εa, MC slow, TopSim-SM
+//! slowest-but-deterministic) is the paper's headline efficiency result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probesim_baselines::{MonteCarlo, TopSim, TopSimConfig, TopSimVariant, Tsf, TsfConfig};
+use probesim_core::{ProbeSim, ProbeSimConfig};
+use probesim_datasets::gens;
+use probesim_eval::sample_query_nodes;
+use std::hint::black_box;
+
+fn bench_single_source(c: &mut Criterion) {
+    let graph = gens::chung_lu(5_000, 40_000, 2.3, 42);
+    let queries = sample_query_nodes(&graph, 4, 1);
+    let mut group = c.benchmark_group("single_source");
+    group.sample_size(10);
+
+    for eps in [0.1, 0.05] {
+        let engine = ProbeSim::new(ProbeSimConfig::paper(eps).with_seed(3));
+        group.bench_with_input(
+            BenchmarkId::new("probesim", format!("eps{eps}")),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    for &u in &queries {
+                        black_box(engine.single_source(&graph, u));
+                    }
+                });
+            },
+        );
+    }
+
+    let mc = MonteCarlo::new(0.6, 100).with_seed(4);
+    group.bench_function("mc_r100", |b| {
+        b.iter(|| {
+            for &u in &queries {
+                black_box(mc.single_source(&graph, u));
+            }
+        });
+    });
+
+    let tsf = Tsf::build(
+        &graph,
+        TsfConfig {
+            decay: 0.6,
+            rg: 100,
+            rq: 20,
+            depth: 10,
+            seed: 5,
+        },
+    );
+    group.bench_function("tsf_rg100", |b| {
+        b.iter(|| {
+            for &u in &queries {
+                black_box(tsf.single_source(&graph, u));
+            }
+        });
+    });
+
+    let topsim = TopSim::new(TopSimConfig::paper(TopSimVariant::paper_priority()));
+    group.bench_function("prio_topsim", |b| {
+        b.iter(|| {
+            for &u in &queries {
+                black_box(topsim.single_source(&graph, u));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_source);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmark: √c-walk sampling throughput and the
+//! reverse-reachability trie (Algorithm 3's batching structure).
+//!
+//! The interesting number is the trie's compression ratio: how many
+//! distinct prefixes `nr` walks collapse into — that ratio is exactly the
+//! probe-count saving of the batch algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use probesim_core::walk::sample_walk;
+use probesim_core::WalkTrie;
+use probesim_datasets::gens;
+use probesim_eval::sample_query_nodes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_walks_and_trie(c: &mut Criterion) {
+    let graph = gens::preferential_attachment(10_000, 8, true, 21);
+    let sqrt_c = 0.6f64.sqrt();
+    let u = sample_query_nodes(&graph, 1, 2)[0];
+
+    let mut group = c.benchmark_group("walks");
+    group.sample_size(20);
+    group.bench_function("sample_1000_walks", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(sample_walk(&graph, u, sqrt_c, 16, &mut rng));
+            }
+        });
+    });
+
+    group.bench_function("trie_insert_1000_walks", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let walks: Vec<Vec<u32>> = (0..1000)
+            .map(|_| sample_walk(&graph, u, sqrt_c, 16, &mut rng))
+            .collect();
+        b.iter(|| {
+            let mut trie = WalkTrie::new(u);
+            for w in &walks {
+                trie.insert(black_box(w));
+            }
+            black_box(trie.len())
+        });
+    });
+
+    group.bench_function("trie_traverse", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut trie = WalkTrie::new(u);
+        for _ in 0..1000 {
+            trie.insert(&sample_walk(&graph, u, sqrt_c, 16, &mut rng));
+        }
+        b.iter(|| {
+            let mut count = 0usize;
+            trie.for_each_prefix(|path, w| {
+                count += path.len() + w as usize;
+            });
+            black_box(count)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks_and_trie);
+criterion_main!(benches);

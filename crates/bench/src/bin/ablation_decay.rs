@@ -1,0 +1,72 @@
+//! Ablation (ours): sensitivity to the decay factor `c`.
+//!
+//! The paper fixes `c = 0.6` ("typically set to 0.6 or 0.8"). The decay
+//! controls every cost driver of ProbeSim: expected √c-walk length
+//! `1/(1−√c)` (2.1 nodes at c=0.4, 4.4 at 0.6, 9.5 at 0.8), the trial
+//! count `nr = (3c/ε²)·ln(n/δ)`, the truncation cap `ℓt`, and through all
+//! of those the probe workload. This binary quantifies the query-time and
+//! accuracy impact of moving `c` across its practical range.
+//!
+//! ```text
+//! cargo run --release -p probesim-bench --bin ablation_decay -- --scale ci --queries 8
+//! ```
+
+use probesim_bench::{load_dataset, HarnessArgs};
+use probesim_core::{ProbeSim, ProbeSimConfig};
+use probesim_datasets::Dataset;
+use probesim_eval::{metrics, sample_query_nodes, timed, Aggregate, GroundTruth};
+
+const EPSILON: f64 = 0.05;
+
+fn main() {
+    let args = HarnessArgs::parse(8);
+    println!(
+        "# Ablation — decay factor sensitivity, eps={EPSILON} scale={} queries={}",
+        args.scale_name(),
+        args.queries
+    );
+    for dataset in args.datasets_or(&[Dataset::As, Dataset::HepPh]) {
+        let graph = load_dataset(dataset, args.scale);
+        let queries = sample_query_nodes(&graph, args.queries, args.seed);
+        println!(
+            "{:<8} {:>10} {:>12} {:>12} {:>10} {:>12}",
+            "decay", "E[len]", "avg_query_s", "abs_error", "walks", "walk_nodes"
+        );
+        for decay in [0.4, 0.6, 0.8] {
+            let truth = GroundTruth::compute_with_iterations(
+                &graph,
+                decay,
+                // Iterations chosen so ground-truth error ≪ εa at each c.
+                probesim_baselines::PowerMethod::iterations_for_tolerance(decay, 1e-6),
+            );
+            let engine =
+                ProbeSim::new(ProbeSimConfig::new(decay, EPSILON, 0.01).with_seed(args.seed));
+            let mut time_agg = Aggregate::default();
+            let mut err_agg = Aggregate::default();
+            let mut walks = 0usize;
+            let mut walk_nodes = 0usize;
+            for &u in &queries {
+                let (result, secs) = timed(|| engine.single_source(&graph, u));
+                time_agg.push(secs);
+                err_agg.push(metrics::abs_error(
+                    truth.single_source(u),
+                    &result.scores,
+                    u,
+                ));
+                walks += result.stats.walks;
+                walk_nodes += result.stats.walk_nodes;
+            }
+            let q = queries.len().max(1);
+            println!(
+                "{:<8} {:>10.2} {:>12.6} {:>12.5} {:>10} {:>12.2}",
+                decay,
+                1.0 / (1.0 - decay.sqrt()),
+                time_agg.mean(),
+                err_agg.mean(),
+                walks / q,
+                walk_nodes as f64 / walks.max(1) as f64
+            );
+        }
+        println!();
+    }
+}

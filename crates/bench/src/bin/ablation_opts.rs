@@ -1,0 +1,102 @@
+//! Ablation study (ours, motivated by Section 4 of the paper): what each
+//! optimization contributes.
+//!
+//! Configurations measured against the basic Algorithm 1 + Algorithm 2:
+//!
+//! * `basic` — no truncation, no pruning, no batching, deterministic PROBE
+//! * `+truncate` — pruning rule 1 only
+//! * `+prune` — pruning rules 1 + 2
+//! * `+batch` — rules 1 + 2 + the reverse-reachability trie
+//! * `+hybrid` — everything, with the Section 4.4 probe (the default)
+//! * `randomized` — everything but with the pure randomized PROBE
+//!
+//! Reported per configuration: average query time, AbsError against the
+//! Power Method, probes executed, and edges expanded.
+//!
+//! ```text
+//! cargo run --release -p probesim-bench --bin ablation_opts -- --scale ci --queries 10
+//! ```
+
+use probesim_bench::{load_dataset, HarnessArgs};
+use probesim_core::{Optimizations, ProbeSim, ProbeSimConfig, ProbeStrategy};
+use probesim_datasets::Dataset;
+use probesim_eval::{metrics, sample_query_nodes, timed, Aggregate, GroundTruth};
+
+const DECAY: f64 = 0.6;
+const EPSILON: f64 = 0.05;
+
+fn configurations() -> Vec<(&'static str, Optimizations)> {
+    let basic = Optimizations::basic();
+    let mut truncate = basic;
+    truncate.truncate_walks = true;
+    let mut prune = truncate;
+    prune.prune_scores = true;
+    let mut batch = prune;
+    batch.batch_walks = true;
+    let mut hybrid = batch;
+    hybrid.strategy = ProbeStrategy::Hybrid;
+    let mut randomized = batch;
+    randomized.strategy = ProbeStrategy::Randomized;
+    vec![
+        ("basic", basic),
+        ("+truncate", truncate),
+        ("+prune", prune),
+        ("+batch", batch),
+        ("+hybrid", hybrid),
+        ("randomized", randomized),
+    ]
+}
+
+fn main() {
+    let args = HarnessArgs::parse(10);
+    println!(
+        "# Ablation — Section 4 optimizations, eps={EPSILON} scale={} queries={}",
+        args.scale_name(),
+        args.queries
+    );
+    let default_sets = [Dataset::WikiVote, Dataset::As];
+    for dataset in args.datasets_or(&default_sets) {
+        let graph = load_dataset(dataset, args.scale);
+        let truth = GroundTruth::compute(&graph, DECAY);
+        let queries = sample_query_nodes(&graph, args.queries, args.seed);
+        println!(
+            "{:<12} {:>12} {:>10} {:>10} {:>14} {:>10}",
+            "config", "avg_query_s", "abs_err", "probes", "edges_expanded", "switches"
+        );
+        for (name, opts) in configurations() {
+            let engine = ProbeSim::new(
+                ProbeSimConfig::new(DECAY, EPSILON, 0.01)
+                    .with_seed(args.seed)
+                    .with_optimizations(opts),
+            );
+            let mut time_agg = Aggregate::default();
+            let mut err_agg = Aggregate::default();
+            let mut probes = 0usize;
+            let mut edges = 0usize;
+            let mut switches = 0usize;
+            for &u in &queries {
+                let (result, secs) = timed(|| engine.single_source(&graph, u));
+                time_agg.push(secs);
+                err_agg.push(metrics::abs_error(
+                    truth.single_source(u),
+                    &result.scores,
+                    u,
+                ));
+                probes += result.stats.probes;
+                edges += result.stats.edges_expanded;
+                switches += result.stats.hybrid_switches;
+            }
+            let q = queries.len().max(1);
+            println!(
+                "{:<12} {:>12.6} {:>10.5} {:>10} {:>14} {:>10}",
+                name,
+                time_agg.mean(),
+                err_agg.mean(),
+                probes / q,
+                edges / q,
+                switches / q
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,94 @@
+//! Regenerates **Figure 4**: absolute error vs. average query time for
+//! single-source SimRank queries on the four small graphs.
+//!
+//! Per the paper's protocol: query nodes are sampled uniformly from those
+//! with nonzero in-degree; ground truth comes from the Power Method;
+//! `AbsError = max_v |s(u,v) − s̃(u,v)|` averaged over queries. ProbeSim is
+//! swept over `εa ∈ {0.1, 0.05, 0.025, 0.0125}`; MC over walk counts; TSF
+//! (`Rg = 300, Rq = 40`) and the TopSim family (`T = 3`, `1/h = 100`,
+//! `η = 0.001`, `H = 100`) are single points, exactly as in Section 6.1.
+//!
+//! ```text
+//! cargo run --release -p probesim-bench --bin fig4_abs_error -- --scale ci --queries 10
+//! ```
+
+use probesim_baselines::{MonteCarlo, TopSimConfig, TopSimVariant, TsfConfig};
+use probesim_bench::{load_dataset, HarnessArgs};
+use probesim_core::ProbeSimConfig;
+use probesim_datasets::Dataset;
+use probesim_eval::{
+    metrics, sample_query_nodes, timed, Aggregate, GroundTruth, McAlgo, ProbeSimAlgo,
+    SimRankAlgorithm, TopSimAlgo, TsfAlgo,
+};
+
+const DECAY: f64 = 0.6;
+
+fn roster(seed: u64) -> Vec<Box<dyn SimRankAlgorithm>> {
+    let mut algos: Vec<Box<dyn SimRankAlgorithm>> = Vec::new();
+    for eps in [0.1, 0.05, 0.025, 0.0125] {
+        algos.push(Box::new(ProbeSimAlgo::new(
+            ProbeSimConfig::paper(eps).with_seed(seed),
+        )));
+    }
+    for walks in [100, 400, 1600] {
+        algos.push(Box::new(McAlgo::new(
+            MonteCarlo::new(DECAY, walks).with_seed(seed ^ 1),
+        )));
+    }
+    algos.push(Box::new(TsfAlgo::new(TsfConfig {
+        decay: DECAY,
+        rg: 300,
+        rq: 40,
+        depth: 10,
+        seed: seed ^ 2,
+    })));
+    algos.push(Box::new(TopSimAlgo::new(TopSimConfig::paper(
+        TopSimVariant::Exact,
+    ))));
+    algos.push(Box::new(TopSimAlgo::new(TopSimConfig::paper(
+        TopSimVariant::paper_truncated(),
+    ))));
+    algos.push(Box::new(TopSimAlgo::new(TopSimConfig::paper(
+        TopSimVariant::paper_priority(),
+    ))));
+    algos
+}
+
+fn main() {
+    let args = HarnessArgs::parse(10);
+    println!(
+        "# Figure 4 — AbsError vs. query time (single-source), scale={} queries={} c={DECAY}",
+        args.scale_name(),
+        args.queries
+    );
+    for dataset in args.datasets_or(&Dataset::SMALL) {
+        let graph = load_dataset(dataset, args.scale);
+        let (truth, gt_secs) = timed(|| GroundTruth::compute(&graph, DECAY));
+        println!("   ground truth (power method, 55 iters): {gt_secs:.1}s");
+        let queries = sample_query_nodes(&graph, args.queries, args.seed);
+        println!(
+            "{:<22} {:>14} {:>12} {:>12}",
+            "algorithm", "avg_query_s", "abs_error", "mean_error"
+        );
+        for mut algo in roster(args.seed) {
+            algo.prepare(&graph);
+            let mut time_agg = Aggregate::default();
+            let mut err_agg = Aggregate::default();
+            let mut mean_err_agg = Aggregate::default();
+            for &u in &queries {
+                let (scores, secs) = timed(|| algo.single_source(&graph, u));
+                time_agg.push(secs);
+                err_agg.push(metrics::abs_error(truth.single_source(u), &scores, u));
+                mean_err_agg.push(metrics::mean_abs_error(truth.single_source(u), &scores, u));
+            }
+            println!(
+                "{:<22} {:>14.6} {:>12.5} {:>12.6}",
+                algo.name(),
+                time_agg.mean(),
+                err_agg.mean(),
+                mean_err_agg.mean()
+            );
+        }
+        println!();
+    }
+}

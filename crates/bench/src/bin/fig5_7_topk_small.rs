@@ -1,0 +1,97 @@
+//! Regenerates **Figures 5, 6 and 7**: Precision@k, NDCG@k and Kendall τk
+//! versus average query time for top-k SimRank queries (k = 50 by default,
+//! the paper's setting) on the four small graphs, with exact ground truth
+//! from the Power Method.
+//!
+//! ```text
+//! cargo run --release -p probesim-bench --bin fig5_7_topk_small -- --scale ci --queries 10
+//! ```
+
+use probesim_baselines::{MonteCarlo, TopSimConfig, TopSimVariant, TsfConfig};
+use probesim_bench::{load_dataset, HarnessArgs};
+use probesim_core::ProbeSimConfig;
+use probesim_datasets::Dataset;
+use probesim_eval::{
+    metrics, sample_query_nodes, timed, Aggregate, GroundTruth, McAlgo, ProbeSimAlgo,
+    SimRankAlgorithm, TopSimAlgo, TsfAlgo,
+};
+
+const DECAY: f64 = 0.6;
+
+fn roster(seed: u64) -> Vec<Box<dyn SimRankAlgorithm>> {
+    let mut algos: Vec<Box<dyn SimRankAlgorithm>> = Vec::new();
+    for eps in [0.1, 0.05, 0.025] {
+        algos.push(Box::new(ProbeSimAlgo::new(
+            ProbeSimConfig::paper(eps).with_seed(seed),
+        )));
+    }
+    algos.push(Box::new(McAlgo::new(
+        MonteCarlo::new(DECAY, 400).with_seed(seed ^ 1),
+    )));
+    algos.push(Box::new(TsfAlgo::new(TsfConfig {
+        decay: DECAY,
+        rg: 300,
+        rq: 40,
+        depth: 10,
+        seed: seed ^ 2,
+    })));
+    for variant in [
+        TopSimVariant::Exact,
+        TopSimVariant::paper_truncated(),
+        TopSimVariant::paper_priority(),
+    ] {
+        algos.push(Box::new(TopSimAlgo::new(TopSimConfig::paper(variant))));
+    }
+    algos
+}
+
+fn main() {
+    let args = HarnessArgs::parse(10);
+    println!(
+        "# Figures 5–7 — Precision@k / NDCG@k / tau_k vs. query time (top-k, k={}), scale={} queries={}",
+        args.k,
+        args.scale_name(),
+        args.queries
+    );
+    for dataset in args.datasets_or(&Dataset::SMALL) {
+        let graph = load_dataset(dataset, args.scale);
+        let truth = GroundTruth::compute(&graph, DECAY);
+        let queries = sample_query_nodes(&graph, args.queries, args.seed);
+        println!(
+            "{:<22} {:>12} {:>11} {:>9} {:>9}",
+            "algorithm", "avg_query_s", "precision", "ndcg", "tau"
+        );
+        for mut algo in roster(args.seed) {
+            algo.prepare(&graph);
+            let mut time_agg = Aggregate::default();
+            let mut prec_agg = Aggregate::default();
+            let mut ndcg_agg = Aggregate::default();
+            let mut tau_agg = Aggregate::default();
+            for &u in &queries {
+                let (returned, secs) = timed(|| algo.top_k(&graph, u, args.k));
+                time_agg.push(secs);
+                let truth_topk = truth.top_k(u, args.k);
+                let truth_ids: Vec<_> = truth_topk.iter().map(|&(v, _)| v).collect();
+                let returned_ids: Vec<_> = returned.iter().map(|&(v, _)| v).collect();
+                let score_map = truth.score_map(u);
+                prec_agg.push(metrics::precision_at_k(&returned_ids, &truth_ids, args.k));
+                ndcg_agg.push(metrics::ndcg_at_k(
+                    &returned,
+                    &truth_topk,
+                    &score_map,
+                    args.k,
+                ));
+                tau_agg.push(metrics::kendall_tau(&returned_ids, &score_map, args.k));
+            }
+            println!(
+                "{:<22} {:>12.6} {:>11.4} {:>9.4} {:>9.4}",
+                algo.name(),
+                time_agg.mean(),
+                prec_agg.mean(),
+                ndcg_agg.mean(),
+                tau_agg.mean()
+            );
+        }
+        println!();
+    }
+}

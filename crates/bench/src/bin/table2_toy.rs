@@ -1,0 +1,44 @@
+//! Regenerates **Table 2** of the paper: SimRank similarities with respect
+//! to node `a` on the Figure 1 toy graph (`c' = 0.25`), computed by the
+//! Power Method within 1e-5 error — and, as a bonus column, ProbeSim's
+//! estimates at `εa = 0.025` to show the approximation at work.
+//!
+//! ```text
+//! cargo run --release -p probesim-bench --bin table2_toy
+//! ```
+
+use probesim_baselines::PowerMethod;
+use probesim_core::{ProbeSim, ProbeSimConfig};
+use probesim_graph::toy::{toy_graph, A, LABELS, TABLE2, TOY_DECAY};
+
+fn main() {
+    let g = toy_graph();
+    let truth = PowerMethod::ground_truth(TOY_DECAY).all_pairs(&g);
+    let engine = ProbeSim::new(ProbeSimConfig::new(TOY_DECAY, 0.025, 0.01).with_seed(2017));
+    let estimate = engine.single_source(&g, A);
+
+    println!("# Table 2 — SimRank similarities with respect to node a (c' = 0.25)");
+    println!();
+    println!(
+        "{:<6} {:>10} {:>10} {:>12}",
+        "node", "paper", "power", "probesim"
+    );
+    let mut max_err_power = 0.0f64;
+    let mut max_err_probesim = 0.0f64;
+    for v in 0..8u32 {
+        let paper = TABLE2[v as usize];
+        let power = truth.get(A, v);
+        let probesim = estimate.score(v);
+        max_err_power = max_err_power.max((power - paper).abs());
+        if v != A {
+            max_err_probesim = max_err_probesim.max((probesim - power).abs());
+        }
+        println!(
+            "{:<6} {:>10.4} {:>10.4} {:>12.4}",
+            LABELS[v as usize], paper, power, probesim
+        );
+    }
+    println!();
+    println!("max |power − paper|    = {max_err_power:.4}   (paper prints 3–4 significant digits)");
+    println!("max |probesim − power| = {max_err_probesim:.4}   (guarantee: ≤ 0.025 w.p. 0.99)");
+}

@@ -1,0 +1,182 @@
+//! Regenerates **Table 4**: average top-k query time and index space
+//! overhead on the four large graphs.
+//!
+//! Mirrors the paper's setup: 20 query nodes with nonzero in-degree,
+//! `εa = 0.1` for ProbeSim, paper parameters for the baselines. Index-based
+//! methods whose estimated footprint exceeds the memory budget are printed
+//! as `N/A`, the same way the paper reports TopSim running out of
+//! memory/time on Twitter and Friendster.
+//!
+//! ```text
+//! cargo run --release -p probesim-bench --bin table4_large -- --scale ci --queries 5
+//! ```
+
+use probesim_baselines::{FingerprintConfig, TopSimConfig, TopSimVariant, TsfConfig};
+use probesim_bench::{load_dataset, HarnessArgs};
+use probesim_core::ProbeSimConfig;
+use probesim_datasets::Dataset;
+use probesim_eval::{
+    human_bytes, human_secs, sample_query_nodes, timed, Aggregate, FingerprintAlgo, ProbeSimAlgo,
+    SimRankAlgorithm, TopSimAlgo, TsfAlgo,
+};
+use probesim_graph::GraphView;
+
+const DECAY: f64 = 0.6;
+
+/// Conservative per-node cost of the TSF index (parent pointer + reversed
+/// adjacency entry + Vec header amortization), used for the N/A pre-check.
+const TSF_BYTES_PER_NODE_PER_GRAPH: usize = 32;
+
+/// Rough cost ceiling for a TopSim-family query: prefixes × probe edges.
+/// Beyond this we report N/A instead of burning hours, mirroring the
+/// paper's ">24 hours" entries.
+const TOPSIM_COST_CEILING: f64 = 5e9;
+
+fn main() {
+    let args = HarnessArgs::parse(5);
+    println!(
+        "# Table 4 — query time and space overhead on large graphs, scale={} queries={} k={}",
+        args.scale_name(),
+        args.queries,
+        args.k
+    );
+    for dataset in args.datasets_or(&Dataset::LARGE) {
+        let graph = load_dataset(dataset, args.scale);
+        let graph_bytes = graph.memory_bytes();
+        let queries = sample_query_nodes(&graph, args.queries, args.seed);
+        println!(
+            "{:<22} {:>14} {:>14} {:>12}",
+            "algorithm", "build_time", "avg_query", "index_space"
+        );
+
+        // ProbeSim: index-free, eps = 0.1 (the paper's large-graph setting).
+        {
+            let mut algo = ProbeSimAlgo::new(ProbeSimConfig::paper(0.1).with_seed(args.seed));
+            let mut time_agg = Aggregate::default();
+            for &u in &queries {
+                let (_, secs) = timed(|| algo.top_k(&graph, u, args.k));
+                time_agg.push(secs);
+            }
+            println!(
+                "{:<22} {:>14} {:>14} {:>12}",
+                algo.name(),
+                "none",
+                human_secs(time_agg.mean()),
+                "0 B (index-free)"
+            );
+        }
+
+        // TSF: build the index unless it would blow the memory budget.
+        {
+            let config = TsfConfig {
+                decay: DECAY,
+                rg: 300,
+                rq: 40,
+                depth: 10,
+                seed: args.seed ^ 2,
+            };
+            let estimated = config.rg * graph.num_nodes() * TSF_BYTES_PER_NODE_PER_GRAPH;
+            if estimated > args.mem_budget_bytes {
+                println!(
+                    "{:<22} {:>14} {:>14} {:>12}",
+                    "TSF(Rg=300,Rq=40)",
+                    "N/A",
+                    "N/A",
+                    format!("~{} > budget", human_bytes(estimated))
+                );
+            } else {
+                let mut algo = TsfAlgo::new(config);
+                let ((), build_secs) = timed(|| algo.prepare(&graph));
+                let mut time_agg = Aggregate::default();
+                for &u in &queries {
+                    let (_, secs) = timed(|| algo.top_k(&graph, u, args.k));
+                    time_agg.push(secs);
+                }
+                println!(
+                    "{:<22} {:>14} {:>14} {:>12}",
+                    algo.name(),
+                    human_secs(build_secs),
+                    human_secs(time_agg.mean()),
+                    human_bytes(algo.index_bytes())
+                );
+            }
+        }
+
+        // Fingerprint index (Fogaras–Rácz): the other index-based method;
+        // same N/A pre-check against the memory budget.
+        {
+            let config = FingerprintConfig {
+                decay: DECAY,
+                num_walks: 100,
+                max_walk_nodes: 64,
+                seed: args.seed ^ 3,
+            };
+            // ~E[walk len] stored ids per walk: 1/(1−√c) ≈ 4.4 at c = 0.6.
+            let estimated = config.num_walks * graph.num_nodes() * 5 * 4
+                + graph.num_nodes() * config.num_walks * 8;
+            if estimated > args.mem_budget_bytes {
+                println!(
+                    "{:<22} {:>14} {:>14} {:>12}",
+                    "Fingerprint(r=100)",
+                    "N/A",
+                    "N/A",
+                    format!("~{} > budget", human_bytes(estimated))
+                );
+            } else {
+                let mut algo = FingerprintAlgo::new(config);
+                let ((), build_secs) = timed(|| algo.prepare(&graph));
+                let mut time_agg = Aggregate::default();
+                for &u in &queries {
+                    let (_, secs) = timed(|| algo.top_k(&graph, u, args.k));
+                    time_agg.push(secs);
+                }
+                println!(
+                    "{:<22} {:>14} {:>14} {:>12}",
+                    algo.name(),
+                    human_secs(build_secs),
+                    human_secs(time_agg.mean()),
+                    human_bytes(algo.index_bytes())
+                );
+            }
+        }
+
+        // TopSim family: run unless the d^{2T} cost estimate is hopeless.
+        let stats = probesim_graph::DegreeStats::compute(&graph);
+        for variant in [
+            TopSimVariant::Exact,
+            TopSimVariant::paper_truncated(),
+            TopSimVariant::paper_priority(),
+        ] {
+            let name = variant.name();
+            let estimated_cost = match variant {
+                TopSimVariant::Exact => stats.mean_degree.powi(6) * graph.num_edges() as f64 / 1e3,
+                TopSimVariant::Truncated { .. } => {
+                    stats.mean_degree.min(100.0).powi(6) * graph.num_edges() as f64 / 1e4
+                }
+                TopSimVariant::Priority { .. } => 100.0 * graph.num_edges() as f64,
+            };
+            if estimated_cost > TOPSIM_COST_CEILING {
+                println!(
+                    "{:<22} {:>14} {:>14} {:>12}",
+                    name, "none", "N/A (>ceiling)", "0 B"
+                );
+                continue;
+            }
+            let mut algo = TopSimAlgo::new(TopSimConfig::paper(variant));
+            let mut time_agg = Aggregate::default();
+            for &u in &queries {
+                let (_, secs) = timed(|| algo.top_k(&graph, u, args.k));
+                time_agg.push(secs);
+            }
+            println!(
+                "{:<22} {:>14} {:>14} {:>12}",
+                name,
+                "none",
+                human_secs(time_agg.mean()),
+                "0 B (index-free)"
+            );
+        }
+        println!("graph size: {}", human_bytes(graph_bytes));
+        println!();
+    }
+}

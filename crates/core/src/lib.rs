@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! # probesim-core
+//!
+//! The ProbeSim algorithm (Liu et al., PVLDB 2017): index-free approximate
+//! single-source and top-k SimRank with an absolute-error guarantee.
+//!
+//! Given a query node `u`, an error bound `εa` and a failure probability
+//! `δ`, [`ProbeSim::single_source`] returns estimates `s̃(u, v)` for every
+//! node `v` such that `|s̃(u, v) − s(u, v)| ≤ εa` for all `v` simultaneously
+//! with probability at least `1 − δ` — with **no precomputed index**, which
+//! is what makes real-time queries on dynamic graphs possible.
+//!
+//! ## How it works
+//!
+//! SimRank equals the meeting probability of two √c-walks (random walks
+//! along in-edges that die with probability `1 − √c` per step). ProbeSim
+//! samples `nr = (3c/ε²)·ln(n/δ)` walks from `u` only; for each walk prefix
+//! `(u1..ui)` it runs **PROBE** — a forward traversal from `ui` that computes
+//! for *every* node `v` the exact probability that a √c-walk from `v` first
+//! meets the prefix at `ui` ([`probe::deterministic`]). Summing probe scores
+//! within a trial and averaging across trials yields an unbiased estimator
+//! (Lemma 1 of the paper).
+//!
+//! ## Optimizations (Section 4 of the paper)
+//!
+//! * walk truncation and score pruning ([`config::ErrorBudget`],
+//!   pruning rules 1 & 2),
+//! * batching walks in a reverse-reachability trie so shared prefixes are
+//!   probed once ([`trie::WalkTrie`]),
+//! * a randomized O(n) PROBE ([`probe::randomized`]) and the
+//!   deterministic→randomized hybrid ([`probe::hybrid`]) that gives the
+//!   `O(n/εa²·log(n/δ))` worst case with deterministic speed on the
+//!   common path.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use probesim_core::{ProbeSim, ProbeSimConfig};
+//! use probesim_graph::toy::{toy_graph, A, TOY_DECAY};
+//!
+//! let g = toy_graph();
+//! let cfg = ProbeSimConfig::new(TOY_DECAY, 0.05, 0.01).with_seed(7);
+//! let probesim = ProbeSim::new(cfg);
+//! let result = probesim.single_source(&g, A);
+//! // d is the most similar node to a (Table 2 of the paper).
+//! let top = probesim.top_k(&g, A, 1);
+//! assert_eq!(top[0].0, probesim_graph::toy::D);
+//! # let _ = result;
+//! ```
+
+pub mod config;
+pub mod probe;
+pub mod result;
+pub mod single_source;
+pub mod topk;
+pub mod trie;
+pub mod walk;
+pub mod workspace;
+
+pub use config::{ErrorBudget, Optimizations, ProbeSimConfig, ProbeStrategy};
+pub use result::{QueryStats, SingleSourceResult};
+pub use single_source::ProbeSim;
+pub use topk::top_k_from_scores;
+pub use trie::WalkTrie;

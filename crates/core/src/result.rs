@@ -1,0 +1,118 @@
+//! Query results and execution statistics.
+
+use probesim_graph::NodeId;
+
+/// Counters collected while answering one query; the ablation benchmarks
+/// and EXPERIMENTS.md report these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// √c-walks sampled.
+    pub walks: usize,
+    /// Walks that hit the truncation cap `ℓt` (pruning rule 1).
+    pub truncated_walks: usize,
+    /// Total walk nodes generated.
+    pub walk_nodes: usize,
+    /// PROBE invocations (deterministic + randomized + hybrid).
+    pub probes: usize,
+    /// Randomized PROBE runs (including hybrid continuations).
+    pub randomized_probes: usize,
+    /// Deterministic→randomized switches taken by hybrid probes.
+    pub hybrid_switches: usize,
+    /// Out-edges traversed by deterministic expansions.
+    pub edges_expanded: usize,
+    /// Candidate nodes sampled by randomized expansions.
+    pub nodes_sampled: usize,
+    /// Distinct prefixes probed via the batch trie (0 when unbatched).
+    pub trie_prefixes: usize,
+}
+
+impl QueryStats {
+    /// Merges counters from another query (for experiment aggregates).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.walks += other.walks;
+        self.truncated_walks += other.truncated_walks;
+        self.walk_nodes += other.walk_nodes;
+        self.probes += other.probes;
+        self.randomized_probes += other.randomized_probes;
+        self.hybrid_switches += other.hybrid_switches;
+        self.edges_expanded += other.edges_expanded;
+        self.nodes_sampled += other.nodes_sampled;
+        self.trie_prefixes += other.trie_prefixes;
+    }
+}
+
+/// The answer to a single-source SimRank query.
+#[derive(Debug, Clone)]
+pub struct SingleSourceResult {
+    /// The query node `u`.
+    pub query: NodeId,
+    /// `scores[v] = s̃(u, v)` for every `v`; `scores[u]` is fixed at 1.0
+    /// by the SimRank definition.
+    pub scores: Vec<f64>,
+    /// Execution counters.
+    pub stats: QueryStats,
+}
+
+impl SingleSourceResult {
+    /// `s̃(u, v)`.
+    #[inline]
+    pub fn score(&self, v: NodeId) -> f64 {
+        self.scores[v as usize]
+    }
+
+    /// The `k` most similar nodes to `u` (excluding `u` itself), highest
+    /// score first; ties broken by node id for determinism.
+    pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
+        crate::topk::top_k_from_scores(&self.scores, self.query, k)
+    }
+
+    /// Nodes with estimate above `threshold`, unordered.
+    pub fn above_threshold(&self, threshold: f64) -> Vec<(NodeId, f64)> {
+        self.scores
+            .iter()
+            .enumerate()
+            .filter(|&(v, &s)| v as NodeId != self.query && s > threshold)
+            .map(|(v, &s)| (v as NodeId, s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = QueryStats {
+            walks: 1,
+            probes: 2,
+            edges_expanded: 10,
+            ..QueryStats::default()
+        };
+        let b = QueryStats {
+            walks: 3,
+            probes: 4,
+            hybrid_switches: 1,
+            ..QueryStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.walks, 4);
+        assert_eq!(a.probes, 6);
+        assert_eq!(a.edges_expanded, 10);
+        assert_eq!(a.hybrid_switches, 1);
+    }
+
+    #[test]
+    fn result_accessors() {
+        let r = SingleSourceResult {
+            query: 1,
+            scores: vec![0.3, 1.0, 0.5, 0.05],
+            stats: QueryStats::default(),
+        };
+        assert_eq!(r.score(2), 0.5);
+        assert_eq!(r.top_k(2), vec![(2, 0.5), (0, 0.3)]);
+        let mut above = r.above_threshold(0.1);
+        above.sort_unstable_by_key(|&(v, _)| v);
+        assert_eq!(above, vec![(0, 0.3), (2, 0.5)]);
+    }
+}

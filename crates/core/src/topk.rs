@@ -1,0 +1,95 @@
+//! Top-k extraction from single-source score vectors.
+//!
+//! The paper's observation (Section 2.1): an approximate single-source
+//! algorithm answers approximate top-k queries "by sorting the SimRank
+//! estimations and output the top-k results" — every returned node's true
+//! score is within `εa` of the true i-th largest.
+//!
+//! We avoid a full O(n log n) sort: `select_nth_unstable` partitions the
+//! candidates in O(n), then only the k winners are sorted.
+
+use probesim_graph::NodeId;
+
+/// The `k` highest-scoring nodes (excluding `query`), descending by score
+/// with node id as a deterministic tie-breaker. Returns fewer than `k`
+/// entries only when the graph has fewer than `k + 1` nodes.
+pub fn top_k_from_scores(scores: &[f64], query: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+    let mut candidates: Vec<(NodeId, f64)> = scores
+        .iter()
+        .enumerate()
+        .filter(|&(v, _)| v as NodeId != query)
+        .map(|(v, &s)| (v as NodeId, s))
+        .collect();
+    let k = k.min(candidates.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let cmp = |a: &(NodeId, f64), b: &(NodeId, f64)| {
+        b.1.partial_cmp(&a.1)
+            .expect("SimRank scores are never NaN")
+            .then_with(|| a.0.cmp(&b.0))
+    };
+    if k < candidates.len() {
+        candidates.select_nth_unstable_by(k - 1, cmp);
+        candidates.truncate(k);
+    }
+    candidates.sort_unstable_by(cmp);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_highest_scores_in_order() {
+        let scores = vec![0.1, 0.9, 0.5, 0.7, 0.3];
+        let top = top_k_from_scores(&scores, 0, 3);
+        assert_eq!(top, vec![(1, 0.9), (3, 0.7), (2, 0.5)]);
+    }
+
+    #[test]
+    fn excludes_the_query_node() {
+        let scores = vec![1.0, 0.2, 0.4];
+        let top = top_k_from_scores(&scores, 0, 3);
+        assert_eq!(top, vec![(2, 0.4), (1, 0.2)]);
+    }
+
+    #[test]
+    fn ties_break_by_node_id() {
+        let scores = vec![0.0, 0.5, 0.5, 0.5];
+        let top = top_k_from_scores(&scores, 0, 2);
+        assert_eq!(top, vec![(1, 0.5), (2, 0.5)]);
+    }
+
+    #[test]
+    fn k_larger_than_graph_is_clamped() {
+        let scores = vec![0.3, 0.1];
+        let top = top_k_from_scores(&scores, 1, 10);
+        assert_eq!(top, vec![(0, 0.3)]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert!(top_k_from_scores(&[0.1, 0.2], 0, 0).is_empty());
+    }
+
+    #[test]
+    fn matches_full_sort_on_random_input() {
+        // Deterministic pseudo-random scores; compare against a full sort.
+        let scores: Vec<f64> = (0..500)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 1000.0)
+            .collect();
+        let k = 37;
+        let fast = top_k_from_scores(&scores, 13, k);
+        let mut slow: Vec<(NodeId, f64)> = scores
+            .iter()
+            .enumerate()
+            .filter(|&(v, _)| v != 13)
+            .map(|(v, &s)| (v as NodeId, s))
+            .collect();
+        slow.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        slow.truncate(k);
+        assert_eq!(fast, slow);
+    }
+}

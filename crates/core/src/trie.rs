@@ -1,0 +1,245 @@
+//! The reverse-reachability tree (Algorithm 3's batching structure).
+//!
+//! All `nr` √c-walks from the query node share the root `u`; many share
+//! longer prefixes too (the expected walk length is constant, so with
+//! thousands of walks most prefixes repeat). [`WalkTrie`] stores the walks
+//! as a weighted prefix tree: each node records a graph vertex and the
+//! number of walks whose prefix ends there. The batch driver then probes
+//! each *distinct* prefix once, scaling its scores by `weight / nr` —
+//! identical in expectation to probing every walk separately, but with far
+//! fewer probes.
+
+use probesim_graph::NodeId;
+
+/// Arena index of a trie node.
+pub type TrieIndex = u32;
+
+#[derive(Debug, Clone)]
+struct TrieNode {
+    /// Graph vertex stored at this prefix position.
+    vertex: NodeId,
+    /// Number of walks sharing the prefix from the root to here.
+    weight: u32,
+    /// First child (linked-list arena layout).
+    first_child: Option<TrieIndex>,
+    /// Next sibling.
+    next_sibling: Option<TrieIndex>,
+}
+
+/// Weighted prefix tree over √c-walks from a single query node.
+#[derive(Debug, Clone)]
+pub struct WalkTrie {
+    nodes: Vec<TrieNode>,
+}
+
+impl WalkTrie {
+    /// An empty trie rooted at the query node `u` (root weight counts the
+    /// inserted walks; the paper fixes it to `nr` after inserting all).
+    pub fn new(u: NodeId) -> Self {
+        WalkTrie {
+            nodes: vec![TrieNode {
+                vertex: u,
+                weight: 0,
+                first_child: None,
+                next_sibling: None,
+            }],
+        }
+    }
+
+    /// Number of trie nodes (== distinct walk prefixes, including the
+    /// root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Total number of walks inserted.
+    pub fn total_walks(&self) -> u32 {
+        self.nodes[0].weight
+    }
+
+    /// Inserts one walk `(u1 = root, u2, …, uℓ)`; increments the weight of
+    /// every prefix node on its path (Lines 5–10 of Algorithm 3).
+    ///
+    /// Panics if the walk does not start at the root vertex.
+    pub fn insert(&mut self, walk: &[NodeId]) {
+        assert!(!walk.is_empty(), "cannot insert an empty walk");
+        assert_eq!(
+            walk[0], self.nodes[0].vertex,
+            "walk must start at the trie root"
+        );
+        self.nodes[0].weight += 1;
+        let mut current: TrieIndex = 0;
+        for &vertex in &walk[1..] {
+            current = self.child_or_insert(current, vertex);
+            self.nodes[current as usize].weight += 1;
+        }
+    }
+
+    /// Finds the child of `parent` holding `vertex`, creating it (weight 0)
+    /// if missing.
+    fn child_or_insert(&mut self, parent: TrieIndex, vertex: NodeId) -> TrieIndex {
+        let mut link = self.nodes[parent as usize].first_child;
+        let mut last: Option<TrieIndex> = None;
+        while let Some(idx) = link {
+            if self.nodes[idx as usize].vertex == vertex {
+                return idx;
+            }
+            last = Some(idx);
+            link = self.nodes[idx as usize].next_sibling;
+        }
+        let new_idx = self.nodes.len() as TrieIndex;
+        self.nodes.push(TrieNode {
+            vertex,
+            weight: 0,
+            first_child: None,
+            next_sibling: None,
+        });
+        match last {
+            Some(idx) => self.nodes[idx as usize].next_sibling = Some(new_idx),
+            None => self.nodes[parent as usize].first_child = Some(new_idx),
+        }
+        new_idx
+    }
+
+    /// Visits every root-to-node path of length ≥ 2 (the probeable
+    /// prefixes), calling `visit(path, weight)` with the path's graph
+    /// vertices and the number of walks sharing it.
+    ///
+    /// Uses an explicit DFS stack; the `path` buffer is reused across
+    /// calls, so callers must not retain it.
+    pub fn for_each_prefix<F: FnMut(&[NodeId], u32)>(&self, mut visit: F) {
+        let mut path: Vec<NodeId> = vec![self.nodes[0].vertex];
+        // Stack entries: (node index, depth in path when entered).
+        let mut stack: Vec<(TrieIndex, usize)> = Vec::new();
+        let mut link = self.nodes[0].first_child;
+        while let Some(idx) = link {
+            stack.push((idx, 1));
+            link = self.nodes[idx as usize].next_sibling;
+        }
+        while let Some((idx, depth)) = stack.pop() {
+            path.truncate(depth);
+            let node = &self.nodes[idx as usize];
+            path.push(node.vertex);
+            visit(&path, node.weight);
+            let mut child = node.first_child;
+            while let Some(c) = child {
+                stack.push((c, depth + 1));
+                child = self.nodes[c as usize].next_sibling;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Collects (path, weight) pairs for assertion convenience.
+    fn collect(trie: &WalkTrie) -> HashMap<Vec<NodeId>, u32> {
+        let mut out = HashMap::new();
+        trie.for_each_prefix(|path, w| {
+            out.insert(path.to_vec(), w);
+        });
+        out
+    }
+
+    #[test]
+    fn paper_figure3_example() {
+        // Figure 3(a): walks (a,b,c) and (a,c,a); then insert (a,b,a).
+        // Encode a=0, b=1, c=2.
+        let mut t = WalkTrie::new(0);
+        t.insert(&[0, 1, 2]);
+        t.insert(&[0, 2, 0]);
+        // 3(a): root weight 2, children b=1 (w1), c=1 (w1), grandchildren.
+        assert_eq!(t.total_walks(), 2);
+        t.insert(&[0, 1, 0]);
+        // 3(b): root w=3, b child w=2, new grandchild a under b with w=1.
+        assert_eq!(t.total_walks(), 3);
+        let paths = collect(&t);
+        assert_eq!(paths[&vec![0, 1]], 2);
+        assert_eq!(paths[&vec![0, 1, 2]], 1);
+        assert_eq!(paths[&vec![0, 1, 0]], 1);
+        assert_eq!(paths[&vec![0, 2]], 1);
+        assert_eq!(paths[&vec![0, 2, 0]], 1);
+        assert_eq!(paths.len(), 5);
+        // 6 trie nodes total (root + 5), exactly as in Figure 3(b).
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn shared_prefixes_are_stored_once() {
+        let mut t = WalkTrie::new(7);
+        for _ in 0..100 {
+            t.insert(&[7, 3, 5]);
+        }
+        assert_eq!(t.len(), 3);
+        let paths = collect(&t);
+        assert_eq!(paths[&vec![7, 3]], 100);
+        assert_eq!(paths[&vec![7, 3, 5]], 100);
+    }
+
+    #[test]
+    fn single_node_walks_add_weight_but_no_prefixes() {
+        let mut t = WalkTrie::new(1);
+        t.insert(&[1]);
+        t.insert(&[1]);
+        assert_eq!(t.total_walks(), 2);
+        assert!(t.is_empty());
+        assert_eq!(collect(&t).len(), 0);
+    }
+
+    #[test]
+    fn weights_sum_consistency() {
+        // At each depth, child weights sum to ≤ parent weight, and the sum
+        // of depth-1 weights equals the number of walks of length ≥ 2.
+        let mut t = WalkTrie::new(0);
+        let walks: Vec<Vec<NodeId>> = vec![
+            vec![0, 1],
+            vec![0, 1, 2],
+            vec![0, 2],
+            vec![0],
+            vec![0, 1, 2],
+        ];
+        for w in &walks {
+            t.insert(w);
+        }
+        let paths = collect(&t);
+        let depth1_sum: u32 = paths
+            .iter()
+            .filter(|(p, _)| p.len() == 2)
+            .map(|(_, &w)| w)
+            .sum();
+        assert_eq!(depth1_sum, 4); // all walks except the bare [0]
+        assert_eq!(paths[&vec![0, 1, 2]], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at the trie root")]
+    fn wrong_root_panics() {
+        let mut t = WalkTrie::new(0);
+        t.insert(&[1, 0]);
+    }
+
+    #[test]
+    fn path_buffer_is_correct_across_branches() {
+        // Regression: DFS must truncate the shared path buffer correctly
+        // when jumping between branches of different depth.
+        let mut t = WalkTrie::new(0);
+        t.insert(&[0, 1, 2, 3]);
+        t.insert(&[0, 4]);
+        t.insert(&[0, 1, 5]);
+        let paths = collect(&t);
+        assert!(paths.contains_key(&vec![0, 4]));
+        assert!(paths.contains_key(&vec![0, 1, 5]));
+        assert!(paths.contains_key(&vec![0, 1, 2, 3]));
+        for p in paths.keys() {
+            assert_eq!(p[0], 0, "all paths start at the root: {p:?}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! √c-walk sampling (Definition 3 of the paper).
+//!
+//! A √c-walk from `u` follows a uniformly random *in*-neighbor at each step
+//! and terminates with probability `1 − √c` per step (or when it reaches a
+//! node with no in-edges). Its expected length is `1/(1 − √c)` nodes, and
+//! `E[ℓ²] = (1 + √c)/(1 − √c)²` is constant — the fact that makes a probe
+//! over a whole walk O(m) expected (Section 3.3).
+
+use probesim_graph::{GraphView, NodeId};
+use rand::Rng;
+
+/// Samples one √c-walk starting at `u`, capped at `max_nodes` nodes
+/// (pruning rule 1 uses `ℓt`; pass `usize::MAX` for no cap).
+///
+/// The returned vector always contains at least `u` itself.
+pub fn sample_walk<G: GraphView, R: Rng + ?Sized>(
+    graph: &G,
+    u: NodeId,
+    sqrt_c: f64,
+    max_nodes: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut walk = Vec::with_capacity(8);
+    walk.push(u);
+    extend_walk(graph, &mut walk, sqrt_c, max_nodes, rng);
+    walk
+}
+
+/// Extends a partially-built walk in place until termination or the cap;
+/// used by [`sample_walk`] and by the batch driver, which reuses one
+/// allocation across all `nr` walks.
+pub fn extend_walk<G: GraphView, R: Rng + ?Sized>(
+    graph: &G,
+    walk: &mut Vec<NodeId>,
+    sqrt_c: f64,
+    max_nodes: usize,
+    rng: &mut R,
+) {
+    debug_assert!(!walk.is_empty());
+    let mut current = *walk.last().expect("walk has a start node");
+    while walk.len() < max_nodes {
+        // Terminate with probability 1 − √c (Definition 3).
+        if rng.gen::<f64>() >= sqrt_c {
+            break;
+        }
+        let in_nbrs = graph.in_neighbors(current);
+        if in_nbrs.is_empty() {
+            break;
+        }
+        current = in_nbrs[rng.gen_range(0..in_nbrs.len())];
+        walk.push(current);
+    }
+}
+
+/// Expected number of nodes in an untruncated √c-walk: `1/(1 − √c)`.
+pub fn expected_len(sqrt_c: f64) -> f64 {
+    1.0 / (1.0 - sqrt_c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probesim_graph::toy::toy_graph;
+    use probesim_graph::CsrGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walk_starts_at_query_node() {
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        for u in 0..8u32 {
+            let w = sample_walk(&g, u, 0.5, usize::MAX, &mut rng);
+            assert_eq!(w[0], u);
+        }
+    }
+
+    #[test]
+    fn every_step_follows_an_in_edge() {
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let w = sample_walk(&g, 0, 0.5, usize::MAX, &mut rng);
+            for pair in w.windows(2) {
+                assert!(
+                    g.in_neighbors(pair[0]).contains(&pair[1]),
+                    "step {} -> {} is not an in-edge",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let w = sample_walk(&g, 0, 0.99, 4, &mut rng);
+            assert!(w.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn dead_end_terminates_walk() {
+        // 1 -> 0; node 1 has no in-edges, so walks from 0 stop at 1.
+        let g = CsrGraph::from_edges(2, &[(1, 0)]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let w = sample_walk(&g, 0, 0.999, usize::MAX, &mut rng);
+            assert!(w.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn mean_length_matches_geometric_expectation() {
+        // A directed cycle never dead-ends, so length is purely geometric.
+        let edges: Vec<(u32, u32)> = (0..16u32).map(|i| (i, (i + 1) % 16)).collect();
+        let g = CsrGraph::from_edges(16, &edges);
+        let sqrt_c = 0.6f64.sqrt();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 40_000;
+        let total: usize = (0..trials)
+            .map(|_| sample_walk(&g, 0, sqrt_c, usize::MAX, &mut rng).len())
+            .sum();
+        let mean = total as f64 / trials as f64;
+        let expected = expected_len(sqrt_c);
+        assert!(
+            (mean - expected).abs() < 0.05,
+            "mean {mean}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn extend_continues_from_last_node() {
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut walk = vec![0u32];
+        extend_walk(&g, &mut walk, 0.9, 10, &mut rng);
+        assert_eq!(walk[0], 0);
+        assert!(walk.len() <= 10);
+    }
+}

@@ -1,0 +1,231 @@
+//! Reusable dense scratch space for PROBE traversals.
+//!
+//! A probe touches a per-level frontier of (node, score) pairs. The paper's
+//! pseudo-code uses hash sets; we use the classic dense-array-with-
+//! version-stamps trick instead: O(1) insert/lookup with no hashing and no
+//! O(n) clearing between levels (clearing bumps a version counter). One
+//! [`ProbeWorkspace`] is allocated per query (O(n)) and reused across all
+//! `nr · E\[ℓ\]` probes, which is where most of ProbeSim's practical speed
+//! over a naive hash-map implementation comes from.
+
+use probesim_graph::NodeId;
+
+/// One frontier level: a sparse set of nodes with f64 scores backed by
+/// dense arrays.
+#[derive(Debug, Clone)]
+pub struct LevelBuf {
+    score: Vec<f64>,
+    stamp: Vec<u32>,
+    version: u32,
+    nodes: Vec<NodeId>,
+}
+
+impl LevelBuf {
+    /// A buffer for node ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        LevelBuf {
+            score: vec![0.0; n],
+            stamp: vec![0; n],
+            version: 0,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Removes all entries in O(1) amortized (version bump).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        // On wrap-around, fall back to a real reset so stale stamps can
+        // never alias the new version.
+        if self.version == u32::MAX {
+            self.version = 0;
+            self.stamp.fill(0);
+        }
+        self.version += 1;
+    }
+
+    /// Adds `delta` to `v`'s score, inserting it if absent.
+    #[inline]
+    pub fn add(&mut self, v: NodeId, delta: f64) {
+        let i = v as usize;
+        if self.stamp[i] == self.version {
+            self.score[i] += delta;
+        } else {
+            self.stamp[i] = self.version;
+            self.score[i] = delta;
+            self.nodes.push(v);
+        }
+    }
+
+    /// Inserts `v` with an exact score, overwriting any previous value.
+    #[inline]
+    pub fn set(&mut self, v: NodeId, value: f64) {
+        let i = v as usize;
+        if self.stamp[i] != self.version {
+            self.stamp[i] = self.version;
+            self.nodes.push(v);
+        }
+        self.score[i] = value;
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.stamp[v as usize] == self.version
+    }
+
+    /// The score of `v`, or 0.0 when absent.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> f64 {
+        let i = v as usize;
+        if self.stamp[i] == self.version {
+            self.score[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// The nodes currently in the set, in insertion order. May contain
+    /// entries whose score was later zeroed with [`LevelBuf::set`]; PROBE
+    /// filters by score where that matters.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no entries are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Drops entries that fail `keep`, compacting the node list.
+    pub fn retain<F: FnMut(NodeId, f64) -> bool>(&mut self, mut keep: F) {
+        let score = &self.score;
+        let stamp = &mut self.stamp;
+        let version = self.version;
+        self.nodes.retain(|&v| {
+            let ok = keep(v, score[v as usize]);
+            if !ok {
+                // Un-stamp so `contains`/`get` agree with the node list.
+                stamp[v as usize] = version.wrapping_sub(1);
+            }
+            ok
+        });
+    }
+}
+
+/// Double-buffered frontier pair for a probe traversal.
+#[derive(Debug, Clone)]
+pub struct ProbeWorkspace {
+    /// Current level `H_j`.
+    pub current: LevelBuf,
+    /// Next level `H_{j+1}`.
+    pub next: LevelBuf,
+}
+
+impl ProbeWorkspace {
+    /// Workspace for node ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        ProbeWorkspace {
+            current: LevelBuf::new(n),
+            next: LevelBuf::new(n),
+        }
+    }
+
+    /// Clears both levels.
+    pub fn reset(&mut self) {
+        self.current.clear();
+        self.next.clear();
+    }
+
+    /// Makes the freshly-built next level current and clears the old one.
+    pub fn advance(&mut self) {
+        std::mem::swap(&mut self.current, &mut self.next);
+        self.next.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let mut b = LevelBuf::new(4);
+        b.clear();
+        b.add(2, 0.5);
+        b.add(2, 0.25);
+        b.add(0, 1.0);
+        assert_eq!(b.get(2), 0.75);
+        assert_eq!(b.get(0), 1.0);
+        assert_eq!(b.get(1), 0.0);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn clear_is_logical_not_physical() {
+        let mut b = LevelBuf::new(2);
+        b.clear();
+        b.add(1, 3.0);
+        b.clear();
+        assert!(!b.contains(1));
+        assert_eq!(b.get(1), 0.0);
+        assert!(b.is_empty());
+        b.add(1, 1.0);
+        assert_eq!(b.get(1), 1.0);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut b = LevelBuf::new(3);
+        b.clear();
+        b.add(1, 0.5);
+        b.set(1, 0.1);
+        assert_eq!(b.get(1), 0.1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn retain_filters_and_unstamps() {
+        let mut b = LevelBuf::new(5);
+        b.clear();
+        for v in 0..5 {
+            b.add(v, v as f64 / 10.0);
+        }
+        b.retain(|_, s| s >= 0.2);
+        assert_eq!(b.len(), 3);
+        assert!(!b.contains(0));
+        assert!(!b.contains(1));
+        assert!(b.contains(4));
+        assert_eq!(b.get(1), 0.0);
+    }
+
+    #[test]
+    fn workspace_advance_swaps_levels() {
+        let mut ws = ProbeWorkspace::new(3);
+        ws.reset();
+        ws.next.add(1, 0.5);
+        ws.advance();
+        assert!(ws.current.contains(1));
+        assert!(ws.next.is_empty());
+    }
+
+    #[test]
+    fn version_wraparound_resets_cleanly() {
+        let mut b = LevelBuf::new(2);
+        b.version = u32::MAX - 1;
+        b.clear(); // -> MAX
+        b.add(0, 1.0);
+        b.clear(); // wraps to 1 with full stamp reset
+        assert!(!b.contains(0));
+        b.add(1, 2.0);
+        assert!(b.contains(1));
+        assert_eq!(b.get(0), 0.0);
+    }
+}

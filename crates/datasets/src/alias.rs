@@ -1,0 +1,168 @@
+//! Alias-method sampling from a fixed discrete distribution.
+//!
+//! The Chung–Lu generator draws millions of edge endpoints from a power-law
+//! weight vector; the alias method (Walker 1977, Vose 1991) gives O(1)
+//! draws after O(n) preprocessing.
+
+use rand::Rng;
+
+/// Preprocessed table for O(1) weighted sampling.
+///
+/// # Example
+///
+/// ```
+/// use probesim_datasets::AliasTable;
+/// use rand::SeedableRng;
+///
+/// let table = AliasTable::new(&[1.0, 0.0, 3.0]).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let draw = table.sample(&mut rng);
+/// assert!(draw == 0 || draw == 2); // index 1 has zero weight
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights. Returns `None` when the
+    /// weights are empty, contain a negative/NaN entry, or sum to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 || weights.iter().any(|&w| w.is_nan() || w < 0.0) {
+            return None;
+        }
+        // Vose's stable construction with explicit small/large worklists.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("non-empty");
+            let l = *large.last().expect("non-empty");
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for l in large {
+            prob[l] = 1.0;
+        }
+        for s in small {
+            // Only reachable through floating-point round-off.
+            prob[s] = 1.0;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (never constructed; `new`
+    /// rejects empty input, so this is `false` for live tables).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index distributed according to the construction weights.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let t = AliasTable::new(&[42.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_category_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f64 / draws as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "category {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_tail_weights_survive_scaling() {
+        // Construction must stay stable with a 6-decade dynamic range.
+        let weights: Vec<f64> = (1..=1000).map(|i| 1.0 / (i as f64).powi(2)).collect();
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut count0 = 0usize;
+        let draws = 100_000;
+        for _ in 0..draws {
+            if t.sample(&mut rng) == 0 {
+                count0 += 1;
+            }
+        }
+        let expected = weights[0] / weights.iter().sum::<f64>();
+        let observed = count0 as f64 / draws as f64;
+        assert!((observed - expected).abs() < 0.02);
+    }
+}

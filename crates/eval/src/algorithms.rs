@@ -1,0 +1,280 @@
+//! Uniform adapter layer over every SimRank engine in the workspace.
+//!
+//! The experiment harness (Figures 4–10, Table 4) drives six algorithms
+//! through one interface: build (index construction, a no-op for the
+//! index-free methods), single-source query, top-k query, and space
+//! accounting. The adapters own per-algorithm state (e.g. the TSF index)
+//! so a harness loop stays a few lines per figure.
+
+use probesim_baselines::{
+    FingerprintConfig, FingerprintIndex, MonteCarlo, TopSim, TopSimConfig, Tsf, TsfConfig,
+};
+use probesim_core::{ProbeSim, ProbeSimConfig};
+use probesim_graph::{CsrGraph, NodeId};
+
+/// A SimRank engine the harness can drive uniformly.
+pub trait SimRankAlgorithm {
+    /// Display name, matching the paper's figures where applicable.
+    fn name(&self) -> String;
+
+    /// One-time preparation against a fixed graph (index construction).
+    /// Index-free algorithms do nothing.
+    fn prepare(&mut self, _graph: &CsrGraph) {}
+
+    /// Answers a single-source query: `s̃(u, v)` for all `v`.
+    fn single_source(&mut self, graph: &CsrGraph, u: NodeId) -> Vec<f64>;
+
+    /// Answers a top-k query; default: rank the single-source answer.
+    fn top_k(&mut self, graph: &CsrGraph, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        let scores = self.single_source(graph, u);
+        probesim_core::top_k_from_scores(&scores, u, k)
+    }
+
+    /// Bytes of auxiliary index state held between queries (Table 4's
+    /// space-overhead column). Zero for index-free methods.
+    fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// ProbeSim adapter.
+pub struct ProbeSimAlgo {
+    engine: ProbeSim,
+}
+
+impl ProbeSimAlgo {
+    /// Wraps a configured engine.
+    pub fn new(config: ProbeSimConfig) -> Self {
+        ProbeSimAlgo {
+            engine: ProbeSim::new(config),
+        }
+    }
+}
+
+impl SimRankAlgorithm for ProbeSimAlgo {
+    fn name(&self) -> String {
+        format!("ProbeSim(eps={})", self.engine.config().epsilon)
+    }
+
+    fn single_source(&mut self, graph: &CsrGraph, u: NodeId) -> Vec<f64> {
+        self.engine.single_source(graph, u).scores
+    }
+}
+
+/// Monte Carlo adapter.
+pub struct McAlgo {
+    mc: MonteCarlo,
+}
+
+impl McAlgo {
+    /// Wraps a configured estimator.
+    pub fn new(mc: MonteCarlo) -> Self {
+        McAlgo { mc }
+    }
+}
+
+impl SimRankAlgorithm for McAlgo {
+    fn name(&self) -> String {
+        format!("MC(r={})", self.mc.num_walks)
+    }
+
+    fn single_source(&mut self, graph: &CsrGraph, u: NodeId) -> Vec<f64> {
+        self.mc.single_source(graph, u)
+    }
+}
+
+/// TSF adapter; owns the one-way-graph index.
+pub struct TsfAlgo {
+    config: TsfConfig,
+    index: Option<Tsf>,
+}
+
+impl TsfAlgo {
+    /// An adapter that will build its index on [`SimRankAlgorithm::prepare`].
+    pub fn new(config: TsfConfig) -> Self {
+        TsfAlgo {
+            config,
+            index: None,
+        }
+    }
+}
+
+impl SimRankAlgorithm for TsfAlgo {
+    fn name(&self) -> String {
+        format!("TSF(Rg={},Rq={})", self.config.rg, self.config.rq)
+    }
+
+    fn prepare(&mut self, graph: &CsrGraph) {
+        self.index = Some(Tsf::build(graph, self.config));
+    }
+
+    fn single_source(&mut self, graph: &CsrGraph, u: NodeId) -> Vec<f64> {
+        if self.index.is_none() {
+            self.prepare(graph);
+        }
+        self.index
+            .as_ref()
+            .expect("index built above")
+            .single_source(graph, u)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.index.as_ref().map_or(0, Tsf::index_bytes)
+    }
+}
+
+/// Fingerprint-index adapter (Fogaras–Rácz precomputed walks); owns the
+/// stored-walk index.
+pub struct FingerprintAlgo {
+    config: FingerprintConfig,
+    index: Option<FingerprintIndex>,
+}
+
+impl FingerprintAlgo {
+    /// An adapter that builds its index on [`SimRankAlgorithm::prepare`].
+    pub fn new(config: FingerprintConfig) -> Self {
+        FingerprintAlgo {
+            config,
+            index: None,
+        }
+    }
+}
+
+impl SimRankAlgorithm for FingerprintAlgo {
+    fn name(&self) -> String {
+        format!("Fingerprint(r={})", self.config.num_walks)
+    }
+
+    fn prepare(&mut self, graph: &CsrGraph) {
+        self.index = Some(FingerprintIndex::build(graph, self.config));
+    }
+
+    fn single_source(&mut self, graph: &CsrGraph, u: NodeId) -> Vec<f64> {
+        if self.index.is_none() {
+            self.prepare(graph);
+        }
+        self.index
+            .as_ref()
+            .expect("index built above")
+            .single_source(u)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.index.as_ref().map_or(0, FingerprintIndex::index_bytes)
+    }
+}
+
+/// TopSim-family adapter.
+pub struct TopSimAlgo {
+    engine: TopSim,
+}
+
+impl TopSimAlgo {
+    /// Wraps a configured engine.
+    pub fn new(config: TopSimConfig) -> Self {
+        TopSimAlgo {
+            engine: TopSim::new(config),
+        }
+    }
+}
+
+impl SimRankAlgorithm for TopSimAlgo {
+    fn name(&self) -> String {
+        self.engine.config().variant.name().to_string()
+    }
+
+    fn single_source(&mut self, graph: &CsrGraph, u: NodeId) -> Vec<f64> {
+        self.engine.single_source(graph, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probesim_baselines::TopSimVariant;
+    use probesim_graph::toy::{toy_graph, A, D, TOY_DECAY};
+
+    fn all_toy_algorithms() -> Vec<Box<dyn SimRankAlgorithm>> {
+        vec![
+            Box::new(ProbeSimAlgo::new(
+                ProbeSimConfig::new(TOY_DECAY, 0.05, 0.01).with_seed(1),
+            )),
+            Box::new(McAlgo::new(MonteCarlo::new(TOY_DECAY, 4000).with_seed(2))),
+            Box::new(TsfAlgo::new(TsfConfig {
+                decay: TOY_DECAY,
+                rg: 200,
+                rq: 10,
+                depth: 8,
+                seed: 3,
+            })),
+            Box::new(TopSimAlgo::new(TopSimConfig {
+                decay: TOY_DECAY,
+                depth: 4,
+                variant: TopSimVariant::Exact,
+            })),
+            Box::new(TopSimAlgo::new(TopSimConfig {
+                decay: TOY_DECAY,
+                depth: 4,
+                variant: TopSimVariant::paper_truncated(),
+            })),
+            Box::new(TopSimAlgo::new(TopSimConfig {
+                decay: TOY_DECAY,
+                depth: 4,
+                variant: TopSimVariant::paper_priority(),
+            })),
+            Box::new(FingerprintAlgo::new(FingerprintConfig {
+                decay: TOY_DECAY,
+                num_walks: 4000,
+                max_walk_nodes: 64,
+                seed: 5,
+            })),
+        ]
+    }
+
+    #[test]
+    fn every_algorithm_ranks_d_first_on_toy_graph() {
+        let g = toy_graph();
+        for mut algo in all_toy_algorithms() {
+            algo.prepare(&g);
+            let top = algo.top_k(&g, A, 1);
+            assert_eq!(top[0].0, D, "{} ranked {:?} first", algo.name(), top[0]);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<String> = all_toy_algorithms().iter().map(|a| a.name()).collect();
+        let unique: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "{names:?}");
+    }
+
+    #[test]
+    fn only_indexed_methods_report_index_space() {
+        let g = toy_graph();
+        for mut algo in all_toy_algorithms() {
+            algo.prepare(&g);
+            let bytes = algo.index_bytes();
+            let indexed = algo.name().starts_with("TSF") || algo.name().starts_with("Fingerprint");
+            if indexed {
+                assert!(bytes > 0, "{} must report index space", algo.name());
+            } else {
+                assert_eq!(bytes, 0, "{} should be index-free", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn tsf_lazily_builds_when_prepare_was_skipped() {
+        let g = toy_graph();
+        let mut tsf = TsfAlgo::new(TsfConfig {
+            decay: TOY_DECAY,
+            rg: 10,
+            rq: 2,
+            depth: 5,
+            seed: 4,
+        });
+        let scores = tsf.single_source(&g, A);
+        assert_eq!(scores.len(), 8);
+        assert!(tsf.index_bytes() > 0);
+    }
+}

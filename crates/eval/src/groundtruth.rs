@@ -1,0 +1,98 @@
+//! Ground-truth oracles for the small-graph experiments.
+//!
+//! On the four small datasets the paper computes exact SimRank with the
+//! Power Method (55 iterations) and evaluates every algorithm against it;
+//! this module wraps that oracle with the query-side helpers the metric
+//! code needs (true top-k lists, score maps).
+
+use probesim_baselines::power::{PowerMethod, SimMatrix};
+use probesim_graph::hash::FxHashMap;
+use probesim_graph::{GraphView, NodeId};
+
+/// Exact SimRank for a whole graph plus ranking helpers.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    matrix: SimMatrix,
+    decay: f64,
+}
+
+impl GroundTruth {
+    /// Computes ground truth with the paper's 55-iteration Power Method.
+    pub fn compute<G: GraphView>(graph: &G, decay: f64) -> Self {
+        Self::compute_with_iterations(graph, decay, 55)
+    }
+
+    /// Computes ground truth with a custom iteration count (error bound
+    /// `c^iterations`).
+    pub fn compute_with_iterations<G: GraphView>(graph: &G, decay: f64, iterations: usize) -> Self {
+        GroundTruth {
+            matrix: PowerMethod::new(decay, iterations).all_pairs(graph),
+            decay,
+        }
+    }
+
+    /// The decay factor the oracle was computed with.
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// Exact `s(u, v)`.
+    pub fn score(&self, u: NodeId, v: NodeId) -> f64 {
+        self.matrix.get(u, v)
+    }
+
+    /// The exact single-source row `s(u, ·)`.
+    pub fn single_source(&self, u: NodeId) -> &[f64] {
+        self.matrix.row(u)
+    }
+
+    /// The exact top-k list for `u` (descending score, id tie-break).
+    pub fn top_k(&self, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        probesim_core::top_k_from_scores(self.matrix.row(u), u, k)
+    }
+
+    /// Score lookup map over *all* nodes for query `u`, for the ranking
+    /// metrics.
+    pub fn score_map(&self, u: NodeId) -> FxHashMap<NodeId, f64> {
+        self.matrix
+            .row(u)
+            .iter()
+            .enumerate()
+            .map(|(v, &s)| (v as NodeId, s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probesim_graph::toy::{toy_graph, A, D, TABLE2, TOY_DECAY};
+
+    #[test]
+    fn oracle_matches_table2() {
+        let g = toy_graph();
+        let gt = GroundTruth::compute(&g, TOY_DECAY);
+        for v in 0..8u32 {
+            assert!((gt.score(A, v) - TABLE2[v as usize]).abs() < 6e-4);
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_excludes_query() {
+        let g = toy_graph();
+        let gt = GroundTruth::compute(&g, TOY_DECAY);
+        let top = gt.top_k(A, 3);
+        assert_eq!(top[0].0, D);
+        assert!(top.iter().all(|&(v, _)| v != A));
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn score_map_covers_all_nodes() {
+        let g = toy_graph();
+        let gt = GroundTruth::compute(&g, TOY_DECAY);
+        let map = gt.score_map(A);
+        assert_eq!(map.len(), 8);
+        assert_eq!(map[&A], 1.0);
+    }
+}

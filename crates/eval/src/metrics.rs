@@ -1,0 +1,211 @@
+//! Accuracy metrics, exactly as defined in Section 6.1 of the paper.
+//!
+//! * **AbsError** — `max_{v ≠ u} |s(u,v) − s̃(u,v)|` for a single-source
+//!   answer (Figure 4).
+//! * **Precision@k** — `|Vk ∩ V'k| / k`, overlap between the returned
+//!   top-k and the true top-k (Figure 5).
+//! * **NDCG@k** — `(1/Zk) Σ_i (2^{s(u,v_i)} − 1)/log₂(i+1)` with `Zk` the
+//!   DCG of the true top-k (Figure 6).
+//! * **Kendall τk** — `(#concordant − #discordant) / (k(k−1)/2)` over the
+//!   returned list's pairwise order versus the true scores (Figure 7).
+
+use probesim_graph::hash::FxHashMap;
+use probesim_graph::NodeId;
+
+/// Maximum absolute estimation error over all nodes except the query.
+pub fn abs_error(truth: &[f64], estimate: &[f64], query: NodeId) -> f64 {
+    assert_eq!(truth.len(), estimate.len());
+    truth
+        .iter()
+        .zip(estimate)
+        .enumerate()
+        .filter(|&(v, _)| v as NodeId != query)
+        .map(|(_, (&t, &e))| (t - e).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Mean absolute estimation error over all nodes except the query
+/// (diagnostic; the paper reports the max).
+pub fn mean_abs_error(truth: &[f64], estimate: &[f64], query: NodeId) -> f64 {
+    assert_eq!(truth.len(), estimate.len());
+    let n = truth.len();
+    if n <= 1 {
+        return 0.0;
+    }
+    let sum: f64 = truth
+        .iter()
+        .zip(estimate)
+        .enumerate()
+        .filter(|&(v, _)| v as NodeId != query)
+        .map(|(_, (&t, &e))| (t - e).abs())
+        .sum();
+    sum / (n - 1) as f64
+}
+
+/// `Precision@k = |returned ∩ truth| / k`.
+///
+/// `k` is taken as the *intended* answer size: when both lists are shorter
+/// than `k` (tiny graphs), the divisor shrinks to their common length so a
+/// perfect short answer still scores 1.0.
+pub fn precision_at_k(returned: &[NodeId], truth: &[NodeId], k: usize) -> f64 {
+    assert!(k > 0, "precision@0 is undefined");
+    let k_eff = k.min(truth.len().max(1));
+    let truth_set: std::collections::HashSet<&NodeId> = truth.iter().take(k_eff).collect();
+    let hits = returned
+        .iter()
+        .take(k)
+        .filter(|v| truth_set.contains(v))
+        .count();
+    hits as f64 / k_eff as f64
+}
+
+/// `NDCG@k` with exponential gains `2^s − 1` (the paper's formula), where
+/// the relevance of each returned node is its *true* SimRank score looked
+/// up in `true_scores`, and the normalizer `Zk` is the DCG of the true
+/// top-k list.
+///
+/// Returns 1.0 when the ideal DCG is zero (no node has positive
+/// similarity — every ranking is equally good).
+pub fn ndcg_at_k(
+    returned: &[(NodeId, f64)],
+    truth_top_k: &[(NodeId, f64)],
+    true_scores: &FxHashMap<NodeId, f64>,
+    k: usize,
+) -> f64 {
+    let dcg: f64 = returned
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, &(v, _))| {
+            let rel = true_scores.get(&v).copied().unwrap_or(0.0);
+            (2f64.powf(rel) - 1.0) / ((i + 2) as f64).log2()
+        })
+        .sum();
+    let ideal: f64 = truth_top_k
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, &(_, s))| (2f64.powf(s) - 1.0) / ((i + 2) as f64).log2())
+        .sum();
+    if ideal <= 0.0 {
+        1.0
+    } else {
+        (dcg / ideal).min(1.0)
+    }
+}
+
+/// Kendall tau over the returned ranking: for every pair `(i, j)` with
+/// `i < j`, concordant when the true score of position `i` exceeds that of
+/// position `j`, discordant when it is lower; ties contribute nothing.
+/// Normalized by `k(k−1)/2`. Returns 1.0 for lists shorter than 2.
+pub fn kendall_tau(returned: &[NodeId], true_scores: &FxHashMap<NodeId, f64>, k: usize) -> f64 {
+    let list: Vec<f64> = returned
+        .iter()
+        .take(k)
+        .map(|v| true_scores.get(v).copied().unwrap_or(0.0))
+        .collect();
+    let k_eff = list.len();
+    if k_eff < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..k_eff {
+        for j in (i + 1)..k_eff {
+            if list[i] > list[j] {
+                concordant += 1;
+            } else if list[i] < list[j] {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (k_eff * (k_eff - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Builds the score-lookup map the ranking metrics consume from a list of
+/// `(node, true score)` pairs.
+pub fn score_map(entries: &[(NodeId, f64)]) -> FxHashMap<NodeId, f64> {
+    entries.iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_error_ignores_query_node() {
+        let truth = vec![1.0, 0.5, 0.2];
+        let est = vec![0.0, 0.45, 0.3]; // query slot wildly off, ignored
+        assert!((abs_error(&truth, &est, 0) - 0.1).abs() < 1e-12);
+        assert!((mean_abs_error(&truth, &est, 0) - 0.075).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_counts_overlap() {
+        let returned = vec![1, 2, 3, 4];
+        let truth = vec![2, 4, 5, 6];
+        assert!((precision_at_k(&returned, &truth, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(precision_at_k(&returned, &returned, 4), 1.0);
+        assert_eq!(precision_at_k(&returned, &[9, 10], 4), 0.0);
+    }
+
+    #[test]
+    fn precision_clamps_to_short_truth() {
+        // Graph with only 2 candidates: perfect answer scores 1.0 at k=5.
+        assert_eq!(precision_at_k(&[1, 2], &[2, 1], 5), 1.0);
+    }
+
+    #[test]
+    fn ndcg_is_one_for_perfect_ranking() {
+        let truth = vec![(1u32, 0.9), (2, 0.5), (3, 0.1)];
+        let map = score_map(&truth);
+        assert!((ndcg_at_k(&truth, &truth, &map, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_penalizes_swapped_top() {
+        let truth = vec![(1u32, 0.9), (2, 0.5), (3, 0.1)];
+        let map = score_map(&truth);
+        let swapped = vec![(3u32, 0.9), (2, 0.5), (1, 0.1)];
+        let score = ndcg_at_k(&swapped, &truth, &map, 3);
+        assert!(score < 1.0 && score > 0.0, "got {score}");
+    }
+
+    #[test]
+    fn ndcg_degenerate_zero_truth_is_one() {
+        let truth = vec![(1u32, 0.0), (2, 0.0)];
+        let map = score_map(&truth);
+        assert_eq!(ndcg_at_k(&truth, &truth, &map, 2), 1.0);
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        let map = score_map(&[(1u32, 0.9), (2, 0.6), (3, 0.3), (4, 0.1)]);
+        assert!((kendall_tau(&[1, 2, 3, 4], &map, 4) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&[4, 3, 2, 1], &map, 4) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_partial_disorder() {
+        let map = score_map(&[(1u32, 0.9), (2, 0.6), (3, 0.3)]);
+        // (2,1,3): pairs (2,1) discordant, (2,3) concordant, (1,3) concordant.
+        let tau = kendall_tau(&[2, 1, 3], &map, 3);
+        assert!((tau - (2.0 - 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_ties_are_neutral() {
+        let map = score_map(&[(1u32, 0.5), (2, 0.5), (3, 0.1)]);
+        let tau = kendall_tau(&[1, 2, 3], &map, 3);
+        // (1,2) tie; the other two pairs concordant: (2−0)/3.
+        assert!((tau - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_short_lists() {
+        let map = score_map(&[(1u32, 0.5)]);
+        assert_eq!(kendall_tau(&[1], &map, 5), 1.0);
+        assert_eq!(kendall_tau(&[], &map, 5), 1.0);
+    }
+}

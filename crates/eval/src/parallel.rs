@@ -1,0 +1,120 @@
+//! Parallel query execution for experiment sweeps.
+//!
+//! A figure regeneration runs hundreds of independent `(algorithm, query)`
+//! cells; [`run_queries`] fans the per-query work of one algorithm out
+//! over a small thread pool (crossbeam scoped threads — no `'static`
+//! bounds needed, so the graph is borrowed, not cloned) and returns the
+//! per-query results in input order.
+//!
+//! Per-query wall-clock numbers remain meaningful because each query is
+//! timed inside its worker; only the *sweep* is parallel, never one query.
+
+use parking_lot::Mutex;
+use probesim_graph::NodeId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f(query)` for every query node on `threads` worker threads,
+/// returning results in the order of `queries`.
+///
+/// `f` must be `Sync` (it is shared across workers) — engines with
+/// interior mutability should wrap state accordingly; the stateless
+/// ProbeSim/TopSim engines qualify as-is.
+pub fn run_queries<T, F>(queries: &[NodeId], threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(NodeId) -> T + Sync,
+{
+    let threads = threads.clamp(1, queries.len().max(1));
+    if threads == 1 || queries.len() <= 1 {
+        return queries.iter().map(|&u| f(u)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<T>>> = (0..queries.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                let value = f(queries[i]);
+                *results[i].lock() = Some(value);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|cell| cell.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// A suggested worker count: the machine's parallelism, capped at 8 (the
+/// experiment binaries are memory-bandwidth-bound well before that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GroundTruth;
+    use probesim_core::{ProbeSim, ProbeSimConfig};
+    use probesim_graph::toy::{toy_graph, TOY_DECAY};
+
+    #[test]
+    fn preserves_input_order() {
+        let queries: Vec<NodeId> = (0..50).collect();
+        let out = run_queries(&queries, 4, |u| u * 2);
+        assert_eq!(out, queries.iter().map(|&u| u * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path_matches_parallel() {
+        let queries: Vec<NodeId> = (0..20).collect();
+        let serial = run_queries(&queries, 1, |u| u + 1);
+        let parallel = run_queries(&queries, 4, |u| u + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_queries_is_fine() {
+        let out: Vec<u32> = run_queries(&[], 4, |u| u);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn probesim_results_identical_serial_and_parallel() {
+        // The engine derives per-query RNG seeds, so execution order must
+        // not change any estimate.
+        let g = toy_graph();
+        let engine = ProbeSim::new(ProbeSimConfig::new(TOY_DECAY, 0.1, 0.01).with_seed(3));
+        let queries: Vec<NodeId> = (0..8).collect();
+        let serial = run_queries(&queries, 1, |u| engine.single_source(&g, u).scores);
+        let parallel = run_queries(&queries, 4, |u| engine.single_source(&g, u).scores);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_ground_truth_comparison_works() {
+        // End-to-end sanity: parallel sweep + shared oracle borrow.
+        let g = toy_graph();
+        let truth = GroundTruth::compute(&g, TOY_DECAY);
+        let engine = ProbeSim::new(ProbeSimConfig::new(TOY_DECAY, 0.1, 0.01).with_seed(5));
+        let queries: Vec<NodeId> = (0..8).collect();
+        let errors = run_queries(&queries, 2, |u| {
+            let est = engine.single_source(&g, u);
+            crate::metrics::abs_error(truth.single_source(u), &est.scores, u)
+        });
+        assert!(errors.iter().all(|&e| e <= 0.1 * 1.3));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        let t = default_threads();
+        assert!((1..=8).contains(&t));
+    }
+}

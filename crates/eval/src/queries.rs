@@ -1,0 +1,81 @@
+//! Query-workload generation.
+//!
+//! The paper's protocol: "we select 100 nodes uniformly at random from
+//! those with nonzero in-degrees" (20 on the large graphs). Nodes with no
+//! in-edges have `s(u, v) = 0` for every `v`, so querying them is
+//! uninteresting; the nonzero-in-degree restriction is what makes the
+//! accuracy numbers meaningful.
+
+use probesim_graph::{GraphView, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples `count` distinct query nodes uniformly from the nodes with
+/// nonzero in-degree. Returns fewer when the graph has fewer eligible
+/// nodes. Deterministic in `seed`.
+pub fn sample_query_nodes<G: GraphView>(graph: &G, count: usize, seed: u64) -> Vec<NodeId> {
+    let eligible: Vec<NodeId> = graph.nodes().filter(|&v| graph.has_in_edges(v)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    if eligible.len() <= count {
+        return eligible;
+    }
+    // Partial Fisher–Yates over an index vector.
+    let mut pool = eligible;
+    for i in 0..count {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(count);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probesim_graph::CsrGraph;
+
+    fn fringe_graph() -> CsrGraph {
+        // Nodes 0..5 form a cycle (in-degree 1); nodes 5..20 have no
+        // in-edges.
+        let mut edges: Vec<(u32, u32)> = (0..5u32).map(|i| (i, (i + 1) % 5)).collect();
+        edges.extend((5..20u32).map(|i| (i, i % 5)));
+        CsrGraph::from_edges(20, &edges)
+    }
+
+    #[test]
+    fn only_nonzero_in_degree_nodes_are_sampled() {
+        let g = fringe_graph();
+        let qs = sample_query_nodes(&g, 100, 1);
+        assert!(!qs.is_empty());
+        for &q in &qs {
+            assert!(g.has_in_edges(q), "node {q} has no in-edges");
+        }
+    }
+
+    #[test]
+    fn requesting_more_than_eligible_returns_all() {
+        let g = fringe_graph();
+        let qs = sample_query_nodes(&g, 1000, 2);
+        assert_eq!(qs.len(), 5);
+    }
+
+    #[test]
+    fn samples_are_distinct_and_deterministic() {
+        let g = fringe_graph();
+        let a = sample_query_nodes(&g, 3, 42);
+        let b = sample_query_nodes(&g, 3, 42);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len(), "duplicates in sample");
+    }
+
+    #[test]
+    fn different_seeds_vary() {
+        let g = fringe_graph();
+        let draws: std::collections::HashSet<Vec<u32>> =
+            (0..20).map(|s| sample_query_nodes(&g, 3, s)).collect();
+        assert!(draws.len() > 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Experiment execution helpers: timing, aggregation, and per-query
+//! records the harness binaries serialize into tables.
+
+use std::time::Instant;
+
+/// Times a closure, returning its value and the elapsed seconds.
+pub fn timed<T, F: FnOnce() -> T>(f: F) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
+
+/// Streaming mean/min/max aggregate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Aggregate {
+    count: usize,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Aggregate {
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl FromIterator<f64> for Aggregate {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut agg = Aggregate::default();
+        for x in iter {
+            agg.push(x);
+        }
+        agg
+    }
+}
+
+/// Formats a byte count with binary-prefix units for table output.
+pub fn human_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+/// Formats seconds adaptively (µs/ms/s) for table output.
+pub fn human_secs(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.1} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_value_and_positive_duration() {
+        let (v, secs) = timed(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn aggregate_tracks_mean_min_max() {
+        let agg = Aggregate::from_iter([2.0, 4.0, 6.0]);
+        assert_eq!(agg.count(), 3);
+        assert!((agg.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(agg.min(), 2.0);
+        assert_eq!(agg.max(), 6.0);
+    }
+
+    #[test]
+    fn empty_aggregate_is_zeroes() {
+        let agg = Aggregate::default();
+        assert_eq!(agg.mean(), 0.0);
+        assert_eq!(agg.min(), 0.0);
+        assert_eq!(agg.max(), 0.0);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.00 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.00 MiB");
+    }
+
+    #[test]
+    fn human_secs_units() {
+        assert_eq!(human_secs(0.0000005), "0.5 µs");
+        assert_eq!(human_secs(0.25), "250.00 ms");
+        assert_eq!(human_secs(3.5), "3.50 s");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the evaluation metrics: range, extremal and
+//! invariance laws that must hold for any inputs the harness can produce.
+
+use probesim_eval::metrics::{abs_error, kendall_tau, ndcg_at_k, precision_at_k, score_map};
+use probesim_graph::NodeId;
+use proptest::prelude::*;
+
+/// A ranked list of (node, score) with distinct nodes.
+fn arb_ranking(max_len: usize) -> impl Strategy<Value = Vec<(NodeId, f64)>> {
+    prop::collection::vec(0.0f64..1.0, 1..max_len).prop_map(|scores| {
+        let mut list: Vec<(NodeId, f64)> = scores
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (i as NodeId, s))
+            .collect();
+        list.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        list
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All four metrics stay in their documented ranges for arbitrary
+    /// returned lists vs. arbitrary truths.
+    #[test]
+    fn metrics_are_in_range(
+        truth in arb_ranking(30),
+        perm_seed in any::<u64>(),
+        k in 1usize..25,
+    ) {
+        // A deterministic shuffle of the truth as the "returned" list.
+        let mut returned = truth.clone();
+        let len = returned.len();
+        let mut state = perm_seed | 1;
+        for i in (1..len).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            returned.swap(i, j);
+        }
+        let truth_ids: Vec<NodeId> = truth.iter().map(|&(v, _)| v).collect();
+        let returned_ids: Vec<NodeId> = returned.iter().map(|&(v, _)| v).collect();
+        let map = score_map(&truth);
+
+        let p = precision_at_k(&returned_ids, &truth_ids, k);
+        prop_assert!((0.0..=1.0).contains(&p), "precision {p}");
+        let n = ndcg_at_k(&returned, &truth, &map, k);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&n), "ndcg {n}");
+        let t = kendall_tau(&returned_ids, &map, k);
+        prop_assert!((-1.0..=1.0).contains(&t), "tau {t}");
+    }
+
+    /// The identity ranking achieves the maximum of every metric.
+    #[test]
+    fn perfect_ranking_maximizes_everything(truth in arb_ranking(25), k in 1usize..20) {
+        let ids: Vec<NodeId> = truth.iter().map(|&(v, _)| v).collect();
+        let map = score_map(&truth);
+        prop_assert_eq!(precision_at_k(&ids, &ids, k), 1.0);
+        prop_assert!(ndcg_at_k(&truth, &truth, &map, k) >= 1.0 - 1e-12);
+        // Tau is 1 unless there are ties, which only reduce the numerator.
+        prop_assert!(kendall_tau(&ids, &map, k) >= 0.0);
+    }
+
+    /// AbsError is a max over per-node errors: zero iff vectors agree off
+    /// the query slot, and never below any individual error.
+    #[test]
+    fn abs_error_is_a_max(
+        truth in prop::collection::vec(0.0f64..1.0, 2..40),
+        noise in prop::collection::vec(-0.2f64..0.2, 2..40),
+    ) {
+        let len = truth.len().min(noise.len());
+        let truth = &truth[..len];
+        let estimate: Vec<f64> = truth.iter().zip(&noise[..len]).map(|(t, e)| t + e).collect();
+        let query = 0 as NodeId;
+        let err = abs_error(truth, &estimate, query);
+        for v in 1..len {
+            prop_assert!(err + 1e-15 >= (truth[v] - estimate[v]).abs());
+        }
+        let exact = abs_error(truth, truth, query);
+        prop_assert_eq!(exact, 0.0);
+    }
+
+    /// Precision is symmetric in its two lists when both have length k.
+    #[test]
+    fn precision_is_symmetric(
+        a in prop::collection::vec(0u32..50, 5..20),
+        b in prop::collection::vec(0u32..50, 5..20),
+    ) {
+        let mut a = a; a.sort_unstable(); a.dedup();
+        let mut b = b; b.sort_unstable(); b.dedup();
+        let k = a.len().min(b.len());
+        prop_assume!(k >= 1);
+        let a = &a[..k];
+        let b = &b[..k];
+        let pab = precision_at_k(a, b, k);
+        let pba = precision_at_k(b, a, k);
+        prop_assert!((pab - pba).abs() < 1e-12);
+    }
+
+    /// Reversing a strictly-decreasing ranking flips tau's sign exactly.
+    #[test]
+    fn tau_antisymmetric_under_reversal(len in 2usize..30) {
+        let truth: Vec<(NodeId, f64)> = (0..len)
+            .map(|i| (i as NodeId, 1.0 - i as f64 / len as f64))
+            .collect();
+        let map = score_map(&truth);
+        let forward: Vec<NodeId> = truth.iter().map(|&(v, _)| v).collect();
+        let backward: Vec<NodeId> = forward.iter().rev().copied().collect();
+        let tf = kendall_tau(&forward, &map, len);
+        let tb = kendall_tau(&backward, &map, len);
+        prop_assert!((tf - 1.0).abs() < 1e-12);
+        prop_assert!((tb + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,242 @@
+//! Immutable compressed-sparse-row graph.
+//!
+//! [`CsrGraph`] stores both directions of adjacency: SimRank's √c-walks
+//! follow *in*-edges, while ProbeSim's PROBE traversal and TSF's reversed
+//! one-way graphs follow *out*-edges, so both must be O(1)-indexable.
+//! Neighbor lists are sorted, enabling `has_edge` by binary search and
+//! deterministic iteration order.
+
+use crate::view::GraphView;
+use crate::{Edge, NodeId};
+
+/// An immutable directed graph in CSR form with both out- and in-adjacency.
+///
+/// Construction is O(n + m) via counting sort. Memory is
+/// `2m · 4 bytes + 2(n+1) · 8 bytes` — an index-free footprint, matching the
+/// paper's point that ProbeSim "does not increase the size of an original
+/// graph".
+///
+/// # Example
+///
+/// ```
+/// use probesim_graph::{CsrGraph, GraphView};
+///
+/// // a -> b, a -> c, c -> b
+/// let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2), (2, 1)]);
+/// assert_eq!(g.out_neighbors(0), &[1, 2]);
+/// assert_eq!(g.in_neighbors(1), &[0, 2]);
+/// assert!(g.has_edge(0, 1));
+/// assert!(!g.has_edge(1, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    num_nodes: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `n` nodes from a directed edge list.
+    ///
+    /// Edges are taken as-is (no de-duplication; use
+    /// [`crate::GraphBuilder`] for cleaning). Panics if an endpoint is
+    /// `>= n`.
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let m = edges.len();
+        let mut out_offsets = vec![0usize; n + 1];
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(u, v) in edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u}, {v}) out of bounds for n = {n}"
+            );
+            out_offsets[u as usize + 1] += 1;
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut out_targets = vec![0 as NodeId; m];
+        let mut in_sources = vec![0 as NodeId; m];
+        // Cursor copies so we can fill in one pass.
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        for &(u, v) in edges {
+            out_targets[out_cursor[u as usize]] = v;
+            out_cursor[u as usize] += 1;
+            in_sources[in_cursor[v as usize]] = u;
+            in_cursor[v as usize] += 1;
+        }
+        // Sort each adjacency run for determinism and binary-search lookups.
+        for v in 0..n {
+            out_targets[out_offsets[v]..out_offsets[v + 1]].sort_unstable();
+            in_sources[in_offsets[v]..in_offsets[v + 1]].sort_unstable();
+        }
+        CsrGraph {
+            num_nodes: n,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+
+    /// True when the directed edge `u -> v` exists. O(log deg(u)).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// All edges in `(source, target)` order, sorted by source then target.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for u in self.nodes() {
+            for &v in self.out_neighbors(u) {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
+    /// The transpose graph (every edge reversed). O(n + m); reuses the
+    /// already-sorted adjacency arrays by swapping directions.
+    pub fn transpose(&self) -> CsrGraph {
+        CsrGraph {
+            num_nodes: self.num_nodes,
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+        }
+    }
+
+    /// Approximate resident memory of the structure in bytes. Used by the
+    /// Table 4 space-overhead accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.out_offsets.len() * std::mem::size_of::<usize>()
+            + self.in_offsets.len() * std::mem::size_of::<usize>()
+            + self.out_targets.len() * std::mem::size_of::<NodeId>()
+            + self.in_sources.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+impl GraphView for CsrGraph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn sizes() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_correct() {
+        let g = CsrGraph::from_edges(4, &[(0, 2), (0, 1), (3, 1), (2, 1)]);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.in_neighbors(0), &[] as &[NodeId]);
+        assert_eq!(g.out_neighbors(1), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert!(!g.has_in_edges(0));
+        assert!(g.has_in_edges(3));
+    }
+
+    #[test]
+    fn has_edge_lookup() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(3, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edges_round_trip() {
+        let edges = vec![(0, 1), (0, 2), (1, 3), (2, 3)];
+        let g = CsrGraph::from_edges(4, &edges);
+        assert_eq!(g.edges(), edges);
+        let g2 = CsrGraph::from_edges(4, &g.edges());
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.out_neighbors(3), &[1, 2]);
+        assert_eq!(t.in_neighbors(1), &[3]);
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn parallel_edges_preserved() {
+        // CSR itself is permissive; cleaning lives in GraphBuilder.
+        let g = CsrGraph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        let g = CsrGraph::from_edges(5, &[]);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.in_neighbors(4), &[] as &[NodeId]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_edge_panics() {
+        let _ = CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_m() {
+        let small = CsrGraph::from_edges(10, &[(0, 1)]);
+        let big = CsrGraph::from_edges(10, &(0..9).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+}

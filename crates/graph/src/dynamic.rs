@@ -1,0 +1,226 @@
+//! Mutable adjacency-list graph with edge insertion and deletion.
+//!
+//! ProbeSim's headline property is being *index-free*: a query needs nothing
+//! but the current graph, so it "can naturally support real-time SimRank
+//! queries on graphs with frequent updates". [`DynamicGraph`] is that live
+//! graph: `insert_edge` / `remove_edge` are O(deg) (sorted-vector adjacency),
+//! and all query algorithms run against it directly through [`GraphView`].
+//!
+//! [`DynamicGraph::snapshot`] produces an immutable [`CsrGraph`] when a
+//! read-optimized copy is preferred (e.g. for long benchmark runs).
+
+use crate::view::GraphView;
+use crate::{CsrGraph, Edge, NodeId};
+
+/// A directed graph under edge-level updates.
+///
+/// Adjacency lists are kept sorted so membership checks are O(log deg) and
+/// iteration order is deterministic — the same contract as [`CsrGraph`].
+///
+/// # Example
+///
+/// ```
+/// use probesim_graph::{DynamicGraph, GraphView};
+///
+/// let mut g = DynamicGraph::new(3);
+/// assert!(g.insert_edge(0, 1));
+/// assert!(g.insert_edge(2, 1));
+/// assert!(!g.insert_edge(0, 1)); // already present
+/// assert_eq!(g.in_neighbors(1), &[0, 2]);
+/// assert!(g.remove_edge(0, 1));
+/// assert_eq!(g.in_neighbors(1), &[2]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGraph {
+    out: Vec<Vec<NodeId>>,
+    inn: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl DynamicGraph {
+    /// An empty graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DynamicGraph {
+            out: vec![Vec::new(); n],
+            inn: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds from an edge list (edges taken as-is, like
+    /// [`CsrGraph::from_edges`]; duplicates are ignored).
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut g = DynamicGraph::new(n);
+        for &(u, v) in edges {
+            g.insert_edge(u, v);
+        }
+        g
+    }
+
+    /// Inserts the directed edge `u -> v`. Returns `false` if it already
+    /// existed (the graph stays simple). Panics on out-of-range endpoints.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let n = self.num_nodes();
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of bounds for n = {n}"
+        );
+        let out_u = &mut self.out[u as usize];
+        match out_u.binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                out_u.insert(pos, v);
+                let in_v = &mut self.inn[v as usize];
+                let ipos = in_v.binary_search(&u).unwrap_err();
+                in_v.insert(ipos, u);
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes the directed edge `u -> v`. Returns `false` if absent.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let n = self.num_nodes();
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of bounds for n = {n}"
+        );
+        let out_u = &mut self.out[u as usize];
+        match out_u.binary_search(&v) {
+            Ok(pos) => {
+                out_u.remove(pos);
+                let in_v = &mut self.inn[v as usize];
+                let ipos = in_v
+                    .binary_search(&u)
+                    .expect("in/out adjacency desynchronized");
+                in_v.remove(ipos);
+                self.num_edges -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// True when the directed edge exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Appends `extra` isolated nodes, returning the id of the first new
+    /// node. Supports growing streams where new entities appear over time.
+    pub fn add_nodes(&mut self, extra: usize) -> NodeId {
+        let first = self.num_nodes() as NodeId;
+        self.out.extend((0..extra).map(|_| Vec::new()));
+        self.inn.extend((0..extra).map(|_| Vec::new()));
+        first
+    }
+
+    /// An immutable CSR copy of the current state.
+    pub fn snapshot(&self) -> CsrGraph {
+        let mut edges = Vec::with_capacity(self.num_edges);
+        for (u, targets) in self.out.iter().enumerate() {
+            for &v in targets {
+                edges.push((u as NodeId, v));
+            }
+        }
+        CsrGraph::from_edges(self.num_nodes(), &edges)
+    }
+}
+
+impl GraphView for DynamicGraph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.out.len()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.inn[v as usize]
+    }
+
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.out[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_remove_roundtrip() {
+        let mut g = DynamicGraph::new(4);
+        assert!(g.insert_edge(0, 1));
+        assert!(g.insert_edge(0, 2));
+        assert!(g.insert_edge(3, 1));
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.in_neighbors(1), &[0, 3]);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.in_neighbors(1), &[3]);
+        assert_eq!(g.out_neighbors(0), &[2]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut g = DynamicGraph::new(2);
+        assert!(g.insert_edge(0, 1));
+        assert!(!g.insert_edge(0, 1));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn adjacency_stays_sorted() {
+        let mut g = DynamicGraph::new(5);
+        for u in [3, 1, 4, 2, 0] {
+            g.insert_edge(u, 0);
+        }
+        assert_eq!(g.in_neighbors(0), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn snapshot_matches_live_graph() {
+        let mut g = DynamicGraph::new(4);
+        g.insert_edge(0, 1);
+        g.insert_edge(1, 2);
+        g.insert_edge(2, 3);
+        g.remove_edge(1, 2);
+        let snap = g.snapshot();
+        assert_eq!(snap.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            assert_eq!(snap.in_neighbors(v), g.in_neighbors(v));
+            assert_eq!(snap.out_neighbors(v), g.out_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn add_nodes_grows_graph() {
+        let mut g = DynamicGraph::new(2);
+        let first = g.add_nodes(3);
+        assert_eq!(first, 2);
+        assert_eq!(g.num_nodes(), 5);
+        assert!(g.insert_edge(4, 0));
+    }
+
+    #[test]
+    fn from_edges_ignores_duplicates() {
+        let g = DynamicGraph::from_edges(3, &[(0, 1), (0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_out_of_bounds_panics() {
+        let mut g = DynamicGraph::new(1);
+        g.insert_edge(0, 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for graph ingestion and I/O.
+
+use std::fmt;
+
+/// Errors produced while parsing, reading or writing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Offending text.
+        content: String,
+    },
+    /// An edge endpoint fell outside the declared node range.
+    NodeOutOfRange {
+        /// The bad node id.
+        node: u64,
+        /// The declared node count.
+        num_nodes: usize,
+    },
+    /// A binary graph file had a bad magic number or truncated payload.
+    Corrupt(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, content } => {
+                write!(f, "cannot parse edge on line {line}: {content:?}")
+            }
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range (n = {num_nodes})")
+            }
+            GraphError::Corrupt(msg) => write!(f, "corrupt graph file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GraphError::Parse {
+            line: 3,
+            content: "a b".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = GraphError::NodeOutOfRange {
+            node: 10,
+            num_nodes: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        let e = GraphError::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

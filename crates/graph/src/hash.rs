@@ -1,0 +1,163 @@
+//! FxHash-style hashing.
+//!
+//! The SimRank algorithms hash `u32` node ids millions of times per query
+//! (score maps in PROBE, frontier sets, walk tries). The standard library's
+//! SipHash is designed for HashDoS resistance that we do not need on internal
+//! integer keys, and it shows up heavily in profiles. We implement the
+//! well-known Fx multiply-rotate hash (the one used inside rustc) locally
+//! because `rustc-hash` is not in the approved offline dependency set — the
+//! algorithm is ~20 lines.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fibonacci-style multiplication constant (2^64 / φ), the same
+/// constant rustc's FxHasher uses.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic hasher for integer-like keys.
+///
+/// Not HashDoS-resistant; use only on keys that are not attacker-controlled
+/// (node ids, internal counters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time; the tail is folded in as a
+        // zero-extended word. Good enough for the short keys we hash.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` replacement keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` replacement keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Convenience constructor: an empty [`FxHashMap`] with room for `cap`
+/// entries.
+pub fn fx_map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+/// Convenience constructor: an empty [`FxHashSet`] with room for `cap`
+/// entries.
+pub fn fx_set_with_capacity<T>(cap: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_eq!(hash_one("probesim"), hash_one("probesim"));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        // Not a guarantee in general, but these must differ for a sane mixer.
+        let hashes: Vec<u64> = (0u32..1000).map(hash_one).collect();
+        let unique: FxHashSet<u64> = hashes.iter().copied().collect();
+        assert_eq!(unique.len(), 1000);
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, f64> = fx_map_with_capacity(8);
+        m.insert(1, 0.5);
+        m.insert(2, 0.25);
+        *m.entry(1).or_insert(0.0) += 0.5;
+        assert_eq!(m[&1], 1.0);
+
+        let mut s: FxHashSet<u32> = fx_set_with_capacity(8);
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+
+    #[test]
+    fn avalanche_on_low_bits() {
+        // Consecutive integers should not land in consecutive buckets for
+        // typical table sizes; check spread over 64 buckets.
+        let mut buckets = [0u32; 64];
+        for i in 0u32..6400 {
+            buckets[(hash_one(i) % 64) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        let min = *buckets.iter().min().unwrap();
+        assert!(max < 4 * min.max(1), "poor spread: min={min} max={max}");
+    }
+
+    #[test]
+    fn string_hashing_handles_tails() {
+        // Exercise the chunked `write` path with lengths around the 8-byte
+        // boundary.
+        for len in 0..20 {
+            let s: String = "x".repeat(len);
+            let h1 = hash_one(s.as_str());
+            let h2 = hash_one(s.as_str());
+            assert_eq!(h1, h2);
+        }
+        assert_ne!(hash_one("aaaaaaaa"), hash_one("aaaaaaab"));
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! # probesim-graph
+//!
+//! Graph substrate for the ProbeSim SimRank library.
+//!
+//! This crate provides everything the SimRank algorithms need from a graph:
+//!
+//! * [`CsrGraph`] — an immutable, cache-friendly compressed-sparse-row graph
+//!   storing *both* out-adjacency and in-adjacency (SimRank walks follow
+//!   in-edges; PROBE traversals follow out-edges).
+//! * [`DynamicGraph`] — a mutable adjacency-list graph supporting edge
+//!   insertion and deletion. ProbeSim is index-free, so queries can run
+//!   directly against a live [`DynamicGraph`]; a [`CsrGraph`] snapshot can be
+//!   taken at any time for maximum query throughput.
+//! * [`GraphView`] — the trait both implement; every algorithm in the
+//!   workspace is generic over it.
+//! * [`GraphBuilder`] — edge-list ingestion with de-duplication, self-loop
+//!   removal and undirected symmetrization.
+//! * [`io`] — plain-text and binary edge-list readers/writers.
+//! * [`toy`] — the 8-node running-example graph of the paper (Figure 1),
+//!   reverse-engineered from the worked PROBE example and validated against
+//!   Table 2.
+//! * [`hash`] — an FxHash-style hasher used throughout the workspace
+//!   (integer-keyed hash maps are on every hot path; SipHash would dominate
+//!   the profile).
+//!
+//! ## Conventions
+//!
+//! Nodes are dense `u32` identifiers in `0..n`. An edge `(u, v)` is directed
+//! from `u` to `v`: `u ∈ I(v)` (u is an in-neighbor of v) and `v ∈ O(u)`.
+
+pub mod builder;
+pub mod csr;
+pub mod dynamic;
+pub mod error;
+pub mod hash;
+pub mod io;
+pub mod stats;
+pub mod toy;
+pub mod view;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use dynamic::DynamicGraph;
+pub use error::GraphError;
+pub use hash::{FxHashMap, FxHashSet};
+pub use stats::DegreeStats;
+pub use view::GraphView;
+
+/// Dense node identifier. Graphs in this workspace address nodes as
+/// `0..n`; `u32` keeps adjacency arrays compact (the paper's largest graph
+/// has 68M nodes, well within `u32`).
+pub type NodeId = u32;
+
+/// A directed edge `(source, target)`; the walk-generating algorithms treat
+/// `source` as an in-neighbor of `target`.
+pub type Edge = (NodeId, NodeId);

@@ -1,0 +1,131 @@
+//! Property tests for the graph substrate: CSR/DynamicGraph equivalence
+//! under arbitrary update sequences, builder normalization laws, and I/O
+//! round-trips.
+
+use probesim_graph::{io, CsrGraph, DynamicGraph, GraphBuilder, GraphView, NodeId};
+use proptest::prelude::*;
+
+/// An arbitrary sequence of edge operations on a fixed node range.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(NodeId, NodeId),
+    Remove(NodeId, NodeId),
+}
+
+fn arb_ops(n: u32, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0..n, 0..n, any::<bool>()).prop_map(|(u, v, ins)| {
+            if ins {
+                Op::Insert(u, v)
+            } else {
+                Op::Remove(u, v)
+            }
+        }),
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DynamicGraph under any op sequence equals a reference
+    /// set-of-edges model, and its snapshot equals a CSR built from the
+    /// final edge set.
+    #[test]
+    fn dynamic_graph_matches_reference_model(ops in arb_ops(12, 120)) {
+        let n = 12usize;
+        let mut g = DynamicGraph::new(n);
+        let mut reference: std::collections::BTreeSet<(NodeId, NodeId)> = Default::default();
+        for op in &ops {
+            match *op {
+                Op::Insert(u, v) if u != v => {
+                    let inserted = g.insert_edge(u, v);
+                    prop_assert_eq!(inserted, reference.insert((u, v)));
+                }
+                Op::Remove(u, v) => {
+                    let removed = g.remove_edge(u, v);
+                    prop_assert_eq!(removed, reference.remove(&(u, v)));
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(g.num_edges(), reference.len());
+        for v in g.nodes() {
+            let in_ref: Vec<NodeId> = reference.iter()
+                .filter(|&&(_, t)| t == v).map(|&(s, _)| s).collect();
+            prop_assert_eq!(g.in_neighbors(v), &in_ref[..]);
+            let out_ref: Vec<NodeId> = reference.iter()
+                .filter(|&&(s, _)| s == v).map(|&(_, t)| t).collect();
+            prop_assert_eq!(g.out_neighbors(v), &out_ref[..]);
+        }
+        let edge_vec: Vec<(NodeId, NodeId)> = reference.into_iter().collect();
+        prop_assert_eq!(g.snapshot(), CsrGraph::from_edges(n, &edge_vec));
+    }
+
+    /// Builder normalization is idempotent: rebuilding a cleaned graph
+    /// from its own edges changes nothing.
+    #[test]
+    fn builder_is_idempotent(
+        edges in prop::collection::vec((0u32..10, 0u32..10), 0..60),
+        undirected in any::<bool>(),
+    ) {
+        let first = GraphBuilder::new(10)
+            .undirected(undirected)
+            .extend_edges(edges)
+            .build_csr();
+        let second = GraphBuilder::new(10)
+            .extend_edges(first.edges())
+            .build_csr();
+        prop_assert_eq!(first, second);
+    }
+
+    /// Undirected builds are symmetric by construction.
+    #[test]
+    fn undirected_builds_are_symmetric(
+        edges in prop::collection::vec((0u32..10, 0u32..10), 0..40),
+    ) {
+        let g = GraphBuilder::new(10).undirected(true).extend_edges(edges).build_csr();
+        for u in g.nodes() {
+            for &v in g.out_neighbors(u) {
+                prop_assert!(g.has_edge(v, u), "missing reverse of ({u},{v})");
+            }
+            prop_assert_eq!(g.in_neighbors(u), g.out_neighbors(u));
+        }
+    }
+
+    /// Transpose is an involution and swaps degrees.
+    #[test]
+    fn transpose_involution(
+        edges in prop::collection::vec((0u32..9, 0u32..9), 0..40),
+    ) {
+        let g = GraphBuilder::new(9).extend_edges(edges).build_csr();
+        let t = g.transpose();
+        prop_assert_eq!(t.transpose(), g.clone());
+        for v in g.nodes() {
+            prop_assert_eq!(g.in_degree(v), t.out_degree(v));
+            prop_assert_eq!(g.out_degree(v), t.in_degree(v));
+        }
+    }
+
+    /// Text edge-list round trip preserves the edge multiset up to the
+    /// dense relabeling (which is the identity when ids are already dense
+    /// and appear in order).
+    #[test]
+    fn text_io_round_trip(
+        edges in prop::collection::vec((0u32..8, 0u32..8), 1..40),
+    ) {
+        let g = GraphBuilder::new(8).extend_edges(edges).build_csr();
+        prop_assume!(g.num_edges() > 0);
+        let mut buf = Vec::new();
+        io::write_edge_list_text(&mut buf, &g).expect("write");
+        let (g2, labels) = io::read_edge_list_text(std::io::Cursor::new(buf)).expect("read");
+        // Relabel g2 back through `labels` and compare edge sets.
+        let mut original: Vec<(u64, u64)> = g.edges().iter()
+            .map(|&(u, v)| (u as u64, v as u64)).collect();
+        let mut relabeled: Vec<(u64, u64)> = g2.edges().iter()
+            .map(|&(u, v)| (labels[u as usize], labels[v as usize])).collect();
+        original.sort_unstable();
+        relabeled.sort_unstable();
+        prop_assert_eq!(original, relabeled);
+    }
+}

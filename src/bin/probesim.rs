@@ -1,0 +1,197 @@
+//! `probesim` — command-line SimRank queries over edge-list graphs.
+//!
+//! ```text
+//! probesim generate <dataset> [--scale ci|laptop] [--out graph.psim]
+//! probesim stats    <graph-file>
+//! probesim query    <graph-file> --node N [--top K] [--eps E] [--delta D] [--decay C]
+//! probesim pair     <graph-file> --u A --v B [--walks R] [--decay C]
+//! ```
+//!
+//! Graph files are either the text edge-list format (`u v` per line, `#`
+//! comments — the format of the paper's SNAP datasets) or this crate's
+//! binary format (written by `generate --out file.psim`); the magic bytes
+//! decide.
+
+use std::process::ExitCode;
+
+use probesim::prelude::*;
+use probesim_baselines::MonteCarlo;
+use probesim_graph::{io, CsrGraph, DegreeStats};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  probesim generate <dataset> [--scale ci|laptop] [--out FILE]
+  probesim stats    <graph-file>
+  probesim query    <graph-file> --node N [--top K] [--eps E] [--delta D] [--decay C] [--seed S]
+  probesim pair     <graph-file> --u A --v B [--walks R] [--decay C] [--seed S]
+
+datasets: Wiki-Vote HepTh AS HepPh LiveJournal IT-2004 Twitter Friendster";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    let rest = &args[1..];
+    match command.as_str() {
+        "generate" => generate(rest),
+        "stats" => stats(rest),
+        "query" => query(rest),
+        "pair" => pair(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Fetches the value after a `--flag`, parsed, or the default.
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{name} expects a value"))?
+            .parse()
+            .map_err(|_| format!("cannot parse value for {name}")),
+    }
+}
+
+fn flag_str<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    // Try the binary magic first, fall back to text.
+    match io::read_binary_file(path) {
+        Ok(g) => Ok(g),
+        Err(_) => io::read_edge_list_file(path)
+            .map(|(g, _labels)| g)
+            .map_err(|e| format!("cannot read {path}: {e}")),
+    }
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("generate: missing dataset name")?;
+    let dataset = Dataset::parse(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let scale = match flag_str(args, "--scale").unwrap_or("ci") {
+        "ci" => Scale::Ci,
+        "laptop" => Scale::Laptop,
+        other => return Err(format!("--scale expects ci|laptop, got {other:?}")),
+    };
+    let graph = dataset.generate(scale);
+    let stats = DegreeStats::compute(&graph);
+    eprintln!(
+        "generated {}: n={} m={} mean_deg={:.1}",
+        dataset.name(),
+        graph.num_nodes(),
+        graph.num_edges(),
+        stats.mean_degree
+    );
+    match flag_str(args, "--out") {
+        Some(path) if path.ends_with(".psim") => {
+            io::write_binary_file(path, &graph).map_err(|e| e.to_string())?;
+            eprintln!("wrote binary graph to {path}");
+        }
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            io::write_edge_list_text(std::io::BufWriter::new(file), &graph)
+                .map_err(|e| e.to_string())?;
+            eprintln!("wrote text edge list to {path}");
+        }
+        None => {
+            io::write_edge_list_text(std::io::stdout().lock(), &graph)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats: missing graph file")?;
+    let graph = load_graph(path)?;
+    let s = DegreeStats::compute(&graph);
+    println!("nodes            {}", s.num_nodes);
+    println!("edges            {}", s.num_edges);
+    println!("mean degree      {:.2}", s.mean_degree);
+    println!("max in-degree    {}", s.max_in_degree);
+    println!("max out-degree   {}", s.max_out_degree);
+    println!(
+        "zero in-degree   {} ({:.1}%)",
+        s.zero_in_degree,
+        100.0 * s.zero_in_degree as f64 / s.num_nodes.max(1) as f64
+    );
+    println!("in-degree gini   {:.3}", s.in_degree_gini);
+    println!(
+        "query-eligible   {:.1}%",
+        100.0 * s.query_eligible_fraction()
+    );
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("query: missing graph file")?;
+    let graph = load_graph(path)?;
+    let node: NodeId = flag(args, "--node", NodeId::MAX)?;
+    if node == NodeId::MAX {
+        return Err("query: --node is required".into());
+    }
+    if node as usize >= graph.num_nodes() {
+        return Err(format!(
+            "node {node} out of range (n = {})",
+            graph.num_nodes()
+        ));
+    }
+    let k: usize = flag(args, "--top", 10)?;
+    let eps: f64 = flag(args, "--eps", 0.05)?;
+    let delta: f64 = flag(args, "--delta", 0.01)?;
+    let decay: f64 = flag(args, "--decay", 0.6)?;
+    let seed: u64 = flag(args, "--seed", 2017)?;
+    let engine = ProbeSim::new(ProbeSimConfig::new(decay, eps, delta).with_seed(seed));
+    let start = std::time::Instant::now();
+    let result = engine.single_source(&graph, node);
+    let elapsed = start.elapsed().as_secs_f64();
+    println!("# top-{k} SimRank neighbors of node {node} (c={decay}, eps={eps}, delta={delta})");
+    for (rank, (v, score)) in result.top_k(k).iter().enumerate() {
+        println!("{:>3}. node {:>8}  s = {:.5}", rank + 1, v, score);
+    }
+    eprintln!(
+        "query time {elapsed:.3}s | {} walks, {} probes, {} edges expanded",
+        result.stats.walks, result.stats.probes, result.stats.edges_expanded
+    );
+    Ok(())
+}
+
+fn pair(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("pair: missing graph file")?;
+    let graph = load_graph(path)?;
+    let u: NodeId = flag(args, "--u", NodeId::MAX)?;
+    let v: NodeId = flag(args, "--v", NodeId::MAX)?;
+    if u == NodeId::MAX || v == NodeId::MAX {
+        return Err("pair: --u and --v are required".into());
+    }
+    let n = graph.num_nodes();
+    if u as usize >= n || v as usize >= n {
+        return Err(format!("node out of range (n = {n})"));
+    }
+    let walks: usize = flag(args, "--walks", 100_000)?;
+    let decay: f64 = flag(args, "--decay", 0.6)?;
+    let seed: u64 = flag(args, "--seed", 2017)?;
+    let mc = MonteCarlo::new(decay, walks).with_seed(seed);
+    let estimate = mc.pair(&graph, u, v);
+    println!("s({u}, {v}) ≈ {estimate:.6}   ({walks} walk pairs, c = {decay})");
+    Ok(())
+}

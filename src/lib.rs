@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+//! # probesim
+//!
+//! A complete Rust implementation of **ProbeSim** (Liu, Zheng, He, Wei,
+//! Xiao, Zheng, Lu — *Scalable Single-Source and Top-k SimRank Computations
+//! on Dynamic Graphs*, PVLDB 11(1), 2017), together with every substrate
+//! and baseline its evaluation depends on.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! * [`graph`] — CSR + dynamic graph substrate ([`probesim_graph`])
+//! * [`datasets`] — synthetic workload generators ([`probesim_datasets`])
+//! * [`core`] — the ProbeSim algorithm ([`probesim_core`])
+//! * [`baselines`] — Power Method, Monte Carlo, TSF, TopSim family
+//!   ([`probesim_baselines`])
+//! * [`eval`] — metrics, ground truth, pooling ([`probesim_eval`])
+//!
+//! ## Quick start
+//!
+//! ```
+//! use probesim::prelude::*;
+//!
+//! // A small "who-follows-whom" graph.
+//! let graph = GraphBuilder::new(5)
+//!     .extend_edges(vec![(1, 0), (2, 0), (1, 3), (2, 3), (4, 1)])
+//!     .build_csr();
+//!
+//! // Index-free single-source SimRank with |error| <= 0.05 w.p. 0.99.
+//! let engine = ProbeSim::new(ProbeSimConfig::new(0.6, 0.05, 0.01));
+//! let result = engine.single_source(&graph, 0);
+//!
+//! // Nodes 0 and 3 share both in-neighbors => strongly similar
+//! // (exact value c/2 = 0.3 here, since the shared parents are
+//! // themselves dissimilar).
+//! assert!(result.score(3) > 0.2);
+//! let top = engine.top_k(&graph, 0, 1);
+//! assert_eq!(top[0].0, 3);
+//! ```
+//!
+//! See `examples/` for runnable scenarios (recommendations, dynamic
+//! streams, web-scale pooling) and `crates/bench` for the binaries that
+//! regenerate every table and figure of the paper.
+
+pub use probesim_baselines as baselines;
+pub use probesim_core as core;
+pub use probesim_datasets as datasets;
+pub use probesim_eval as eval;
+pub use probesim_graph as graph;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use probesim_baselines::{
+        MonteCarlo, PowerMethod, TopSim, TopSimConfig, TopSimVariant, Tsf, TsfConfig,
+    };
+    pub use probesim_core::{
+        Optimizations, ProbeSim, ProbeSimConfig, ProbeStrategy, QueryStats, SingleSourceResult,
+    };
+    pub use probesim_datasets::{Dataset, Scale};
+    pub use probesim_eval::{GroundTruth, Pool, SimRankAlgorithm};
+    pub use probesim_graph::{CsrGraph, DynamicGraph, GraphBuilder, GraphView, NodeId};
+}

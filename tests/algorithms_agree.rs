@@ -1,0 +1,146 @@
+//! Cross-algorithm consistency: all six engines, driven through the
+//! uniform adapter layer, must agree on easy instances and order
+//! themselves the way the paper's accuracy results predict.
+
+use probesim::prelude::*;
+use probesim_datasets::gens;
+use probesim_eval::{metrics, sample_query_nodes, McAlgo, ProbeSimAlgo, TopSimAlgo, TsfAlgo};
+
+const DECAY: f64 = 0.6;
+
+fn roster(seed: u64) -> Vec<Box<dyn SimRankAlgorithm>> {
+    vec![
+        Box::new(ProbeSimAlgo::new(
+            ProbeSimConfig::paper(0.05).with_seed(seed),
+        )),
+        Box::new(McAlgo::new(MonteCarlo::new(DECAY, 800).with_seed(seed ^ 1))),
+        Box::new(TsfAlgo::new(TsfConfig {
+            decay: DECAY,
+            rg: 300,
+            rq: 20,
+            depth: 10,
+            seed: seed ^ 2,
+        })),
+        Box::new(TopSimAlgo::new(TopSimConfig::paper(TopSimVariant::Exact))),
+        Box::new(TopSimAlgo::new(TopSimConfig::paper(
+            TopSimVariant::paper_truncated(),
+        ))),
+        Box::new(TopSimAlgo::new(TopSimConfig::paper(
+            TopSimVariant::paper_priority(),
+        ))),
+    ]
+}
+
+/// On a graph with one unambiguous nearest neighbor, every algorithm must
+/// find it.
+#[test]
+fn all_algorithms_find_the_obvious_twin() {
+    // Nodes 10 and 11 share three in-neighbors; nothing else comes close.
+    let mut edges = vec![(0u32, 10u32), (1, 10), (2, 10), (0, 11), (1, 11), (2, 11)];
+    // Background noise ring with its own parents, plus in-edges for 0..3
+    // so walks from the twins can continue.
+    for i in 0..10u32 {
+        edges.push((10 + (i % 2), i));
+        edges.push(((i + 5) % 10, i));
+    }
+    let g = CsrGraph::from_edges(12, &edges);
+    for mut algo in roster(1) {
+        algo.prepare(&g);
+        let top = algo.top_k(&g, 10, 1);
+        assert_eq!(
+            top[0].0,
+            11,
+            "{} failed to identify the structural twin: {top:?}",
+            algo.name()
+        );
+    }
+}
+
+/// ProbeSim and exact TopSim-SM (deep T) agree with the Power Method;
+/// heuristic variants and TSF may deviate but must stay correlated.
+#[test]
+fn accuracy_ordering_matches_paper() {
+    let g = gens::chung_lu(500, 3000, 2.3, 77);
+    let truth = GroundTruth::compute_with_iterations(&g, DECAY, 25);
+    let queries = sample_query_nodes(&g, 4, 3);
+    let mut worst: Vec<(String, f64)> = Vec::new();
+    for mut algo in roster(9) {
+        algo.prepare(&g);
+        let mut e = 0.0f64;
+        for &u in &queries {
+            let scores = algo.single_source(&g, u);
+            e = e.max(metrics::abs_error(truth.single_source(u), &scores, u));
+        }
+        worst.push((algo.name(), e));
+    }
+    let err_of = |needle: &str| {
+        worst
+            .iter()
+            .find(|(n, _)| n.contains(needle))
+            .map(|&(_, e)| e)
+            .expect("algorithm present")
+    };
+    // ProbeSim honors its bound.
+    assert!(err_of("ProbeSim") <= 0.05 * 1.3, "{worst:?}");
+    // The paper's qualitative finding: ProbeSim beats TSF on AbsError.
+    assert!(
+        err_of("ProbeSim") < err_of("TSF"),
+        "expected ProbeSim < TSF: {worst:?}"
+    );
+    // TopSim-SM is capped by c^3 = 0.216 at T = 3.
+    assert!(err_of("TopSim-SM") <= DECAY.powi(3) + 1e-9, "{worst:?}");
+}
+
+/// Top-k answers of ProbeSim and the exact oracle overlap heavily on a
+/// mid-size graph (precision ≥ 0.8 at the paper's k = 50 scaled down).
+#[test]
+fn probesim_topk_precision_is_high() {
+    let g = gens::preferential_attachment(800, 5, true, 5);
+    let truth = GroundTruth::compute_with_iterations(&g, DECAY, 25);
+    let engine = ProbeSim::new(ProbeSimConfig::paper(0.025).with_seed(31));
+    let k = 20;
+    let mut total_precision = 0.0;
+    let queries = sample_query_nodes(&g, 5, 41);
+    for &u in &queries {
+        let returned: Vec<NodeId> = engine.top_k(&g, u, k).iter().map(|&(v, _)| v).collect();
+        let ideal: Vec<NodeId> = truth.top_k(u, k).iter().map(|&(v, _)| v).collect();
+        total_precision += metrics::precision_at_k(&returned, &ideal, k);
+    }
+    let avg = total_precision / queries.len() as f64;
+    assert!(avg >= 0.8, "avg precision@{k} = {avg}");
+}
+
+/// TSF's documented bias: estimates over-count meetings, so its mean
+/// signed error against the truth is non-negative on dense graphs.
+#[test]
+fn tsf_overestimates_on_average() {
+    let g = gens::erdos_renyi(300, 3000, 15);
+    let truth = GroundTruth::compute_with_iterations(&g, DECAY, 25);
+    let tsf = Tsf::build(
+        &g,
+        TsfConfig {
+            decay: DECAY,
+            rg: 300,
+            rq: 20,
+            depth: 10,
+            seed: 8,
+        },
+    );
+    let mut signed = 0.0f64;
+    let mut count = 0usize;
+    for &u in &sample_query_nodes(&g, 4, 51) {
+        let est = tsf.single_source(&g, u);
+        let exact = truth.single_source(u);
+        for v in 0..300usize {
+            if v as u32 != u {
+                signed += est[v] - exact[v];
+                count += 1;
+            }
+        }
+    }
+    let bias = signed / count as f64;
+    assert!(
+        bias > -1e-4,
+        "TSF should not underestimate on average: {bias}"
+    );
+}
