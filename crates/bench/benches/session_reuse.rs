@@ -1,0 +1,110 @@
+//! Criterion benchmark for the session API's two headline claims:
+//!
+//! 1. **Pooled scratch beats per-query allocation.** A reused
+//!    `QuerySession` answers a query stream without reallocating its
+//!    `O(n)` workspace; the dense reference path re-allocates workspace +
+//!    accumulator on every call. Measured at n ∈ {10k, 100k}; the gap
+//!    widens with n because the allocation + page-touch cost is O(n)
+//!    while the query itself is output-sensitive.
+//! 2. **`par_batch` scales.** The same query batch on a power-law graph,
+//!    sequential session vs. parallel per-thread sessions.
+//!
+//! ```text
+//! cargo bench -p probesim-bench --bench session_reuse
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probesim_core::{ProbeSim, ProbeSimConfig, Query};
+use probesim_datasets::gens;
+use probesim_eval::sample_query_nodes;
+use std::hint::black_box;
+
+/// Paper configuration at εa = 0.1 with a fixed walk budget so the two
+/// arms do identical algorithmic work and differ only in memory strategy.
+/// `walks = 16` is the allocation-bound service regime the session API
+/// targets (few walks, small touched set, huge graph); `walks = 200` is
+/// a moderate-accuracy regime where the traversal itself dominates.
+fn engine(seed: u64, walks: usize) -> ProbeSim {
+    ProbeSim::new(
+        ProbeSimConfig::paper(0.1)
+            .with_seed(seed)
+            .with_num_walks(walks),
+    )
+}
+
+fn bench_session_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_reuse");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let graph = gens::chung_lu(n, n * 8, 2.3, 42);
+        let queries = sample_query_nodes(&graph, 8, 1);
+        for &walks in &[16usize, 200] {
+            let engine = engine(3, walks);
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("pooled_session_w{walks}"), n),
+                &graph,
+                |b, graph| {
+                    // One session for the whole stream: scratch allocated
+                    // once, reset in O(touched) between queries.
+                    let mut session = engine.session(graph);
+                    b.iter(|| {
+                        for &u in &queries {
+                            black_box(
+                                session
+                                    .run(Query::SingleSource { node: u })
+                                    .expect("sampled queries are valid"),
+                            );
+                        }
+                    });
+                },
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("fresh_alloc_per_query_w{walks}"), n),
+                &graph,
+                |b, graph| {
+                    b.iter(|| {
+                        for &u in &queries {
+                            // The legacy path: fresh O(n) workspace +
+                            // dense accumulator per call.
+                            black_box(engine.single_source_dense_reference(graph, u));
+                        }
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_par_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_batch");
+    group.sample_size(10);
+    let n = 50_000;
+    let graph = gens::chung_lu(n, n * 8, 2.3, 7);
+    let engine = engine(5, 200);
+    let queries: Vec<Query> = sample_query_nodes(&graph, 32, 2)
+        .into_iter()
+        .map(|node| Query::SingleSource { node })
+        .collect();
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .par_batch(&graph, &queries, threads)
+                            .expect("sampled queries are valid"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_reuse, bench_par_batch);
+criterion_main!(benches);

@@ -12,7 +12,7 @@
 //! ```
 
 use probesim_bench::{load_dataset, HarnessArgs};
-use probesim_core::{ProbeSim, ProbeSimConfig};
+use probesim_core::{ProbeSim, ProbeSimConfig, Query};
 use probesim_datasets::Dataset;
 use probesim_eval::{metrics, sample_query_nodes, timed, Aggregate, GroundTruth};
 
@@ -41,21 +41,26 @@ fn main() {
             );
             let engine =
                 ProbeSim::new(ProbeSimConfig::new(decay, EPSILON, 0.01).with_seed(args.seed));
+            let mut session = engine.session(&graph);
             let mut time_agg = Aggregate::default();
             let mut err_agg = Aggregate::default();
-            let mut walks = 0usize;
-            let mut walk_nodes = 0usize;
             for &u in &queries {
-                let (result, secs) = timed(|| engine.single_source(&graph, u));
+                let (output, secs) = timed(|| {
+                    session
+                        .run(Query::SingleSource { node: u })
+                        .expect("queries sampled from the graph are valid")
+                });
                 time_agg.push(secs);
                 err_agg.push(metrics::abs_error(
                     truth.single_source(u),
-                    &result.scores,
+                    &output.scores.to_dense(),
                     u,
                 ));
-                walks += result.stats.walks;
-                walk_nodes += result.stats.walk_nodes;
             }
+            let (walks, walk_nodes) = (
+                session.total_stats().walks,
+                session.total_stats().walk_nodes,
+            );
             let q = queries.len().max(1);
             println!(
                 "{:<8} {:>10.2} {:>12.6} {:>12.5} {:>10} {:>12.2}",

@@ -18,7 +18,7 @@
 //! ```
 
 use probesim_bench::{load_dataset, HarnessArgs};
-use probesim_core::{Optimizations, ProbeSim, ProbeSimConfig, ProbeStrategy};
+use probesim_core::{Optimizations, ProbeSim, ProbeSimConfig, ProbeStrategy, Query};
 use probesim_datasets::Dataset;
 use probesim_eval::{metrics, sample_query_nodes, timed, Aggregate, GroundTruth};
 
@@ -69,23 +69,27 @@ fn main() {
                     .with_seed(args.seed)
                     .with_optimizations(opts),
             );
+            // One pooled session per configuration: scratch memory is
+            // allocated on the first query and version-stamp reset after.
+            let mut session = engine.session(&graph);
             let mut time_agg = Aggregate::default();
             let mut err_agg = Aggregate::default();
-            let mut probes = 0usize;
-            let mut edges = 0usize;
-            let mut switches = 0usize;
             for &u in &queries {
-                let (result, secs) = timed(|| engine.single_source(&graph, u));
+                let (output, secs) = timed(|| {
+                    session
+                        .run(Query::SingleSource { node: u })
+                        .expect("queries sampled from the graph are valid")
+                });
                 time_agg.push(secs);
                 err_agg.push(metrics::abs_error(
                     truth.single_source(u),
-                    &result.scores,
+                    &output.scores.to_dense(),
                     u,
                 ));
-                probes += result.stats.probes;
-                edges += result.stats.edges_expanded;
-                switches += result.stats.hybrid_switches;
             }
+            let totals = session.total_stats();
+            let (probes, edges, switches) =
+                (totals.probes, totals.edges_expanded, totals.hybrid_switches);
             let q = queries.len().max(1);
             println!(
                 "{:<12} {:>12.6} {:>10.5} {:>10} {:>14} {:>10}",

@@ -8,14 +8,18 @@
 //! ```
 
 use probesim_baselines::PowerMethod;
-use probesim_core::{ProbeSim, ProbeSimConfig};
+use probesim_core::{ProbeSim, ProbeSimConfig, Query};
 use probesim_graph::toy::{toy_graph, A, LABELS, TABLE2, TOY_DECAY};
 
 fn main() {
     let g = toy_graph();
     let truth = PowerMethod::ground_truth(TOY_DECAY).all_pairs(&g);
     let engine = ProbeSim::new(ProbeSimConfig::new(TOY_DECAY, 0.025, 0.01).with_seed(2017));
-    let estimate = engine.single_source(&g, A);
+    let estimate = engine
+        .session(&g)
+        .run(Query::SingleSource { node: A })
+        .expect("node a is a valid query")
+        .scores;
 
     println!("# Table 2 — SimRank similarities with respect to node a (c' = 0.25)");
     println!();

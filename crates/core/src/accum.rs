@@ -1,0 +1,230 @@
+//! Score accumulation sinks.
+//!
+//! Every PROBE variant *emits* `weight · Score(v)` pairs; what receives
+//! them is a [`ScoreSink`]. Three sinks exist:
+//!
+//! * a dense `[f64]` / `Vec<f64>` slab — the paper-faithful reference path
+//!   (fresh O(n) memory per query, used by
+//!   [`crate::ProbeSim::single_source_dense_reference`] and the probe unit
+//!   tests),
+//! * [`SparseAccumulator`] — the pooled accumulator a
+//!   [`crate::session::QuerySession`] reuses across queries,
+//! * [`crate::workspace::LevelBuf`] — the version-stamped set used for
+//!   PROBE frontiers, also usable as a sink in tests.
+//!
+//! ## Why [`SparseAccumulator`] is a slab + dirty bitset
+//!
+//! The emission path is hot (one `add` per frontier node per probe), so
+//! the accumulator must not pay a branch or an extra list push there, and
+//! the drain must not pay a comparison sort. The design:
+//!
+//! * a dense `f64` slab holds the scores (identical adds to the dense
+//!   reference path — bit-for-bit equivalence by construction);
+//! * a per-slot dirty **bitset** (`n/64` words, ~2 KiB per 1M nodes, so
+//!   effectively cache-resident) is OR-marked branchlessly on every add;
+//! * [`SparseAccumulator::drain_into`] walks the bitset words, emits the
+//!   touched `(node, score)` pairs **already in ascending node order**
+//!   (no sort), and zeroes both the slab entries and the bitset in the
+//!   same pass — the reset is folded into the drain, O(touched) work.
+//!
+//! Keeping the emission site generic means all paths share every line of
+//! traversal code, which is what makes the bit-for-bit equivalence
+//! property (`SparseScores::to_dense` == dense reference) testable.
+
+use probesim_graph::NodeId;
+
+use crate::workspace::LevelBuf;
+
+/// A receiver of per-node score contributions. Contributions are always
+/// ≥ 0 (probe scores are probabilities scaled by positive weights).
+pub trait ScoreSink {
+    /// Adds `delta` to node `v`'s accumulated score.
+    fn add(&mut self, v: NodeId, delta: f64);
+}
+
+impl ScoreSink for [f64] {
+    #[inline]
+    fn add(&mut self, v: NodeId, delta: f64) {
+        self[v as usize] += delta;
+    }
+}
+
+impl ScoreSink for Vec<f64> {
+    #[inline]
+    fn add(&mut self, v: NodeId, delta: f64) {
+        self[v as usize] += delta;
+    }
+}
+
+impl ScoreSink for LevelBuf {
+    #[inline]
+    fn add(&mut self, v: NodeId, delta: f64) {
+        LevelBuf::add(self, v, delta);
+    }
+}
+
+/// Pooled sparse accumulator: dense `f64` slab + per-slot dirty bitset.
+///
+/// Invariant between queries: the slab is all-zero and the bitset all
+/// clear; [`SparseAccumulator::drain_into`] restores the invariant while
+/// extracting the touched entries.
+#[derive(Debug, Clone)]
+pub struct SparseAccumulator {
+    slab: Vec<f64>,
+    dirty: Vec<u64>,
+}
+
+impl SparseAccumulator {
+    /// An accumulator for node ids `0..n` (the only O(n) allocation,
+    /// made once per session).
+    pub fn new(n: usize) -> Self {
+        SparseAccumulator {
+            slab: vec![0.0; n],
+            dirty: vec![0u64; n.div_ceil(64)],
+        }
+    }
+
+    /// The accumulated score of `v` (0.0 when untouched).
+    #[inline]
+    pub fn get(&self, v: NodeId) -> f64 {
+        self.slab[v as usize]
+    }
+
+    /// True when `v` has received at least one add since the last drain.
+    #[inline]
+    pub fn is_touched(&self, v: NodeId) -> bool {
+        self.dirty[v as usize / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// Moves every touched `(node, score)` pair except `skip` into
+    /// `entries` **in ascending node order**, zeroing the slab and the
+    /// bitset along the way. O(touched + n/64); allocation only inside
+    /// `entries`.
+    pub fn drain_into(&mut self, skip: NodeId, entries: &mut Vec<(NodeId, f64)>) {
+        entries.clear();
+        for (word_idx, word) in self.dirty.iter_mut().enumerate() {
+            let mut bits = *word;
+            if bits == 0 {
+                continue;
+            }
+            *word = 0;
+            while bits != 0 {
+                let v = (word_idx * 64) as NodeId + bits.trailing_zeros() as NodeId;
+                bits &= bits - 1;
+                let slot = &mut self.slab[v as usize];
+                let score = *slot;
+                *slot = 0.0;
+                if v != skip {
+                    entries.push((v, score));
+                }
+            }
+        }
+    }
+
+    /// Discards all accumulated state (what [`SparseAccumulator::drain_into`]
+    /// does minus the extraction).
+    pub fn reset(&mut self) {
+        for (word_idx, word) in self.dirty.iter_mut().enumerate() {
+            let mut bits = *word;
+            if bits == 0 {
+                continue;
+            }
+            *word = 0;
+            while bits != 0 {
+                let v = word_idx * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.slab[v] = 0.0;
+            }
+        }
+    }
+}
+
+impl ScoreSink for SparseAccumulator {
+    #[inline]
+    fn add(&mut self, v: NodeId, delta: f64) {
+        // Branchless: the slab add is what the dense path does; the OR
+        // into the (cache-resident) bitset is the only extra work.
+        self.slab[v as usize] += delta;
+        self.dirty[v as usize / 64] |= 1 << (v % 64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emit<A: ScoreSink + ?Sized>(acc: &mut A) {
+        acc.add(65, 0.5);
+        acc.add(3, 0.25);
+        acc.add(65, 0.5);
+        acc.add(64, 0.125);
+    }
+
+    #[test]
+    fn dense_and_levelbuf_sinks_accumulate_identically() {
+        let mut dense = vec![0.0f64; 128];
+        emit(&mut dense);
+        let mut sparse = LevelBuf::new(128);
+        sparse.clear();
+        emit(&mut sparse);
+        for v in 0..128u32 {
+            // Bit-for-bit: same chronological additions per node.
+            assert_eq!(dense[v as usize].to_bits(), sparse.get(v).to_bits());
+        }
+        assert_eq!(sparse.len(), 3);
+    }
+
+    #[test]
+    fn sparse_accumulator_matches_dense_and_drains_sorted() {
+        let mut dense = vec![0.0f64; 128];
+        emit(&mut dense);
+        let mut acc = SparseAccumulator::new(128);
+        emit(&mut acc);
+        for v in 0..128u32 {
+            assert_eq!(dense[v as usize].to_bits(), acc.get(v).to_bits());
+        }
+        assert!(acc.is_touched(3) && acc.is_touched(64) && acc.is_touched(65));
+        assert!(!acc.is_touched(0));
+        let mut entries = Vec::new();
+        acc.drain_into(NodeId::MAX, &mut entries);
+        assert_eq!(entries, vec![(3, 0.25), (64, 0.125), (65, 1.0)]);
+    }
+
+    #[test]
+    fn drain_skips_the_query_node_and_resets() {
+        let mut acc = SparseAccumulator::new(70);
+        emit(&mut acc);
+        let mut entries = Vec::new();
+        acc.drain_into(65, &mut entries);
+        assert_eq!(entries, vec![(3, 0.25), (64, 0.125)]);
+        // The invariant is restored: next query starts clean.
+        for v in 0..70u32 {
+            assert_eq!(acc.get(v), 0.0);
+            assert!(!acc.is_touched(v));
+        }
+        acc.add(7, 1.25);
+        acc.drain_into(NodeId::MAX, &mut entries);
+        assert_eq!(entries, vec![(7, 1.25)]);
+    }
+
+    #[test]
+    fn reset_restores_the_clean_invariant() {
+        let mut acc = SparseAccumulator::new(128);
+        emit(&mut acc);
+        acc.reset();
+        for v in 0..128u32 {
+            assert_eq!(acc.get(v), 0.0);
+            assert!(!acc.is_touched(v));
+        }
+    }
+
+    #[test]
+    fn accumulator_size_rounds_up_to_word() {
+        // n not a multiple of 64 must still cover every node.
+        let mut acc = SparseAccumulator::new(65);
+        acc.add(64, 0.5);
+        let mut entries = Vec::new();
+        acc.drain_into(NodeId::MAX, &mut entries);
+        assert_eq!(entries, vec![(64, 0.5)]);
+    }
+}

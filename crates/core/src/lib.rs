@@ -5,10 +5,54 @@
 //! single-source and top-k SimRank with an absolute-error guarantee.
 //!
 //! Given a query node `u`, an error bound `εa` and a failure probability
-//! `δ`, [`ProbeSim::single_source`] returns estimates `s̃(u, v)` for every
-//! node `v` such that `|s̃(u, v) − s(u, v)| ≤ εa` for all `v` simultaneously
-//! with probability at least `1 − δ` — with **no precomputed index**, which
-//! is what makes real-time queries on dynamic graphs possible.
+//! `δ`, ProbeSim returns estimates `s̃(u, v)` such that
+//! `|s̃(u, v) − s(u, v)| ≤ εa` for all `v` simultaneously with probability
+//! at least `1 − δ` — with **no precomputed index**, which is what makes
+//! real-time queries on dynamic graphs possible.
+//!
+//! ## The session API
+//!
+//! The query surface is built around [`session::QuerySession`]: a
+//! reusable, graph-bound execution context that owns the pooled scratch
+//! memory (PROBE workspace + score accumulator) and the RNG stream.
+//! Queries are [`Query`] values executed with
+//! [`session::QuerySession::run`], which returns a [`QueryOutput`]
+//! carrying [`SparseScores`] — only the touched `(node, score)` pairs,
+//! `O(touched)` memory instead of `O(n)` — or a typed [`QueryError`] for
+//! invalid input.
+//!
+//! ```
+//! use probesim_core::{ProbeSim, ProbeSimConfig, Query};
+//! use probesim_graph::toy::{toy_graph, A, TOY_DECAY};
+//! use probesim_graph::GraphView;
+//!
+//! let graph = toy_graph();
+//! let engine = ProbeSim::new(ProbeSimConfig::new(TOY_DECAY, 0.05, 0.01).with_seed(7));
+//!
+//! // One session, many queries: scratch memory is allocated once and
+//! // reset in O(touched) between queries.
+//! let mut session = engine.session(&graph);
+//! let top = session.run(Query::TopK { node: A, k: 1 })?;
+//! // d is the most similar node to a (Table 2 of the paper).
+//! assert_eq!(top.ranking()[0].0, probesim_graph::toy::D);
+//!
+//! let sparse = session.run(Query::SingleSource { node: A })?;
+//! assert!(sparse.scores.len() < graph.num_nodes()); // touched nodes only
+//! assert_eq!(sparse.scores.score(A), 1.0);
+//!
+//! // Batches: sequential on one session, or parallel across per-thread
+//! // sessions with outputs in input order.
+//! let queries: Vec<Query> = (0..4).map(|v| Query::SingleSource { node: v }).collect();
+//! let batch = engine.par_batch(&graph, &queries, 2)?;
+//! assert_eq!(batch.outputs.len(), 4);
+//! # Ok::<(), probesim_core::QueryError>(())
+//! ```
+//!
+//! One-shot convenience wrappers ([`ProbeSim::single_source`],
+//! [`ProbeSim::top_k`] and their fallible `try_` variants) spin up a
+//! throwaway session and, for the dense view, materialize
+//! [`SingleSourceResult`] — the paper-reproduction benches keep using
+//! them.
 //!
 //! ## How it works
 //!
@@ -31,34 +75,23 @@
 //!   deterministic→randomized hybrid ([`probe::hybrid`]) that gives the
 //!   `O(n/εa²·log(n/δ))` worst case with deterministic speed on the
 //!   common path.
-//!
-//! ## Quick start
-//!
-//! ```
-//! use probesim_core::{ProbeSim, ProbeSimConfig};
-//! use probesim_graph::toy::{toy_graph, A, TOY_DECAY};
-//!
-//! let g = toy_graph();
-//! let cfg = ProbeSimConfig::new(TOY_DECAY, 0.05, 0.01).with_seed(7);
-//! let probesim = ProbeSim::new(cfg);
-//! let result = probesim.single_source(&g, A);
-//! // d is the most similar node to a (Table 2 of the paper).
-//! let top = probesim.top_k(&g, A, 1);
-//! assert_eq!(top[0].0, probesim_graph::toy::D);
-//! # let _ = result;
-//! ```
 
+pub mod accum;
 pub mod config;
+pub mod par;
 pub mod probe;
 pub mod result;
+pub mod session;
 pub mod single_source;
 pub mod topk;
 pub mod trie;
 pub mod walk;
 pub mod workspace;
 
+pub use accum::ScoreSink;
 pub use config::{ErrorBudget, Optimizations, ProbeSimConfig, ProbeStrategy};
 pub use result::{QueryStats, SingleSourceResult};
+pub use session::{BatchOutput, Query, QueryError, QueryOutput, QuerySession, SparseScores};
 pub use single_source::ProbeSim;
 pub use topk::top_k_from_scores;
 pub use trie::WalkTrie;

@@ -22,6 +22,7 @@
 use probesim_graph::{GraphView, NodeId};
 use rand::Rng;
 
+use crate::accum::ScoreSink;
 use crate::result::QueryStats;
 use crate::workspace::ProbeWorkspace;
 
@@ -40,13 +41,13 @@ pub struct ProbeParams {
 ///
 /// `path.len()` must be ≥ 2 (a probe of a length-1 walk has no meeting
 /// step).
-pub fn deterministic<G: GraphView>(
+pub fn deterministic<G: GraphView, A: ScoreSink + ?Sized>(
     graph: &G,
     path: &[NodeId],
     params: &ProbeParams,
     weight: f64,
     ws: &mut ProbeWorkspace,
-    acc: &mut [f64],
+    acc: &mut A,
     stats: &mut QueryStats,
 ) {
     let i = path.len();
@@ -74,7 +75,7 @@ pub fn deterministic<G: GraphView>(
         ws.advance();
     }
     for &v in ws.current.nodes() {
-        acc[v as usize] += weight * ws.current.get(v);
+        acc.add(v, weight * ws.current.get(v));
     }
 }
 
@@ -113,13 +114,13 @@ fn expand_level_deterministic<G: GraphView>(
 /// paper's Lemma 6 / Theorem 3), so the caller may mix deterministic and
 /// randomized probes freely.
 #[allow(clippy::too_many_arguments)]
-pub fn randomized<G: GraphView, R: Rng + ?Sized>(
+pub fn randomized<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     graph: &G,
     path: &[NodeId],
     params: &ProbeParams,
     weight: f64,
     ws: &mut ProbeWorkspace,
-    acc: &mut [f64],
+    acc: &mut A,
     stats: &mut QueryStats,
     rng: &mut R,
 ) {
@@ -138,7 +139,7 @@ pub fn randomized<G: GraphView, R: Rng + ?Sized>(
         ws.advance();
     }
     for &v in ws.current.nodes() {
-        acc[v as usize] += weight;
+        acc.add(v, weight);
     }
 }
 
@@ -215,7 +216,7 @@ fn expand_level_randomized<G: GraphView, R: Rng + ?Sized>(
 /// exact scores of `H_j` seed `walk_count` independent randomized
 /// continuations, each contributing `weight / walk_count`.
 #[allow(clippy::too_many_arguments)]
-pub fn hybrid<G: GraphView, R: Rng + ?Sized>(
+pub fn hybrid<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     graph: &G,
     path: &[NodeId],
     params: &ProbeParams,
@@ -223,7 +224,7 @@ pub fn hybrid<G: GraphView, R: Rng + ?Sized>(
     walk_count: usize,
     c0: f64,
     ws: &mut ProbeWorkspace,
-    acc: &mut [f64],
+    acc: &mut A,
     stats: &mut QueryStats,
     rng: &mut R,
 ) {
@@ -261,7 +262,7 @@ pub fn hybrid<G: GraphView, R: Rng + ?Sized>(
         ws.advance();
     }
     for &v in ws.current.nodes() {
-        acc[v as usize] += weight * ws.current.get(v);
+        acc.add(v, weight * ws.current.get(v));
     }
 }
 
@@ -270,7 +271,7 @@ pub fn hybrid<G: GraphView, R: Rng + ?Sized>(
 /// scores of `H_j` (marginal inclusion probability = exact score, so
 /// linearity keeps the estimator unbiased).
 #[allow(clippy::too_many_arguments)]
-fn randomized_continuations<G: GraphView, R: Rng + ?Sized>(
+fn randomized_continuations<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     graph: &G,
     path: &[NodeId],
     params: &ProbeParams,
@@ -278,7 +279,7 @@ fn randomized_continuations<G: GraphView, R: Rng + ?Sized>(
     walk_count: usize,
     start_level: usize,
     ws: &mut ProbeWorkspace,
-    acc: &mut [f64],
+    acc: &mut A,
     stats: &mut QueryStats,
     rng: &mut R,
 ) {
@@ -315,7 +316,7 @@ fn randomized_continuations<G: GraphView, R: Rng + ?Sized>(
         }
         if alive {
             for &v in ws.current.nodes() {
-                acc[v as usize] += per_run_weight;
+                acc.add(v, per_run_weight);
             }
         }
     }

@@ -1,0 +1,899 @@
+//! The session-based query API: pooled execution contexts, sparse
+//! results, fallible errors, and batch/parallel drivers.
+//!
+//! ProbeSim is index-free, so the only per-query state is *scratch*:
+//! the PROBE workspace, the score accumulator and the RNG stream. The
+//! original one-shot API allocated all of it — `O(n)` — on every call
+//! and returned a dense length-`n` vector, which is exactly the wrong
+//! shape for a query service on a web-scale graph where one query
+//! touches a tiny neighborhood (compare SLING, arXiv:2002.08082, and
+//! PRSim, arXiv:1905.02354, which both return sparse estimates).
+//!
+//! A [`QuerySession`] binds an engine to a graph and owns that scratch:
+//!
+//! * the [`crate::workspace::ProbeWorkspace`] frontier buffers and the
+//!   [`SparseAccumulator`] score slab are allocated when the session is
+//!   created and reset in O(touched) afterwards — repeated queries
+//!   perform **zero heap allocation proportional to `n`**;
+//! * results come back as [`SparseScores`] — only the touched
+//!   `(node, score)` pairs, `O(touched)` memory — with dense
+//!   ([`SparseScores::to_dense`]) and ranked ([`SparseScores::top_k`])
+//!   views on demand;
+//! * invalid queries surface as [`QueryError`] values instead of panics;
+//! * [`QuerySession::run_batch`] executes a query list sequentially on
+//!   one session, and [`ProbeSim::par_batch`] shards a list across
+//!   per-thread sessions, returning outputs in input order with merged
+//!   [`QueryStats`].
+//!
+//! Determinism: the RNG stream for a query is derived from
+//! `(config.seed, query node)`, so a query's answer is identical whether
+//! it runs on a fresh engine, a reused session, or any thread of a
+//! parallel batch.
+
+use probesim_graph::{GraphView, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::accum::SparseAccumulator;
+use crate::probe::ProbeParams;
+use crate::result::{QueryStats, SingleSourceResult};
+use crate::single_source::ProbeSim;
+use crate::workspace::ProbeWorkspace;
+use crate::ProbeSimConfig;
+
+/// The per-query RNG: seeded from the engine seed and the query node, so
+/// repeated identical queries return identical estimates regardless of
+/// execution order or thread placement.
+pub(crate) fn query_rng(seed: u64, u: NodeId) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A SimRank query against one graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// Estimate `s(u, v)` for every touched `v` (Definition 1).
+    SingleSource {
+        /// The query node `u`.
+        node: NodeId,
+    },
+    /// The `k` nodes most similar to `u` (Definition 2).
+    TopK {
+        /// The query node `u`.
+        node: NodeId,
+        /// How many neighbors to return; must be ≥ 1.
+        k: usize,
+    },
+    /// Every node with estimated similarity above `tau`.
+    Threshold {
+        /// The query node `u`.
+        node: NodeId,
+        /// The score cutoff; must be finite and ≥ 0.
+        tau: f64,
+    },
+}
+
+impl Query {
+    /// The query node `u`.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        match *self {
+            Query::SingleSource { node }
+            | Query::TopK { node, .. }
+            | Query::Threshold { node, .. } => node,
+        }
+    }
+}
+
+/// Why a query was rejected before execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryError {
+    /// The query node is not a valid id for this graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The graph's node count `n` (valid ids are `0..n`).
+        num_nodes: usize,
+    },
+    /// The graph has no nodes at all.
+    EmptyGraph,
+    /// A top-k query asked for zero results.
+    InvalidK {
+        /// The rejected `k`.
+        k: usize,
+    },
+    /// A threshold query passed a non-finite or negative cutoff.
+    InvalidThreshold {
+        /// The rejected `tau`.
+        tau: f64,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            QueryError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "query node {node} out of range (n = {num_nodes})")
+            }
+            QueryError::EmptyGraph => write!(f, "cannot query an empty graph (n = 0)"),
+            QueryError::InvalidK { k } => {
+                write!(f, "top-k query requires k >= 1 (got k = {k})")
+            }
+            QueryError::InvalidThreshold { tau } => {
+                write!(
+                    f,
+                    "threshold query requires a finite, non-negative tau (got {tau})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Checks a query against a graph without executing it.
+pub fn validate<G: GraphView>(graph: &G, query: &Query) -> Result<(), QueryError> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Err(QueryError::EmptyGraph);
+    }
+    let node = query.node();
+    if node as usize >= n {
+        return Err(QueryError::NodeOutOfRange { node, num_nodes: n });
+    }
+    match *query {
+        Query::TopK { k: 0, .. } => Err(QueryError::InvalidK { k: 0 }),
+        Query::Threshold { tau, .. } if !tau.is_finite() || tau < 0.0 => {
+            Err(QueryError::InvalidThreshold { tau })
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Single-source estimates as touched `(node, score)` pairs.
+///
+/// Only nodes actually reached by a probe are stored, so the memory
+/// footprint is proportional to work done, not to `n`. Untouched nodes
+/// implicitly score `baseline` (0.0 normally; `εt/2` when truncation
+/// compensation is enabled) and the query node scores 1.0 by definition.
+///
+/// Entries are sorted by node id; [`SparseScores::score`] is a binary
+/// search. [`SparseScores::to_dense`] reproduces the legacy dense vector
+/// bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseScores {
+    query: NodeId,
+    num_nodes: usize,
+    baseline: f64,
+    /// Raw accumulated scores (baseline not yet applied), sorted by node
+    /// id, query node excluded.
+    entries: Vec<(NodeId, f64)>,
+}
+
+impl SparseScores {
+    pub(crate) fn new(
+        query: NodeId,
+        num_nodes: usize,
+        baseline: f64,
+        entries: Vec<(NodeId, f64)>,
+    ) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        SparseScores {
+            query,
+            num_nodes,
+            baseline,
+            entries,
+        }
+    }
+
+    /// The query node `u`.
+    #[inline]
+    pub fn query(&self) -> NodeId {
+        self.query
+    }
+
+    /// The graph's node count at query time.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The implicit score of untouched nodes (nonzero only under
+    /// truncation compensation).
+    #[inline]
+    pub fn baseline(&self) -> f64 {
+        self.baseline
+    }
+
+    /// Number of touched nodes (query node excluded).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no node besides `u` was reached.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `s̃(u, v)`. Panics when `v` is not a valid node id, mirroring dense
+    /// indexing.
+    pub fn score(&self, v: NodeId) -> f64 {
+        assert!(
+            (v as usize) < self.num_nodes,
+            "node {v} out of range (n = {})",
+            self.num_nodes
+        );
+        if v == self.query {
+            return 1.0;
+        }
+        match self.entries.binary_search_by_key(&v, |e| e.0) {
+            Ok(i) => self.apply_baseline(self.entries[i].1),
+            Err(_) => self.baseline,
+        }
+    }
+
+    #[inline]
+    fn apply_baseline(&self, raw: f64) -> f64 {
+        // Skip the add when the baseline is zero so `raw` passes through
+        // bit-for-bit (matching the dense path, which only adds the
+        // compensation term when it is enabled).
+        if self.baseline != 0.0 {
+            raw + self.baseline
+        } else {
+            raw
+        }
+    }
+
+    /// Iterates the touched `(node, score)` pairs in ascending node order,
+    /// scores final (baseline applied), query node excluded.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.entries
+            .iter()
+            .map(move |&(v, raw)| (v, self.apply_baseline(raw)))
+    }
+
+    /// The `k` highest-scoring nodes (excluding `u`), descending, ties
+    /// broken by node id — the same ranking
+    /// [`crate::top_k_from_scores`] produces on the dense vector.
+    pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
+        let k = k.min(self.num_nodes.saturating_sub(1));
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut ranked: Vec<(NodeId, f64)> = self.iter().collect();
+        ranked.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("SimRank scores are never NaN")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        if ranked.len() >= k {
+            ranked.truncate(k);
+            return ranked;
+        }
+        // Fewer touched nodes than k: pad with untouched nodes at the
+        // baseline score, ascending id (the dense ranking's tie-break).
+        let mut padded = ranked;
+        for v in 0..self.num_nodes as NodeId {
+            if padded.len() == k {
+                break;
+            }
+            if v == self.query || self.entries.binary_search_by_key(&v, |e| e.0).is_ok() {
+                continue;
+            }
+            padded.push((v, self.baseline));
+        }
+        padded
+    }
+
+    /// Nodes with estimate strictly above `tau` (excluding `u`),
+    /// unordered — the sparse counterpart of
+    /// [`SingleSourceResult::above_threshold`]. Includes untouched nodes
+    /// when the compensation baseline itself exceeds `tau`.
+    pub fn above_threshold(&self, tau: f64) -> Vec<(NodeId, f64)> {
+        if self.baseline > tau {
+            // Every non-query node qualifies; materialize the dense view.
+            let mut all: Vec<(NodeId, f64)> = Vec::with_capacity(self.num_nodes - 1);
+            let mut next_entry = 0;
+            for v in 0..self.num_nodes as NodeId {
+                if v == self.query {
+                    continue;
+                }
+                let score = if next_entry < self.entries.len() && self.entries[next_entry].0 == v {
+                    let raw = self.entries[next_entry].1;
+                    next_entry += 1;
+                    self.apply_baseline(raw)
+                } else {
+                    self.baseline
+                };
+                all.push((v, score));
+            }
+            return all;
+        }
+        self.iter().filter(|&(_, s)| s > tau).collect()
+    }
+
+    /// Materializes the legacy dense vector: `scores[v] = s̃(u, v)` for
+    /// every `v`, `scores[u] = 1.0`. Bit-for-bit identical to what the
+    /// original dense pipeline produced.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut dense = vec![self.baseline; self.num_nodes];
+        for &(v, raw) in &self.entries {
+            dense[v as usize] = self.apply_baseline(raw);
+        }
+        dense[self.query as usize] = 1.0;
+        dense
+    }
+}
+
+/// The answer to one [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// The query that produced this output.
+    pub query: Query,
+    /// Sparse single-source estimates (every query kind computes them).
+    pub scores: SparseScores,
+    /// Execution counters for this query alone.
+    pub stats: QueryStats,
+}
+
+impl QueryOutput {
+    /// The ranked result list this query asked for:
+    ///
+    /// * `SingleSource` — every touched node, descending by score;
+    /// * `TopK { k }` — the top `k`;
+    /// * `Threshold { tau }` — every node above `tau`, descending.
+    pub fn ranking(&self) -> Vec<(NodeId, f64)> {
+        match self.query {
+            Query::SingleSource { .. } => self.scores.top_k(self.scores.len()),
+            Query::TopK { k, .. } => self.scores.top_k(k),
+            Query::Threshold { tau, .. } => {
+                let mut hits = self.scores.above_threshold(tau);
+                hits.sort_unstable_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .expect("SimRank scores are never NaN")
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                hits
+            }
+        }
+    }
+
+    /// Converts into the legacy dense [`SingleSourceResult`] view.
+    pub fn into_single_source(self) -> SingleSourceResult {
+        SingleSourceResult {
+            query: self.scores.query(),
+            scores: self.scores.to_dense(),
+            stats: self.stats,
+        }
+    }
+}
+
+/// The answer to a batch of queries.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// One output per input query, in input order.
+    pub outputs: Vec<QueryOutput>,
+    /// Counters merged across the whole batch.
+    pub stats: QueryStats,
+}
+
+/// A reusable, graph-bound execution context.
+///
+/// Owns the pooled [`ProbeWorkspace`], the sparse score accumulator and
+/// the per-query RNG derivation. The first query allocates the `O(n)`
+/// scratch; every later query resets it with a version-stamp bump —
+/// no reallocation, no `O(n)` clearing.
+///
+/// ```
+/// use probesim_core::{ProbeSim, ProbeSimConfig, Query};
+/// use probesim_graph::toy::{toy_graph, A, D, TOY_DECAY};
+/// use probesim_graph::GraphView;
+///
+/// let graph = toy_graph();
+/// let engine = ProbeSim::new(ProbeSimConfig::new(TOY_DECAY, 0.05, 0.01).with_seed(7));
+/// let mut session = engine.session(&graph);
+/// let out = session.run(Query::TopK { node: A, k: 1 })?;
+/// assert_eq!(out.ranking()[0].0, D);
+/// // The next query on the same session reuses all scratch memory.
+/// let again = session.run(Query::SingleSource { node: A })?;
+/// assert!(again.scores.len() < graph.num_nodes());
+/// # Ok::<(), probesim_core::QueryError>(())
+/// ```
+pub struct QuerySession<'g, G: GraphView> {
+    engine: ProbeSim,
+    graph: &'g G,
+    ws: ProbeWorkspace,
+    acc: SparseAccumulator,
+    total_stats: QueryStats,
+    queries_run: usize,
+    /// Touched count of the previous query — capacity hint for the next
+    /// drain, so steady-state queries do one exact output allocation.
+    last_touched: usize,
+}
+
+impl<'g, G: GraphView> QuerySession<'g, G> {
+    /// Binds `engine`'s configuration to `graph`. Scratch buffers are
+    /// sized for the graph's current node count (fixed for the session's
+    /// lifetime — the shared borrow keeps the graph from mutating).
+    pub fn new(engine: &ProbeSim, graph: &'g G) -> Self {
+        let n = graph.num_nodes();
+        QuerySession {
+            engine: engine.clone(),
+            graph,
+            ws: ProbeWorkspace::new(n),
+            acc: SparseAccumulator::new(n),
+            total_stats: QueryStats::default(),
+            queries_run: 0,
+            last_touched: 0,
+        }
+    }
+
+    /// The graph this session queries.
+    pub fn graph(&self) -> &'g G {
+        self.graph
+    }
+
+    /// The engine configuration this session runs with.
+    pub fn config(&self) -> &ProbeSimConfig {
+        self.engine.config()
+    }
+
+    /// How many queries this session has executed.
+    pub fn queries_run(&self) -> usize {
+        self.queries_run
+    }
+
+    /// Counters merged over every query this session has executed.
+    pub fn total_stats(&self) -> &QueryStats {
+        &self.total_stats
+    }
+
+    /// Executes one query.
+    ///
+    /// Estimates are identical to [`ProbeSim::single_source`] with the
+    /// same seed: the RNG stream is derived per query, so session reuse
+    /// never changes an answer.
+    pub fn run(&mut self, query: Query) -> Result<QueryOutput, QueryError> {
+        validate(self.graph, &query)?;
+        Ok(self.run_validated(query))
+    }
+
+    /// [`QuerySession::run`] with an external RNG (for harnesses that
+    /// manage their own seed streams).
+    pub fn run_with_rng<R: Rng>(
+        &mut self,
+        query: Query,
+        rng: &mut R,
+    ) -> Result<QueryOutput, QueryError> {
+        validate(self.graph, &query)?;
+        Ok(self.execute(query, rng))
+    }
+
+    /// Executes a batch sequentially on this session, reusing scratch
+    /// across all queries. The whole batch is validated up front, so a
+    /// bad query is reported before any work runs.
+    pub fn run_batch(&mut self, queries: &[Query]) -> Result<BatchOutput, QueryError> {
+        for query in queries {
+            validate(self.graph, query)?;
+        }
+        Ok(self.run_batch_validated(queries))
+    }
+
+    /// Runs a pre-validated query (shared by `run` and `par_batch`).
+    fn run_validated(&mut self, query: Query) -> QueryOutput {
+        let mut rng = query_rng(self.engine.config().seed, query.node());
+        self.execute(query, &mut rng)
+    }
+
+    fn run_batch_validated(&mut self, queries: &[Query]) -> BatchOutput {
+        let mut stats = QueryStats::default();
+        let outputs: Vec<QueryOutput> = queries
+            .iter()
+            .map(|&query| {
+                let out = self.run_validated(query);
+                stats.merge(&out.stats);
+                out
+            })
+            .collect();
+        BatchOutput { outputs, stats }
+    }
+
+    /// The core execution path: pooled workspace + sparse accumulator.
+    fn execute<R: Rng>(&mut self, query: Query, rng: &mut R) -> QueryOutput {
+        let u = query.node();
+        let n = self.graph.num_nodes();
+        let config = self.engine.config();
+        let budget = config.budget();
+        let nr = config.num_walks(n).max(1);
+        let params = ProbeParams {
+            sqrt_c: config.sqrt_decay(),
+            epsilon_p: budget.pruning,
+        };
+        let mut stats = QueryStats::default();
+        if config.optimizations.batch_walks {
+            self.engine.run_batched(
+                self.graph,
+                u,
+                nr,
+                &params,
+                budget.walk_cap,
+                &mut self.ws,
+                &mut self.acc,
+                &mut stats,
+                rng,
+            );
+        } else {
+            self.engine.run_unbatched(
+                self.graph,
+                u,
+                nr,
+                &params,
+                budget.walk_cap,
+                &mut self.ws,
+                &mut self.acc,
+                &mut stats,
+                rng,
+            );
+        }
+        let baseline = if config.optimizations.truncation_compensation && budget.truncation > 0.0 {
+            budget.truncation / 2.0
+        } else {
+            0.0
+        };
+        // Drain extracts the touched entries in ascending node order and
+        // restores the accumulator's clean invariant in the same pass.
+        let mut entries: Vec<(NodeId, f64)> = Vec::with_capacity(self.last_touched);
+        self.acc.drain_into(u, &mut entries);
+        self.last_touched = entries.len();
+        self.total_stats.merge(&stats);
+        self.queries_run += 1;
+        QueryOutput {
+            query,
+            scores: SparseScores::new(u, n, baseline, entries),
+            stats,
+        }
+    }
+}
+
+impl<G: GraphView> std::fmt::Debug for QuerySession<'_, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuerySession")
+            .field("config", self.engine.config())
+            .field("num_nodes", &self.graph.num_nodes())
+            .field("queries_run", &self.queries_run)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProbeSim {
+    /// Creates a reusable [`QuerySession`] bound to `graph`.
+    pub fn session<'g, G: GraphView>(&self, graph: &'g G) -> QuerySession<'g, G> {
+        QuerySession::new(self, graph)
+    }
+
+    /// Executes a batch of queries across `threads` worker threads, each
+    /// with its own pooled [`QuerySession`]; outputs come back in input
+    /// order with merged [`QueryStats`].
+    ///
+    /// `threads = 0` picks the machine's available parallelism (capped at
+    /// 8). Every query is validated before any work starts, and per-query
+    /// RNG derivation makes the answers identical to sequential
+    /// execution.
+    pub fn par_batch<G: GraphView + Sync>(
+        &self,
+        graph: &G,
+        queries: &[Query],
+        threads: usize,
+    ) -> Result<BatchOutput, QueryError> {
+        for query in queries {
+            validate(graph, query)?;
+        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            threads
+        };
+        // One pooled session per worker: scratch is allocated once per
+        // thread, not once per query.
+        let outputs = crate::par::ordered_map_with(
+            queries.len(),
+            threads,
+            || self.session(graph),
+            |session, i| session.run_validated(queries[i]),
+        );
+        let mut stats = QueryStats::default();
+        for output in &outputs {
+            stats.merge(&output.stats);
+        }
+        Ok(BatchOutput { outputs, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProbeStrategy;
+    use probesim_graph::toy::{toy_graph, A, D, TOY_DECAY};
+    use probesim_graph::CsrGraph;
+
+    fn engine(epsilon: f64) -> ProbeSim {
+        ProbeSim::new(ProbeSimConfig::new(TOY_DECAY, epsilon, 0.01).with_seed(0xBEEF))
+    }
+
+    #[test]
+    fn session_reuse_matches_fresh_engine() {
+        let g = toy_graph();
+        let e = engine(0.05);
+        let mut session = e.session(&g);
+        let first = session.run(Query::SingleSource { node: A }).unwrap();
+        let second = session.run(Query::SingleSource { node: D }).unwrap();
+        // Two sequential queries on one session == two fresh-engine queries.
+        assert_eq!(first.scores.to_dense(), e.single_source(&g, A).scores);
+        assert_eq!(second.scores.to_dense(), e.single_source(&g, D).scores);
+        assert_eq!(session.queries_run(), 2);
+        assert_eq!(
+            session.total_stats().walks,
+            first.stats.walks + second.stats.walks
+        );
+    }
+
+    #[test]
+    fn repeating_a_query_on_one_session_is_deterministic() {
+        let g = toy_graph();
+        let mut session = engine(0.1).session(&g);
+        let a = session.run(Query::SingleSource { node: A }).unwrap();
+        let b = session.run(Query::SingleSource { node: A }).unwrap();
+        assert_eq!(a.scores, b.scores);
+    }
+
+    #[test]
+    fn sparse_scores_are_sparse() {
+        // Star graph: a query on a leaf touches few of the 100 nodes.
+        let n = 100u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let mut session =
+            ProbeSim::new(crate::ProbeSimConfig::new(0.6, 0.1, 0.01).with_seed(3)).session(&g);
+        let out = session.run(Query::SingleSource { node: 1 }).unwrap();
+        assert!(out.scores.len() < n as usize);
+        let dense = out.scores.to_dense();
+        let touched = dense
+            .iter()
+            .enumerate()
+            .filter(|&(v, &s)| v != 1 && s > 0.0)
+            .count();
+        assert_eq!(out.scores.len(), touched, "entry count == touched nodes");
+    }
+
+    #[test]
+    fn sparse_accessors_agree_with_dense() {
+        let g = toy_graph();
+        let mut session = engine(0.05).session(&g);
+        let out = session.run(Query::SingleSource { node: A }).unwrap();
+        let dense = out.scores.to_dense();
+        for v in 0..8u32 {
+            assert_eq!(out.scores.score(v).to_bits(), dense[v as usize].to_bits());
+        }
+        assert_eq!(out.scores.score(A), 1.0);
+        // iter() yields exactly the nonzero non-query entries here (no
+        // compensation => baseline 0).
+        for (v, s) in out.scores.iter() {
+            assert_eq!(dense[v as usize].to_bits(), s.to_bits());
+            assert_ne!(v, A);
+        }
+        // top_k matches the dense ranking.
+        assert_eq!(out.scores.top_k(3), crate::top_k_from_scores(&dense, A, 3));
+    }
+
+    #[test]
+    fn top_k_pads_with_untouched_nodes() {
+        // Node 0 has one in-neighbor; most nodes are unreachable, so a
+        // large k must pad with baseline-scored nodes like the dense path.
+        let g = CsrGraph::from_edges(6, &[(1, 0), (1, 2)]);
+        let mut session = engine(0.05).session(&g);
+        let out = session.run(Query::TopK { node: 0, k: 5 }).unwrap();
+        let ranking = out.ranking();
+        assert_eq!(ranking.len(), 5);
+        let dense = out.scores.to_dense();
+        assert_eq!(ranking, crate::top_k_from_scores(&dense, 0, 5));
+    }
+
+    #[test]
+    fn threshold_query_filters() {
+        let g = toy_graph();
+        let mut session = engine(0.03).session(&g);
+        let out = session.run(Query::Threshold { node: A, tau: 0.1 }).unwrap();
+        let ranking = out.ranking();
+        assert!(ranking.iter().all(|&(_, s)| s > 0.1));
+        // Table 2: d (0.131) is the only node above 0.1.
+        assert_eq!(ranking[0].0, D);
+        // And against the dense reference filter.
+        let dense = out.clone().into_single_source();
+        let mut reference = dense.above_threshold(0.1);
+        reference
+            .sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        assert_eq!(ranking, reference);
+    }
+
+    #[test]
+    fn compensation_baseline_is_reflected_everywhere() {
+        let g = toy_graph();
+        let mut cfg = ProbeSimConfig::new(TOY_DECAY, 0.1, 0.01).with_seed(0xBEEF);
+        cfg.optimizations.truncation_compensation = true;
+        let e = ProbeSim::new(cfg);
+        let mut session = e.session(&g);
+        let out = session.run(Query::SingleSource { node: A }).unwrap();
+        assert!(out.scores.baseline() > 0.0);
+        let dense_ref = e.single_source_dense_reference(&g, A);
+        assert_eq!(out.scores.to_dense(), dense_ref.scores);
+        // Untouched nodes read back the baseline.
+        let untouched: Vec<u32> = (0..8u32)
+            .filter(|&v| v != A && out.scores.iter().all(|(t, _)| t != v))
+            .collect();
+        for v in untouched {
+            assert_eq!(out.scores.score(v), out.scores.baseline());
+        }
+    }
+
+    #[test]
+    fn validation_covers_every_error_variant() {
+        let g = toy_graph();
+        let empty = CsrGraph::from_edges(0, &[]);
+        assert_eq!(
+            validate(&empty, &Query::SingleSource { node: 0 }),
+            Err(QueryError::EmptyGraph)
+        );
+        assert_eq!(
+            validate(&g, &Query::SingleSource { node: 8 }),
+            Err(QueryError::NodeOutOfRange {
+                node: 8,
+                num_nodes: 8
+            })
+        );
+        assert_eq!(
+            validate(&g, &Query::TopK { node: A, k: 0 }),
+            Err(QueryError::InvalidK { k: 0 })
+        );
+        assert!(matches!(
+            validate(
+                &g,
+                &Query::Threshold {
+                    node: A,
+                    tau: f64::NAN
+                }
+            ),
+            Err(QueryError::InvalidThreshold { tau }) if tau.is_nan()
+        ));
+        assert_eq!(
+            validate(&g, &Query::Threshold { node: A, tau: -0.5 }),
+            Err(QueryError::InvalidThreshold { tau: -0.5 })
+        );
+        assert!(validate(&g, &Query::SingleSource { node: A }).is_ok());
+    }
+
+    #[test]
+    fn query_error_display_is_actionable() {
+        let messages = [
+            QueryError::NodeOutOfRange {
+                node: 9,
+                num_nodes: 8,
+            }
+            .to_string(),
+            QueryError::EmptyGraph.to_string(),
+            QueryError::InvalidK { k: 0 }.to_string(),
+            QueryError::InvalidThreshold { tau: -1.0 }.to_string(),
+        ];
+        assert!(messages[0].contains("out of range"));
+        assert!(messages[1].contains("empty graph"));
+        assert!(messages[2].contains("k >= 1"));
+        assert!(messages[3].contains("tau"));
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs_and_merges_stats() {
+        let g = toy_graph();
+        let e = engine(0.08);
+        let queries = [
+            Query::SingleSource { node: A },
+            Query::TopK { node: D, k: 2 },
+            Query::SingleSource { node: 3 },
+        ];
+        let batch = e.session(&g).run_batch(&queries).unwrap();
+        assert_eq!(batch.outputs.len(), 3);
+        let mut expected_stats = QueryStats::default();
+        for (query, output) in queries.iter().zip(&batch.outputs) {
+            let solo = e.session(&g).run(*query).unwrap();
+            assert_eq!(&solo, output);
+            expected_stats.merge(&solo.stats);
+        }
+        assert_eq!(batch.stats, expected_stats);
+    }
+
+    #[test]
+    fn run_batch_rejects_before_running_anything() {
+        let g = toy_graph();
+        let mut session = engine(0.1).session(&g);
+        let err = session
+            .run_batch(&[
+                Query::SingleSource { node: A },
+                Query::SingleSource { node: 99 },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, QueryError::NodeOutOfRange { node: 99, .. }));
+        assert_eq!(session.queries_run(), 0, "no partial execution");
+    }
+
+    #[test]
+    fn par_batch_matches_sequential_in_input_order() {
+        let g = toy_graph();
+        let e = engine(0.08);
+        let queries: Vec<Query> = (0..8).map(|v| Query::SingleSource { node: v }).collect();
+        let sequential = e.session(&g).run_batch(&queries).unwrap();
+        for threads in [0, 1, 2, 4] {
+            let parallel = e.par_batch(&g, &queries, threads).unwrap();
+            assert_eq!(parallel.outputs, sequential.outputs, "threads = {threads}");
+            assert_eq!(parallel.stats, sequential.stats);
+        }
+    }
+
+    #[test]
+    fn par_batch_validates_up_front() {
+        let g = toy_graph();
+        let e = engine(0.1);
+        let err = e
+            .par_batch(
+                &g,
+                &[
+                    Query::SingleSource { node: A },
+                    Query::TopK { node: A, k: 0 },
+                ],
+                4,
+            )
+            .unwrap_err();
+        assert_eq!(err, QueryError::InvalidK { k: 0 });
+    }
+
+    #[test]
+    fn mixed_query_kinds_in_one_parallel_batch() {
+        let g = toy_graph();
+        let e = engine(0.05);
+        let queries = [
+            Query::TopK { node: A, k: 1 },
+            Query::Threshold { node: A, tau: 0.1 },
+            Query::SingleSource { node: D },
+        ];
+        let batch = e.par_batch(&g, &queries, 3).unwrap();
+        assert_eq!(batch.outputs[0].ranking()[0].0, D);
+        assert!(batch.outputs[1].ranking().iter().all(|&(_, s)| s > 0.1));
+        assert_eq!(batch.outputs[2].scores.query(), D);
+    }
+
+    #[test]
+    fn all_strategies_round_trip_through_sparse() {
+        let g = toy_graph();
+        for strategy in [
+            ProbeStrategy::Deterministic,
+            ProbeStrategy::Randomized,
+            ProbeStrategy::Hybrid,
+        ] {
+            for batch_walks in [false, true] {
+                let mut cfg = ProbeSimConfig::new(TOY_DECAY, 0.06, 0.01).with_seed(0xBEEF);
+                cfg.optimizations.strategy = strategy;
+                cfg.optimizations.batch_walks = batch_walks;
+                let e = ProbeSim::new(cfg);
+                let sparse = e
+                    .session(&g)
+                    .run(Query::SingleSource { node: A })
+                    .unwrap()
+                    .scores
+                    .to_dense();
+                let reference = e.single_source_dense_reference(&g, A).scores;
+                assert_eq!(sparse, reference, "{strategy:?} batch={batch_walks}");
+            }
+        }
+    }
+}

@@ -1,13 +1,20 @@
 //! The single-source query drivers: Algorithm 1 (per-walk) and
 //! Algorithm 3 (batched via the walk trie), with any PROBE strategy.
+//!
+//! [`ProbeSim`] holds only configuration; execution state (workspace,
+//! accumulator, RNG stream) lives in a [`crate::session::QuerySession`].
+//! The methods here are thin convenience wrappers that spin up a
+//! throwaway session per call — repeated-query workloads should create a
+//! session once and reuse it (see the crate docs).
 
 use probesim_graph::{GraphView, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
+use crate::accum::ScoreSink;
 use crate::config::{ProbeSimConfig, ProbeStrategy};
 use crate::probe::{self, ProbeParams};
 use crate::result::{QueryStats, SingleSourceResult};
+use crate::session::{Query, QueryError};
 use crate::trie::WalkTrie;
 use crate::walk;
 use crate::workspace::ProbeWorkspace;
@@ -39,23 +46,90 @@ impl ProbeSim {
     ///
     /// The RNG is seeded from `config.seed` and the query node, so repeated
     /// identical calls return identical estimates.
+    ///
+    /// Convenience wrapper over a throwaway [`QuerySession`]; panics on an
+    /// invalid query node — use [`ProbeSim::try_single_source`] for a
+    /// fallible variant, and a long-lived session to amortize scratch
+    /// allocation across queries.
     pub fn single_source<G: GraphView>(&self, graph: &G, u: NodeId) -> SingleSourceResult {
-        let mut rng = StdRng::seed_from_u64(
-            self.config.seed ^ (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        self.single_source_with_rng(graph, u, &mut rng)
+        self.try_single_source(graph, u)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ProbeSim::single_source`]: rejects out-of-range nodes and
+    /// empty graphs instead of panicking.
+    pub fn try_single_source<G: GraphView>(
+        &self,
+        graph: &G,
+        u: NodeId,
+    ) -> Result<SingleSourceResult, QueryError> {
+        let output = self.session(graph).run(Query::SingleSource { node: u })?;
+        Ok(output.into_single_source())
     }
 
     /// [`ProbeSim::single_source`] with an external RNG (for experiment
-    /// harnesses that manage their own seed streams).
+    /// harnesses that manage their own seed streams). Panics on an invalid
+    /// query node.
     pub fn single_source_with_rng<G: GraphView, R: Rng>(
         &self,
         graph: &G,
         u: NodeId,
         rng: &mut R,
     ) -> SingleSourceResult {
+        self.session(graph)
+            .run_with_rng(Query::SingleSource { node: u }, rng)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_single_source()
+    }
+
+    /// Answers an approximate top-k SimRank query (Definition 2): the `k`
+    /// nodes most similar to `u`, each true score within `εa` of the true
+    /// i-th largest with probability ≥ 1 − δ.
+    ///
+    /// Convenience wrapper over a throwaway [`QuerySession`]; panics on an
+    /// invalid query — see [`ProbeSim::try_top_k`].
+    pub fn top_k<G: GraphView>(&self, graph: &G, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        self.try_top_k(graph, u, k)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ProbeSim::top_k`]: rejects out-of-range nodes and empty
+    /// graphs instead of panicking.
+    ///
+    /// `k = 0` keeps the legacy wrapper semantics and returns an empty
+    /// ranking (the node is still validated); the strict session API
+    /// ([`Query::TopK`]) rejects `k = 0` as [`QueryError::InvalidK`].
+    pub fn try_top_k<G: GraphView>(
+        &self,
+        graph: &G,
+        u: NodeId,
+        k: usize,
+    ) -> Result<Vec<(NodeId, f64)>, QueryError> {
+        if k == 0 {
+            crate::session::validate(graph, &Query::SingleSource { node: u })?;
+            return Ok(Vec::new());
+        }
+        let output = self.session(graph).run(Query::TopK { node: u, k })?;
+        Ok(output.ranking())
+    }
+
+    /// The paper-faithful reference implementation: a fresh dense `Vec<f64>`
+    /// accumulator and a fresh [`ProbeWorkspace`] per call, exactly the
+    /// allocation profile of the original one-shot API.
+    ///
+    /// Kept public (but hidden from docs) so the equivalence property tests
+    /// and the `session_reuse` benchmark can compare the pooled session
+    /// path against it; `SparseScores::to_dense` must match this
+    /// bit-for-bit.
+    #[doc(hidden)]
+    pub fn single_source_dense_reference<G: GraphView>(
+        &self,
+        graph: &G,
+        u: NodeId,
+    ) -> SingleSourceResult {
         let n = graph.num_nodes();
         assert!((u as usize) < n, "query node {u} out of range (n = {n})");
+        let mut rng = crate::session::query_rng(self.config.seed, u);
         let budget = self.config.budget();
         let nr = self.config.num_walks(n).max(1);
         let params = ProbeParams {
@@ -75,7 +149,7 @@ impl ProbeSim {
                 &mut ws,
                 &mut acc,
                 &mut stats,
-                rng,
+                &mut rng,
             );
         } else {
             self.run_unbatched(
@@ -87,7 +161,7 @@ impl ProbeSim {
                 &mut ws,
                 &mut acc,
                 &mut stats,
-                rng,
+                &mut rng,
             );
         }
         if self.config.optimizations.truncation_compensation && budget.truncation > 0.0 {
@@ -108,7 +182,7 @@ impl ProbeSim {
 
     /// Algorithm 1: probe every prefix of every walk independently.
     #[allow(clippy::too_many_arguments)]
-    fn run_unbatched<G: GraphView, R: Rng>(
+    pub(crate) fn run_unbatched<G: GraphView, A: ScoreSink + ?Sized, R: Rng>(
         &self,
         graph: &G,
         u: NodeId,
@@ -116,7 +190,7 @@ impl ProbeSim {
         params: &ProbeParams,
         walk_cap: usize,
         ws: &mut ProbeWorkspace,
-        acc: &mut [f64],
+        acc: &mut A,
         stats: &mut QueryStats,
         rng: &mut R,
     ) {
@@ -159,7 +233,7 @@ impl ProbeSim {
     /// observation); the `Hybrid` strategy is what makes batching pay off
     /// in the worst case.
     #[allow(clippy::too_many_arguments)]
-    fn run_batched<G: GraphView, R: Rng>(
+    pub(crate) fn run_batched<G: GraphView, A: ScoreSink + ?Sized, R: Rng>(
         &self,
         graph: &G,
         u: NodeId,
@@ -167,7 +241,7 @@ impl ProbeSim {
         params: &ProbeParams,
         walk_cap: usize,
         ws: &mut ProbeWorkspace,
-        acc: &mut [f64],
+        acc: &mut A,
         stats: &mut QueryStats,
         rng: &mut R,
     ) {
@@ -209,13 +283,6 @@ impl ProbeSim {
                 }
             }
         });
-    }
-
-    /// Answers an approximate top-k SimRank query (Definition 2): the `k`
-    /// nodes most similar to `u`, each true score within `εa` of the true
-    /// i-th largest with probability ≥ 1 − δ.
-    pub fn top_k<G: GraphView>(&self, graph: &G, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
-        self.single_source(graph, u).top_k(k)
     }
 }
 
@@ -326,6 +393,29 @@ mod tests {
     }
 
     #[test]
+    fn wrapper_matches_dense_reference_bitwise() {
+        // The session-backed wrapper and the legacy dense path must be
+        // indistinguishable, not merely close.
+        let g = toy_graph();
+        for strategy in [
+            ProbeStrategy::Deterministic,
+            ProbeStrategy::Randomized,
+            ProbeStrategy::Hybrid,
+        ] {
+            for batch in [false, true] {
+                let mut cfg = toy_config(0.06);
+                cfg.optimizations.strategy = strategy;
+                cfg.optimizations.batch_walks = batch;
+                let engine = ProbeSim::new(cfg);
+                let wrapped = engine.single_source(&g, A);
+                let reference = engine.single_source_dense_reference(&g, A);
+                assert_eq!(wrapped.scores, reference.scores, "{strategy:?}/{batch}");
+                assert_eq!(wrapped.stats, reference.stats, "{strategy:?}/{batch}");
+            }
+        }
+    }
+
+    #[test]
     fn works_on_dynamic_graph_and_tracks_updates() {
         // Remove every edge into/out of g's community and verify scores
         // react: an isolated query node has similarity 0 to everyone.
@@ -376,5 +466,27 @@ mod tests {
     fn rejects_out_of_range_query() {
         let g = toy_graph();
         let _ = ProbeSim::new(toy_config(0.1)).single_source(&g, 99);
+    }
+
+    #[test]
+    fn try_variants_return_errors_instead_of_panicking() {
+        let g = toy_graph();
+        let engine = ProbeSim::new(toy_config(0.1));
+        assert!(matches!(
+            engine.try_single_source(&g, 99),
+            Err(QueryError::NodeOutOfRange {
+                node: 99,
+                num_nodes: 8
+            })
+        ));
+        // k = 0 keeps legacy wrapper semantics: empty ranking, validated
+        // node; the strict Query::TopK surface still rejects it.
+        assert_eq!(engine.try_top_k(&g, A, 0), Ok(Vec::new()));
+        assert!(engine.top_k(&g, A, 0).is_empty());
+        assert!(matches!(
+            engine.try_top_k(&g, 99, 0),
+            Err(QueryError::NodeOutOfRange { node: 99, .. })
+        ));
+        assert!(engine.try_single_source(&g, A).is_ok());
     }
 }

@@ -5,27 +5,35 @@
 //! index-free methods), single-source query, top-k query, and space
 //! accounting. The adapters own per-algorithm state (e.g. the TSF index)
 //! so a harness loop stays a few lines per figure.
+//!
+//! [`SimRankAlgorithm`] is generic over the graph representation
+//! (`G: GraphView`, default [`CsrGraph`]), so the same roster runs against
+//! an immutable CSR snapshot *or* a live
+//! [`probesim_graph::DynamicGraph`] — the paper's dynamic-graph story can
+//! be driven through the harness end-to-end. Every adapter implements the
+//! trait for all `G: GraphView`.
 
 use probesim_baselines::{
     FingerprintConfig, FingerprintIndex, MonteCarlo, TopSim, TopSimConfig, Tsf, TsfConfig,
 };
-use probesim_core::{ProbeSim, ProbeSimConfig};
-use probesim_graph::{CsrGraph, NodeId};
+use probesim_core::{ProbeSim, ProbeSimConfig, Query};
+use probesim_graph::{CsrGraph, GraphView, NodeId};
 
-/// A SimRank engine the harness can drive uniformly.
-pub trait SimRankAlgorithm {
+/// A SimRank engine the harness can drive uniformly against any graph
+/// representation implementing [`GraphView`].
+pub trait SimRankAlgorithm<G: GraphView = CsrGraph> {
     /// Display name, matching the paper's figures where applicable.
     fn name(&self) -> String;
 
     /// One-time preparation against a fixed graph (index construction).
     /// Index-free algorithms do nothing.
-    fn prepare(&mut self, _graph: &CsrGraph) {}
+    fn prepare(&mut self, _graph: &G) {}
 
     /// Answers a single-source query: `s̃(u, v)` for all `v`.
-    fn single_source(&mut self, graph: &CsrGraph, u: NodeId) -> Vec<f64>;
+    fn single_source(&mut self, graph: &G, u: NodeId) -> Vec<f64>;
 
     /// Answers a top-k query; default: rank the single-source answer.
-    fn top_k(&mut self, graph: &CsrGraph, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+    fn top_k(&mut self, graph: &G, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
         let scores = self.single_source(graph, u);
         probesim_core::top_k_from_scores(&scores, u, k)
     }
@@ -37,7 +45,7 @@ pub trait SimRankAlgorithm {
     }
 }
 
-/// ProbeSim adapter.
+/// ProbeSim adapter, driven through the session API.
 pub struct ProbeSimAlgo {
     engine: ProbeSim,
 }
@@ -49,15 +57,33 @@ impl ProbeSimAlgo {
             engine: ProbeSim::new(config),
         }
     }
-}
 
-impl SimRankAlgorithm for ProbeSimAlgo {
-    fn name(&self) -> String {
+    /// Display name (inherent so callers need no graph-type annotation).
+    pub fn name(&self) -> String {
         format!("ProbeSim(eps={})", self.engine.config().epsilon)
     }
+}
 
-    fn single_source(&mut self, graph: &CsrGraph, u: NodeId) -> Vec<f64> {
-        self.engine.single_source(graph, u).scores
+impl<G: GraphView> SimRankAlgorithm<G> for ProbeSimAlgo {
+    fn name(&self) -> String {
+        ProbeSimAlgo::name(self)
+    }
+
+    fn single_source(&mut self, graph: &G, u: NodeId) -> Vec<f64> {
+        self.engine
+            .session(graph)
+            .run(Query::SingleSource { node: u })
+            .unwrap_or_else(|e| panic!("harness query invalid: {e}"))
+            .scores
+            .to_dense()
+    }
+
+    fn top_k(&mut self, graph: &G, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        self.engine
+            .session(graph)
+            .run(Query::TopK { node: u, k })
+            .unwrap_or_else(|e| panic!("harness query invalid: {e}"))
+            .ranking()
     }
 }
 
@@ -71,14 +97,19 @@ impl McAlgo {
     pub fn new(mc: MonteCarlo) -> Self {
         McAlgo { mc }
     }
-}
 
-impl SimRankAlgorithm for McAlgo {
-    fn name(&self) -> String {
+    /// Display name (inherent so callers need no graph-type annotation).
+    pub fn name(&self) -> String {
         format!("MC(r={})", self.mc.num_walks)
     }
+}
 
-    fn single_source(&mut self, graph: &CsrGraph, u: NodeId) -> Vec<f64> {
+impl<G: GraphView> SimRankAlgorithm<G> for McAlgo {
+    fn name(&self) -> String {
+        McAlgo::name(self)
+    }
+
+    fn single_source(&mut self, graph: &G, u: NodeId) -> Vec<f64> {
         self.mc.single_source(graph, u)
     }
 }
@@ -97,20 +128,30 @@ impl TsfAlgo {
             index: None,
         }
     }
-}
 
-impl SimRankAlgorithm for TsfAlgo {
-    fn name(&self) -> String {
+    /// Display name (inherent so callers need no graph-type annotation).
+    pub fn name(&self) -> String {
         format!("TSF(Rg={},Rq={})", self.config.rg, self.config.rq)
     }
 
-    fn prepare(&mut self, graph: &CsrGraph) {
+    /// Index footprint in bytes (0 before the index is built).
+    pub fn index_bytes(&self) -> usize {
+        self.index.as_ref().map_or(0, Tsf::index_bytes)
+    }
+}
+
+impl<G: GraphView> SimRankAlgorithm<G> for TsfAlgo {
+    fn name(&self) -> String {
+        TsfAlgo::name(self)
+    }
+
+    fn prepare(&mut self, graph: &G) {
         self.index = Some(Tsf::build(graph, self.config));
     }
 
-    fn single_source(&mut self, graph: &CsrGraph, u: NodeId) -> Vec<f64> {
+    fn single_source(&mut self, graph: &G, u: NodeId) -> Vec<f64> {
         if self.index.is_none() {
-            self.prepare(graph);
+            SimRankAlgorithm::<G>::prepare(self, graph);
         }
         self.index
             .as_ref()
@@ -119,7 +160,7 @@ impl SimRankAlgorithm for TsfAlgo {
     }
 
     fn index_bytes(&self) -> usize {
-        self.index.as_ref().map_or(0, Tsf::index_bytes)
+        TsfAlgo::index_bytes(self)
     }
 }
 
@@ -138,20 +179,30 @@ impl FingerprintAlgo {
             index: None,
         }
     }
-}
 
-impl SimRankAlgorithm for FingerprintAlgo {
-    fn name(&self) -> String {
+    /// Display name (inherent so callers need no graph-type annotation).
+    pub fn name(&self) -> String {
         format!("Fingerprint(r={})", self.config.num_walks)
     }
 
-    fn prepare(&mut self, graph: &CsrGraph) {
+    /// Index footprint in bytes (0 before the index is built).
+    pub fn index_bytes(&self) -> usize {
+        self.index.as_ref().map_or(0, FingerprintIndex::index_bytes)
+    }
+}
+
+impl<G: GraphView> SimRankAlgorithm<G> for FingerprintAlgo {
+    fn name(&self) -> String {
+        FingerprintAlgo::name(self)
+    }
+
+    fn prepare(&mut self, graph: &G) {
         self.index = Some(FingerprintIndex::build(graph, self.config));
     }
 
-    fn single_source(&mut self, graph: &CsrGraph, u: NodeId) -> Vec<f64> {
+    fn single_source(&mut self, graph: &G, u: NodeId) -> Vec<f64> {
         if self.index.is_none() {
-            self.prepare(graph);
+            SimRankAlgorithm::<G>::prepare(self, graph);
         }
         self.index
             .as_ref()
@@ -160,7 +211,7 @@ impl SimRankAlgorithm for FingerprintAlgo {
     }
 
     fn index_bytes(&self) -> usize {
-        self.index.as_ref().map_or(0, FingerprintIndex::index_bytes)
+        FingerprintAlgo::index_bytes(self)
     }
 }
 
@@ -176,14 +227,19 @@ impl TopSimAlgo {
             engine: TopSim::new(config),
         }
     }
-}
 
-impl SimRankAlgorithm for TopSimAlgo {
-    fn name(&self) -> String {
+    /// Display name (inherent so callers need no graph-type annotation).
+    pub fn name(&self) -> String {
         self.engine.config().variant.name().to_string()
     }
+}
 
-    fn single_source(&mut self, graph: &CsrGraph, u: NodeId) -> Vec<f64> {
+impl<G: GraphView> SimRankAlgorithm<G> for TopSimAlgo {
+    fn name(&self) -> String {
+        TopSimAlgo::name(self)
+    }
+
+    fn single_source(&mut self, graph: &G, u: NodeId) -> Vec<f64> {
         self.engine.single_source(graph, u)
     }
 }
@@ -192,9 +248,10 @@ impl SimRankAlgorithm for TopSimAlgo {
 mod tests {
     use super::*;
     use probesim_baselines::TopSimVariant;
-    use probesim_graph::toy::{toy_graph, A, D, TOY_DECAY};
+    use probesim_graph::toy::{toy_edges, toy_graph, A, D, TOY_DECAY};
+    use probesim_graph::DynamicGraph;
 
-    fn all_toy_algorithms() -> Vec<Box<dyn SimRankAlgorithm>> {
+    fn all_toy_algorithms<G: GraphView>() -> Vec<Box<dyn SimRankAlgorithm<G>>> {
         vec![
             Box::new(ProbeSimAlgo::new(
                 ProbeSimConfig::new(TOY_DECAY, 0.05, 0.01).with_seed(1),
@@ -242,8 +299,23 @@ mod tests {
     }
 
     #[test]
+    fn every_algorithm_runs_on_a_dynamic_graph() {
+        // The same roster, driven against a live DynamicGraph instead of a
+        // CSR snapshot — the trait's graph-generality in one test.
+        let g = DynamicGraph::from_edges(8, &toy_edges());
+        for mut algo in all_toy_algorithms::<DynamicGraph>() {
+            algo.prepare(&g);
+            let top = algo.top_k(&g, A, 1);
+            assert_eq!(top[0].0, D, "{} on DynamicGraph: {:?}", algo.name(), top[0]);
+        }
+    }
+
+    #[test]
     fn names_are_distinct() {
-        let names: Vec<String> = all_toy_algorithms().iter().map(|a| a.name()).collect();
+        let names: Vec<String> = all_toy_algorithms::<CsrGraph>()
+            .iter()
+            .map(|a| a.name())
+            .collect();
         let unique: std::collections::HashSet<&String> = names.iter().collect();
         assert_eq!(unique.len(), names.len(), "{names:?}");
     }

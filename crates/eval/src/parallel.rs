@@ -2,51 +2,34 @@
 //!
 //! A figure regeneration runs hundreds of independent `(algorithm, query)`
 //! cells; [`run_queries`] fans the per-query work of one algorithm out
-//! over a small thread pool (crossbeam scoped threads — no `'static`
-//! bounds needed, so the graph is borrowed, not cloned) and returns the
-//! per-query results in input order.
+//! over a small pool of scoped threads (`std::thread::scope` — no
+//! `'static` bounds needed, so the graph is borrowed, not cloned) and
+//! returns the per-query results in input order.
 //!
 //! Per-query wall-clock numbers remain meaningful because each query is
 //! timed inside its worker; only the *sweep* is parallel, never one query.
+//!
+//! The claim-counter pool itself lives in [`probesim_core::par`] — the
+//! same primitive backs `ProbeSim::par_batch`, which additionally reuses
+//! a per-thread `QuerySession` so worker-local scratch memory is
+//! allocated once per thread instead of once per query.
 
-use parking_lot::Mutex;
 use probesim_graph::NodeId;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `f(query)` for every query node on `threads` worker threads,
 /// returning results in the order of `queries`.
 ///
 /// `f` must be `Sync` (it is shared across workers) — engines with
 /// interior mutability should wrap state accordingly; the stateless
-/// ProbeSim/TopSim engines qualify as-is.
+/// ProbeSim/TopSim engines qualify as-is. Thin wrapper over
+/// [`probesim_core::par::ordered_map_with`], the workspace's one
+/// work-stealing fan-out primitive.
 pub fn run_queries<T, F>(queries: &[NodeId], threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(NodeId) -> T + Sync,
 {
-    let threads = threads.clamp(1, queries.len().max(1));
-    if threads == 1 || queries.len() <= 1 {
-        return queries.iter().map(|&u| f(u)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<T>>> = (0..queries.len()).map(|_| Mutex::new(None)).collect();
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= queries.len() {
-                    break;
-                }
-                let value = f(queries[i]);
-                *results[i].lock() = Some(value);
-            });
-        }
-    })
-    .expect("worker panicked");
-    results
-        .into_iter()
-        .map(|cell| cell.into_inner().expect("every slot filled"))
-        .collect()
+    probesim_core::par::ordered_map_with(queries.len(), threads, || (), |_, i| f(queries[i]))
 }
 
 /// A suggested worker count: the machine's parallelism, capped at 8 (the

@@ -6,14 +6,12 @@
 //!   one `source target` pair per whitespace-separated line, `#` comments.
 //!   Node ids may be arbitrary `u64` values; they are densified to `0..n`.
 //! * **Binary** — a compact little-endian format (`PSIM` magic, node/edge
-//!   counts, then `u32` pairs) built on the `bytes` crate, used to cache
-//!   generated datasets between benchmark runs.
+//!   counts, then `u32` pairs), used to cache generated datasets between
+//!   benchmark runs.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
-
-use bytes::{Buf, BufMut};
 
 use crate::hash::FxHashMap;
 use crate::view::GraphView;
@@ -23,6 +21,64 @@ use crate::{CsrGraph, Edge, GraphError, NodeId};
 const MAGIC: &[u8; 4] = b"PSIM";
 /// Format version, bumped on layout changes.
 const VERSION: u32 = 1;
+
+/// Little-endian append helpers (the `bytes::BufMut` subset this file
+/// needs, implemented on `Vec<u8>` so the format has no external deps).
+trait PutExt {
+    fn put_slice(&mut self, bytes: &[u8]);
+    fn put_u32_le(&mut self, value: u32);
+    fn put_u64_le(&mut self, value: u64);
+}
+
+impl PutExt for Vec<u8> {
+    #[inline]
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+    #[inline]
+    fn put_u32_le(&mut self, value: u32) {
+        self.extend_from_slice(&value.to_le_bytes());
+    }
+    #[inline]
+    fn put_u64_le(&mut self, value: u64) {
+        self.extend_from_slice(&value.to_le_bytes());
+    }
+}
+
+/// Little-endian consuming reads over a byte slice (the `bytes::Buf`
+/// subset this file needs). Each `get_*` advances the slice; callers
+/// check [`TakeExt::remaining`] before reading.
+trait TakeExt {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl TakeExt for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    #[inline]
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+}
 
 /// Reads a whitespace-separated edge list, densifying arbitrary `u64` node
 /// ids to `0..n` in first-appearance order.
@@ -132,10 +188,15 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphError> {
     }
     let n = cur.get_u64_le() as usize;
     let m = cur.get_u64_le() as usize;
-    if cur.remaining() < m * 8 {
+    // checked_mul: a corrupt header with a huge edge count must become a
+    // Corrupt error, not an overflow panic (or a wrapped-to-0 size check
+    // in release builds followed by a capacity-overflow abort).
+    let edge_bytes = m
+        .checked_mul(8)
+        .ok_or_else(|| GraphError::Corrupt(format!("edge count {m} overflows the format")))?;
+    if cur.remaining() < edge_bytes {
         return Err(GraphError::Corrupt(format!(
-            "expected {} edge bytes, found {}",
-            m * 8,
+            "expected {edge_bytes} edge bytes, found {}",
             cur.remaining()
         )));
     }
@@ -243,6 +304,19 @@ mod tests {
         buf.truncate(buf.len() - 4);
         let err = read_binary(Cursor::new(buf)).unwrap_err();
         assert!(matches!(err, GraphError::Corrupt(_)));
+    }
+
+    #[test]
+    fn binary_rejects_overflowing_edge_count() {
+        // Header claims m = 2^62 edges; the size check must fail cleanly
+        // instead of wrapping.
+        let mut buf = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(1);
+        buf.put_u64_le(1u64 << 62);
+        let err = read_binary(Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt(_)), "{err:?}");
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! two engines:
 //!
 //! * **ProbeSim** — nothing to maintain; every query reads the current
-//!   graph and is immediately consistent.
+//!   graph through a fresh `QuerySession` and is immediately consistent.
+//!   (A session borrows the graph, so the borrow checker itself enforces
+//!   the query/update phases of the stream.)
 //! * **TSF** — its one-way-graph index is maintained incrementally on each
 //!   update (the best known index-based approach for dynamic graphs).
 //!
@@ -20,7 +22,7 @@ use probesim_eval::timed;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
+fn main() -> Result<(), QueryError> {
     // Start from a mid-size power-law graph and evolve it.
     let initial = gens::chung_lu(5_000, 40_000, 2.3, 3);
     let mut graph = DynamicGraph::from_edges(initial.num_nodes(), &initial.edges());
@@ -49,7 +51,7 @@ fn main() {
     println!("ProbeSim needs no build step — it is index-free.\n");
 
     let mut rng = StdRng::seed_from_u64(8);
-    let query = loop {
+    let query_node = loop {
         let candidate = rng.gen_range(0..n);
         if graph.has_in_edges(candidate) {
             break candidate;
@@ -80,19 +82,31 @@ fn main() {
             }
         });
 
-        // Query both engines against the *current* graph.
-        let (ps_top, ps_secs) = timed(|| probesim.top_k(&graph, query, 5));
-        let (tsf_top, tsf_secs) = timed(|| tsf.top_k(&graph, query, 5));
+        // Query both engines against the *current* graph. The session is
+        // scoped so its borrow ends before the next update batch.
+        let (ps_output, ps_secs) = {
+            let mut session = probesim.session(&graph);
+            let (out, secs) = timed(|| {
+                session.run(Query::TopK {
+                    node: query_node,
+                    k: 5,
+                })
+            });
+            (out?, secs)
+        };
+        let ps_top = ps_output.ranking();
+        let (tsf_top, tsf_secs) = timed(|| tsf.top_k(&graph, query_node, 5));
         let overlap = ps_top
             .iter()
             .filter(|(v, _)| tsf_top.iter().any(|(w, _)| w == v))
             .count();
         println!(
             "batch {batch}: {updates_per_batch} updates in {:.2}s | m = {} | \
-             ProbeSim query {:.3}s, TSF query {:.3}s, top-5 overlap {overlap}/5",
+             ProbeSim query {:.3}s ({} nodes touched), TSF query {:.3}s, top-5 overlap {overlap}/5",
             update_secs,
             graph.num_edges(),
             ps_secs,
+            ps_output.scores.len(),
             tsf_secs
         );
         println!(
@@ -105,4 +119,5 @@ fn main() {
         "\nNote: ProbeSim's answers always reflect the live graph; TSF's index \
          stays consistent only because every update paid a maintenance cost."
     );
+    Ok(())
 }

@@ -1,8 +1,10 @@
-//! Quickstart: index-free SimRank on the paper's own toy graph.
+//! Quickstart: index-free SimRank on the paper's own toy graph, through
+//! the session API.
 //!
-//! Builds the 8-node running-example graph (Figure 1 of the paper), asks
-//! ProbeSim for the similarity of every node to `a`, and compares with the
-//! exact values from the Power Method (Table 2).
+//! Builds the 8-node running-example graph (Figure 1 of the paper), opens
+//! a [`QuerySession`] bound to it, asks ProbeSim for the similarity of
+//! every node to `a`, and compares with the exact values from the Power
+//! Method (Table 2).
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -11,7 +13,7 @@
 use probesim::prelude::*;
 use probesim_graph::toy::{toy_graph, A, LABELS, TOY_DECAY};
 
-fn main() {
+fn main() -> Result<(), QueryError> {
     let graph = toy_graph();
     println!(
         "toy graph: {} nodes, {} edges (Figure 1 of the paper)",
@@ -23,8 +25,11 @@ fn main() {
     let exact = PowerMethod::ground_truth(TOY_DECAY).all_pairs(&graph);
 
     // ProbeSim: no index, absolute error <= 0.02 with probability 0.99.
+    // The session owns all scratch memory; every query after the first
+    // reuses it.
     let engine = ProbeSim::new(ProbeSimConfig::new(TOY_DECAY, 0.02, 0.01).with_seed(42));
-    let result = engine.single_source(&graph, A);
+    let mut session = engine.session(&graph);
+    let result = session.run(Query::SingleSource { node: A })?;
 
     println!("\nsimilarity to node a (c = {TOY_DECAY}):");
     println!(
@@ -33,7 +38,7 @@ fn main() {
     );
     for v in graph.nodes() {
         let e = exact.get(A, v);
-        let p = result.score(v);
+        let p = result.scores.score(v);
         println!(
             "{:<6} {:>10.4} {:>10.4} {:>8.4}",
             LABELS[v as usize],
@@ -42,15 +47,24 @@ fn main() {
             (e - p).abs()
         );
     }
+    println!(
+        "(sparse result: {} of {} nodes touched)",
+        result.scores.len(),
+        graph.num_nodes()
+    );
 
-    let top = engine.top_k(&graph, A, 3);
+    let top = session.run(Query::TopK { node: A, k: 3 })?;
     println!("\ntop-3 most similar to a:");
-    for (rank, (v, score)) in top.iter().enumerate() {
+    for (rank, (v, score)) in top.ranking().iter().enumerate() {
         println!("  {}. {} (s = {:.4})", rank + 1, LABELS[*v as usize], score);
     }
 
     println!(
-        "\nquery stats: {} walks, {} probes, {} edges expanded",
-        result.stats.walks, result.stats.probes, result.stats.edges_expanded
+        "\nquery stats: {} walks, {} probes, {} edges expanded ({} queries on one session)",
+        result.stats.walks,
+        result.stats.probes,
+        result.stats.edges_expanded,
+        session.queries_run()
     );
+    Ok(())
 }

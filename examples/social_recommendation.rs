@@ -4,8 +4,10 @@
 //!
 //! Two users are similar when similar people follow them; the top-k
 //! SimRank neighbors of a user are natural follow recommendations. The
-//! example builds a preferential-attachment graph, picks an active user,
-//! and cross-checks ProbeSim's recommendations against exact SimRank.
+//! example builds a preferential-attachment graph, serves a *batch* of
+//! users through `ProbeSim::par_batch` (per-thread pooled sessions, the
+//! service-shaped path), and cross-checks one user's recommendations
+//! against exact SimRank.
 //!
 //! ```text
 //! cargo run --release --example social_recommendation
@@ -15,7 +17,7 @@ use probesim::prelude::*;
 use probesim_datasets::gens;
 use probesim_eval::{metrics, sample_query_nodes};
 
-fn main() {
+fn main() -> Result<(), QueryError> {
     // A 3k-user social graph with heavy-tailed popularity.
     let graph = gens::preferential_attachment(3_000, 6, true, 7);
     println!(
@@ -24,16 +26,26 @@ fn main() {
         graph.num_edges()
     );
 
-    let user = sample_query_nodes(&graph, 1, 99)[0];
+    // Serve recommendations for a whole cohort in one parallel batch.
+    let k = 10;
+    let cohort = sample_query_nodes(&graph, 8, 99);
+    let queries: Vec<Query> = cohort.iter().map(|&node| Query::TopK { node, k }).collect();
+    let engine = ProbeSim::new(ProbeSimConfig::paper(0.05).with_seed(1));
+    let batch = engine.par_batch(&graph, &queries, 0)?;
+    println!(
+        "served {} users in one batch ({} walks, {} probes total)\n",
+        batch.outputs.len(),
+        batch.stats.walks,
+        batch.stats.probes
+    );
+
+    // Deep-dive on the first user of the cohort.
+    let user = cohort[0];
+    let recs = batch.outputs[0].ranking();
     println!(
         "recommending for user {user} (in-degree {})",
         graph.in_degree(user)
     );
-
-    // ProbeSim recommendations, error <= 0.05 with 99% confidence.
-    let engine = ProbeSim::new(ProbeSimConfig::paper(0.05).with_seed(1));
-    let k = 10;
-    let recs = engine.top_k(&graph, user, k);
     println!("\ntop-{k} recommendations (ProbeSim):");
     for (rank, (v, score)) in recs.iter().enumerate() {
         println!(
@@ -54,4 +66,5 @@ fn main() {
     let tau = metrics::kendall_tau(&rec_ids, &truth.score_map(user), k);
     println!("\nagreement with exact SimRank: precision@{k} = {precision:.2}, tau = {tau:.2}");
     println!("exact top-3: {:?}", &truth_ids[..3.min(truth_ids.len())]);
+    Ok(())
 }

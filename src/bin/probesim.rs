@@ -3,7 +3,9 @@
 //! ```text
 //! probesim generate <dataset> [--scale ci|laptop] [--out graph.psim]
 //! probesim stats    <graph-file>
-//! probesim query    <graph-file> --node N [--top K] [--eps E] [--delta D] [--decay C]
+//! probesim query    <graph-file> --node N [--top K | --tau T] [--eps E] [--delta D]
+//!                   [--decay C] [--seed S] [--output text|json]
+//! probesim batch    <graph-file> --nodes A,B,C [--top K] [--threads T] [--output text|json]
 //! probesim pair     <graph-file> --u A --v B [--walks R] [--decay C]
 //! ```
 //!
@@ -11,11 +13,17 @@
 //! comments — the format of the paper's SNAP datasets) or this crate's
 //! binary format (written by `generate --out file.psim`); the magic bytes
 //! decide.
+//!
+//! Queries run through `probesim_core::QuerySession`; invalid input is
+//! reported as a typed [`QueryError`] message, never a panic. With
+//! `--output json`, results are serialized as one JSON object per query
+//! (sparse scores + stats) for downstream tooling.
 
 use std::process::ExitCode;
 
 use probesim::prelude::*;
 use probesim_baselines::MonteCarlo;
+use probesim_core::QueryStats;
 use probesim_graph::{io, CsrGraph, DegreeStats};
 
 fn main() -> ExitCode {
@@ -34,7 +42,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   probesim generate <dataset> [--scale ci|laptop] [--out FILE]
   probesim stats    <graph-file>
-  probesim query    <graph-file> --node N [--top K] [--eps E] [--delta D] [--decay C] [--seed S]
+  probesim query    <graph-file> --node N [--top K | --tau T] [--eps E] [--delta D] [--decay C] [--seed S] [--output text|json]
+  probesim batch    <graph-file> --nodes A,B,C [--top K] [--threads T] [--eps E] [--seed S] [--output text|json]
   probesim pair     <graph-file> --u A --v B [--walks R] [--decay C] [--seed S]
 
 datasets: Wiki-Vote HepTh AS HepPh LiveJournal IT-2004 Twitter Friendster";
@@ -46,6 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => generate(rest),
         "stats" => stats(rest),
         "query" => query(rest),
+        "batch" => batch(rest),
         "pair" => pair(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -72,6 +82,21 @@ fn flag_str<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Output format selector shared by `query` and `batch`.
+#[derive(Clone, Copy, PartialEq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
+
+fn output_format(args: &[String]) -> Result<OutputFormat, String> {
+    match flag_str(args, "--output").unwrap_or("text") {
+        "text" => Ok(OutputFormat::Text),
+        "json" => Ok(OutputFormat::Json),
+        other => Err(format!("--output expects text|json, got {other:?}")),
+    }
 }
 
 fn load_graph(path: &str) -> Result<CsrGraph, String> {
@@ -142,6 +167,25 @@ fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn engine_from_flags(args: &[String]) -> Result<ProbeSim, String> {
+    let eps: f64 = flag(args, "--eps", 0.05)?;
+    let delta: f64 = flag(args, "--delta", 0.01)?;
+    let decay: f64 = flag(args, "--decay", 0.6)?;
+    let seed: u64 = flag(args, "--seed", 2017)?;
+    if !(0.0..1.0).contains(&decay) || decay <= 0.0 {
+        return Err(format!("--decay must be in (0, 1), got {decay}"));
+    }
+    if !(0.0..1.0).contains(&eps) || eps <= 0.0 {
+        return Err(format!("--eps must be in (0, 1), got {eps}"));
+    }
+    if !(0.0..1.0).contains(&delta) || delta <= 0.0 {
+        return Err(format!("--delta must be in (0, 1), got {delta}"));
+    }
+    Ok(ProbeSim::new(
+        ProbeSimConfig::new(decay, eps, delta).with_seed(seed),
+    ))
+}
+
 fn query(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("query: missing graph file")?;
     let graph = load_graph(path)?;
@@ -149,29 +193,109 @@ fn query(args: &[String]) -> Result<(), String> {
     if node == NodeId::MAX {
         return Err("query: --node is required".into());
     }
-    if node as usize >= graph.num_nodes() {
-        return Err(format!(
-            "node {node} out of range (n = {})",
-            graph.num_nodes()
-        ));
-    }
-    let k: usize = flag(args, "--top", 10)?;
-    let eps: f64 = flag(args, "--eps", 0.05)?;
-    let delta: f64 = flag(args, "--delta", 0.01)?;
-    let decay: f64 = flag(args, "--decay", 0.6)?;
-    let seed: u64 = flag(args, "--seed", 2017)?;
-    let engine = ProbeSim::new(ProbeSimConfig::new(decay, eps, delta).with_seed(seed));
+    let format = output_format(args)?;
+    let engine = engine_from_flags(args)?;
+    // --tau selects a threshold query; --top (default 10) a top-k query.
+    let query = match flag_str(args, "--tau") {
+        Some(raw) => {
+            let tau: f64 = raw
+                .parse()
+                .map_err(|_| "cannot parse value for --tau".to_string())?;
+            Query::Threshold { node, tau }
+        }
+        None => Query::TopK {
+            node,
+            k: flag(args, "--top", 10)?,
+        },
+    };
+    let mut session = engine.session(&graph);
     let start = std::time::Instant::now();
-    let result = engine.single_source(&graph, node);
+    // Invalid input (out-of-range node, k = 0, bad tau) surfaces here as a
+    // typed QueryError rather than a panic.
+    let output = session.run(query).map_err(|e| e.to_string())?;
     let elapsed = start.elapsed().as_secs_f64();
-    println!("# top-{k} SimRank neighbors of node {node} (c={decay}, eps={eps}, delta={delta})");
-    for (rank, (v, score)) in result.top_k(k).iter().enumerate() {
-        println!("{:>3}. node {:>8}  s = {:.5}", rank + 1, v, score);
+    match format {
+        OutputFormat::Json => println!("{}", query_output_json(&output, elapsed)),
+        OutputFormat::Text => {
+            let config = engine.config();
+            match query {
+                Query::TopK { k, .. } => println!(
+                    "# top-{k} SimRank neighbors of node {node} (c={}, eps={}, delta={})",
+                    config.decay, config.epsilon, config.delta
+                ),
+                Query::Threshold { tau, .. } => println!(
+                    "# nodes with s > {tau} relative to node {node} (c={}, eps={}, delta={})",
+                    config.decay, config.epsilon, config.delta
+                ),
+                Query::SingleSource { .. } => println!("# single-source scores of node {node}"),
+            }
+            for (rank, (v, score)) in output.ranking().iter().enumerate() {
+                println!("{:>3}. node {:>8}  s = {:.5}", rank + 1, v, score);
+            }
+            eprintln!(
+                "query time {elapsed:.3}s | {} walks, {} probes, {} edges expanded, {} nodes touched",
+                output.stats.walks,
+                output.stats.probes,
+                output.stats.edges_expanded,
+                output.scores.len()
+            );
+        }
     }
-    eprintln!(
-        "query time {elapsed:.3}s | {} walks, {} probes, {} edges expanded",
-        result.stats.walks, result.stats.probes, result.stats.edges_expanded
-    );
+    Ok(())
+}
+
+fn batch(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("batch: missing graph file")?;
+    let graph = load_graph(path)?;
+    let nodes_raw = flag_str(args, "--nodes").ok_or("batch: --nodes is required")?;
+    let k: usize = flag(args, "--top", 10)?;
+    let threads: usize = flag(args, "--threads", 0)?;
+    let format = output_format(args)?;
+    let engine = engine_from_flags(args)?;
+    let queries: Vec<Query> = nodes_raw
+        .split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<NodeId>()
+                .map(|node| Query::TopK { node, k })
+                .map_err(|_| format!("batch: cannot parse node id {tok:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let start = std::time::Instant::now();
+    let batch = engine
+        .par_batch(&graph, &queries, threads)
+        .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64();
+    match format {
+        OutputFormat::Json => {
+            let per_query: Vec<String> = batch
+                .outputs
+                .iter()
+                .map(|o| query_output_json(o, f64::NAN))
+                .collect();
+            println!(
+                "{{\"queries\": {}, \"elapsed_secs\": {}, \"stats\": {}, \"outputs\": [{}]}}",
+                batch.outputs.len(),
+                json_f64(elapsed),
+                stats_json(&batch.stats),
+                per_query.join(", ")
+            );
+        }
+        OutputFormat::Text => {
+            for output in &batch.outputs {
+                println!("# node {}", output.scores.query());
+                for (rank, (v, score)) in output.ranking().iter().enumerate() {
+                    println!("{:>3}. node {:>8}  s = {:.5}", rank + 1, v, score);
+                }
+            }
+            eprintln!(
+                "batch of {} queries in {elapsed:.3}s | {} walks, {} probes total",
+                batch.outputs.len(),
+                batch.stats.walks,
+                batch.stats.probes
+            );
+        }
+    }
     Ok(())
 }
 
@@ -185,7 +309,11 @@ fn pair(args: &[String]) -> Result<(), String> {
     }
     let n = graph.num_nodes();
     if u as usize >= n || v as usize >= n {
-        return Err(format!("node out of range (n = {n})"));
+        return Err(QueryError::NodeOutOfRange {
+            node: u.max(v),
+            num_nodes: n,
+        }
+        .to_string());
     }
     let walks: usize = flag(args, "--walks", 100_000)?;
     let decay: f64 = flag(args, "--decay", 0.6)?;
@@ -194,4 +322,75 @@ fn pair(args: &[String]) -> Result<(), String> {
     let estimate = mc.pair(&graph, u, v);
     println!("s({u}, {v}) ≈ {estimate:.6}   ({walks} walk pairs, c = {decay})");
     Ok(())
+}
+
+/// Serializes one [`QueryOutput`] as a JSON object: query descriptor,
+/// sparse scores (touched nodes only), ranked answer, and stats. Pass a
+/// NaN `elapsed` to omit the timing field (batch mode times the batch).
+fn query_output_json(output: &QueryOutput, elapsed: f64) -> String {
+    let query_desc = match output.query {
+        Query::SingleSource { node } => {
+            format!("{{\"kind\": \"single_source\", \"node\": {node}}}")
+        }
+        Query::TopK { node, k } => format!("{{\"kind\": \"top_k\", \"node\": {node}, \"k\": {k}}}"),
+        Query::Threshold { node, tau } => format!(
+            "{{\"kind\": \"threshold\", \"node\": {node}, \"tau\": {}}}",
+            json_f64(tau)
+        ),
+    };
+    let scores: Vec<String> = output
+        .scores
+        .iter()
+        .map(|(v, s)| format!("{{\"node\": {v}, \"score\": {}}}", json_f64(s)))
+        .collect();
+    let ranking: Vec<String> = output
+        .ranking()
+        .iter()
+        .map(|&(v, s)| format!("{{\"node\": {v}, \"score\": {}}}", json_f64(s)))
+        .collect();
+    let elapsed_field = if elapsed.is_finite() {
+        format!(", \"elapsed_secs\": {}", json_f64(elapsed))
+    } else {
+        String::new()
+    };
+    format!(
+        "{{\"query\": {query_desc}, \"num_nodes\": {}, \"touched\": {}, \"baseline\": {}, \
+         \"scores\": [{}], \"ranking\": [{}], \"stats\": {}{elapsed_field}}}",
+        output.scores.num_nodes(),
+        output.scores.len(),
+        json_f64(output.scores.baseline()),
+        scores.join(", "),
+        ranking.join(", "),
+        stats_json(&output.stats),
+    )
+}
+
+fn stats_json(stats: &QueryStats) -> String {
+    format!(
+        "{{\"walks\": {}, \"truncated_walks\": {}, \"walk_nodes\": {}, \"probes\": {}, \
+         \"randomized_probes\": {}, \"hybrid_switches\": {}, \"edges_expanded\": {}, \
+         \"nodes_sampled\": {}, \"trie_prefixes\": {}}}",
+        stats.walks,
+        stats.truncated_walks,
+        stats.walk_nodes,
+        stats.probes,
+        stats.randomized_probes,
+        stats.hybrid_switches,
+        stats.edges_expanded,
+        stats.nodes_sampled,
+        stats.trie_prefixes
+    )
+}
+
+/// JSON-safe float formatting (`Display` for f64 round-trips and never
+/// produces exponent-free non-JSON tokens for finite values).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        let formatted = format!("{x}");
+        // `1e-7`-style output is valid JSON; bare `inf`/`NaN` is not, but
+        // finite guards above keep us here.
+        formatted
+    } else {
+        "null".to_string()
+    }
 }

@@ -10,12 +10,17 @@
 //!
 //! * [`graph`] — CSR + dynamic graph substrate ([`probesim_graph`])
 //! * [`datasets`] — synthetic workload generators ([`probesim_datasets`])
-//! * [`core`] — the ProbeSim algorithm ([`probesim_core`])
+//! * [`core`] — the ProbeSim algorithm and its session-based query API
+//!   ([`probesim_core`])
 //! * [`baselines`] — Power Method, Monte Carlo, TSF, TopSim family
 //!   ([`probesim_baselines`])
 //! * [`eval`] — metrics, ground truth, pooling ([`probesim_eval`])
 //!
 //! ## Quick start
+//!
+//! Queries run through a [`QuerySession`](prelude::QuerySession): a
+//! reusable, graph-bound context owning all scratch memory, returning
+//! sparse `O(touched)` results and typed errors.
 //!
 //! ```
 //! use probesim::prelude::*;
@@ -27,15 +32,36 @@
 //!
 //! // Index-free single-source SimRank with |error| <= 0.05 w.p. 0.99.
 //! let engine = ProbeSim::new(ProbeSimConfig::new(0.6, 0.05, 0.01));
-//! let result = engine.single_source(&graph, 0);
+//! let mut session = engine.session(&graph);
 //!
 //! // Nodes 0 and 3 share both in-neighbors => strongly similar
 //! // (exact value c/2 = 0.3 here, since the shared parents are
 //! // themselves dissimilar).
-//! assert!(result.score(3) > 0.2);
-//! let top = engine.top_k(&graph, 0, 1);
-//! assert_eq!(top[0].0, 3);
+//! let result = session.run(Query::SingleSource { node: 0 })?;
+//! assert!(result.scores.score(3) > 0.2);
+//! assert!(result.scores.len() < graph.num_nodes()); // sparse: touched only
+//!
+//! // The same session answers more queries with zero reallocation.
+//! let top = session.run(Query::TopK { node: 0, k: 1 })?;
+//! assert_eq!(top.ranking()[0].0, 3);
+//!
+//! // Invalid input is an error value, not a panic.
+//! assert!(matches!(
+//!     session.run(Query::SingleSource { node: 99 }),
+//!     Err(QueryError::NodeOutOfRange { node: 99, .. })
+//! ));
+//!
+//! // Batches shard across per-thread sessions, outputs in input order.
+//! let queries: Vec<Query> = (0..5).map(|v| Query::SingleSource { node: v }).collect();
+//! let batch = engine.par_batch(&graph, &queries, 2)?;
+//! assert_eq!(batch.outputs.len(), 5);
+//! # Ok::<(), probesim::prelude::QueryError>(())
 //! ```
+//!
+//! The one-shot wrappers `engine.single_source(&graph, u)` /
+//! `engine.top_k(&graph, u, k)` remain for quick experiments and return
+//! the legacy dense [`SingleSourceResult`](prelude::SingleSourceResult)
+//! view.
 //!
 //! See `examples/` for runnable scenarios (recommendations, dynamic
 //! streams, web-scale pooling) and `crates/bench` for the binaries that
@@ -53,7 +79,8 @@ pub mod prelude {
         MonteCarlo, PowerMethod, TopSim, TopSimConfig, TopSimVariant, Tsf, TsfConfig,
     };
     pub use probesim_core::{
-        Optimizations, ProbeSim, ProbeSimConfig, ProbeStrategy, QueryStats, SingleSourceResult,
+        BatchOutput, Optimizations, ProbeSim, ProbeSimConfig, ProbeStrategy, Query, QueryError,
+        QueryOutput, QuerySession, QueryStats, SingleSourceResult, SparseScores,
     };
     pub use probesim_datasets::{Dataset, Scale};
     pub use probesim_eval::{GroundTruth, Pool, SimRankAlgorithm};
