@@ -11,10 +11,10 @@
 //! cargo run --release -p probesim-bench --bin ablation_decay -- --scale ci --queries 8
 //! ```
 
-use probesim_bench::{load_dataset, HarnessArgs};
+use probesim_bench::{load_dataset, time_per_item, HarnessArgs};
 use probesim_core::{ProbeSim, ProbeSimConfig, Query};
 use probesim_datasets::Dataset;
-use probesim_eval::{metrics, sample_query_nodes, timed, Aggregate, GroundTruth};
+use probesim_eval::{metrics, sample_query_nodes, Aggregate, GroundTruth};
 
 const EPSILON: f64 = 0.05;
 
@@ -30,7 +30,7 @@ fn main() {
         let queries = sample_query_nodes(&graph, args.queries, args.seed);
         println!(
             "{:<8} {:>10} {:>12} {:>12} {:>10} {:>12}",
-            "decay", "E[len]", "avg_query_s", "abs_error", "walks", "walk_nodes"
+            "decay", "E[len]", "med_query_s", "abs_error", "walks", "walk_nodes"
         );
         for decay in [0.4, 0.6, 0.8] {
             let truth = GroundTruth::compute_with_iterations(
@@ -42,15 +42,13 @@ fn main() {
             let engine =
                 ProbeSim::new(ProbeSimConfig::new(decay, EPSILON, 0.01).with_seed(args.seed));
             let mut session = engine.session(&graph);
-            let mut time_agg = Aggregate::default();
+            let (outputs, latency) = time_per_item(queries.iter().copied(), |u| {
+                session
+                    .run(Query::SingleSource { node: u })
+                    .expect("queries sampled from the graph are valid")
+            });
             let mut err_agg = Aggregate::default();
-            for &u in &queries {
-                let (output, secs) = timed(|| {
-                    session
-                        .run(Query::SingleSource { node: u })
-                        .expect("queries sampled from the graph are valid")
-                });
-                time_agg.push(secs);
+            for (&u, output) in queries.iter().zip(&outputs) {
                 err_agg.push(metrics::abs_error(
                     truth.single_source(u),
                     &output.scores.to_dense(),
@@ -66,7 +64,7 @@ fn main() {
                 "{:<8} {:>10.2} {:>12.6} {:>12.5} {:>10} {:>12.2}",
                 decay,
                 1.0 / (1.0 - decay.sqrt()),
-                time_agg.mean(),
+                latency.median(),
                 err_agg.mean(),
                 walks / q,
                 walk_nodes as f64 / walks.max(1) as f64

@@ -17,10 +17,10 @@
 //! cargo run --release -p probesim-bench --bin ablation_opts -- --scale ci --queries 10
 //! ```
 
-use probesim_bench::{load_dataset, HarnessArgs};
+use probesim_bench::{load_dataset, time_per_item, HarnessArgs};
 use probesim_core::{Optimizations, ProbeSim, ProbeSimConfig, ProbeStrategy, Query};
 use probesim_datasets::Dataset;
-use probesim_eval::{metrics, sample_query_nodes, timed, Aggregate, GroundTruth};
+use probesim_eval::{metrics, sample_query_nodes, Aggregate, GroundTruth};
 
 const DECAY: f64 = 0.6;
 const EPSILON: f64 = 0.05;
@@ -61,7 +61,7 @@ fn main() {
         let queries = sample_query_nodes(&graph, args.queries, args.seed);
         println!(
             "{:<12} {:>12} {:>10} {:>10} {:>14} {:>10}",
-            "config", "avg_query_s", "abs_err", "probes", "edges_expanded", "switches"
+            "config", "med_query_s", "abs_err", "probes", "edges_expanded", "switches"
         );
         for (name, opts) in configurations() {
             let engine = ProbeSim::new(
@@ -72,15 +72,13 @@ fn main() {
             // One pooled session per configuration: scratch memory is
             // allocated on the first query and version-stamp reset after.
             let mut session = engine.session(&graph);
-            let mut time_agg = Aggregate::default();
+            let (outputs, latency) = time_per_item(queries.iter().copied(), |u| {
+                session
+                    .run(Query::SingleSource { node: u })
+                    .expect("queries sampled from the graph are valid")
+            });
             let mut err_agg = Aggregate::default();
-            for &u in &queries {
-                let (output, secs) = timed(|| {
-                    session
-                        .run(Query::SingleSource { node: u })
-                        .expect("queries sampled from the graph are valid")
-                });
-                time_agg.push(secs);
+            for (&u, output) in queries.iter().zip(&outputs) {
                 err_agg.push(metrics::abs_error(
                     truth.single_source(u),
                     &output.scores.to_dense(),
@@ -94,7 +92,7 @@ fn main() {
             println!(
                 "{:<12} {:>12.6} {:>10.5} {:>10} {:>14} {:>10}",
                 name,
-                time_agg.mean(),
+                latency.median(),
                 err_agg.mean(),
                 probes / q,
                 edges / q,

@@ -13,7 +13,7 @@
 //! ```
 
 use probesim_baselines::{MonteCarlo, TopSimConfig, TopSimVariant, TsfConfig};
-use probesim_bench::{load_dataset, HarnessArgs};
+use probesim_bench::{load_dataset, time_per_item, HarnessArgs};
 use probesim_core::ProbeSimConfig;
 use probesim_datasets::Dataset;
 use probesim_eval::{
@@ -67,24 +67,26 @@ fn main() {
         println!("   ground truth (power method, 55 iters): {gt_secs:.1}s");
         let queries = sample_query_nodes(&graph, args.queries, args.seed);
         println!(
-            "{:<22} {:>14} {:>12} {:>12}",
-            "algorithm", "avg_query_s", "abs_error", "mean_error"
+            "{:<22} {:>14} {:>14} {:>12} {:>12}",
+            "algorithm", "med_query_s", "p95_query_s", "abs_error", "mean_error"
         );
         for mut algo in roster(args.seed) {
             algo.prepare(&graph);
-            let mut time_agg = Aggregate::default();
+            // The shared engine loop times each query individually and
+            // reports order statistics instead of a mean.
+            let (score_lists, latency) =
+                time_per_item(queries.iter().copied(), |u| algo.single_source(&graph, u));
             let mut err_agg = Aggregate::default();
             let mut mean_err_agg = Aggregate::default();
-            for &u in &queries {
-                let (scores, secs) = timed(|| algo.single_source(&graph, u));
-                time_agg.push(secs);
-                err_agg.push(metrics::abs_error(truth.single_source(u), &scores, u));
-                mean_err_agg.push(metrics::mean_abs_error(truth.single_source(u), &scores, u));
+            for (&u, scores) in queries.iter().zip(&score_lists) {
+                err_agg.push(metrics::abs_error(truth.single_source(u), scores, u));
+                mean_err_agg.push(metrics::mean_abs_error(truth.single_source(u), scores, u));
             }
             println!(
-                "{:<22} {:>14.6} {:>12.5} {:>12.6}",
+                "{:<22} {:>14.6} {:>14.6} {:>12.5} {:>12.6}",
                 algo.name(),
-                time_agg.mean(),
+                latency.median(),
+                latency.p95(),
                 err_agg.mean(),
                 mean_err_agg.mean()
             );

@@ -8,12 +8,12 @@
 //! ```
 
 use probesim_baselines::{MonteCarlo, TopSimConfig, TopSimVariant, TsfConfig};
-use probesim_bench::{load_dataset, HarnessArgs};
+use probesim_bench::{load_dataset, time_per_item, HarnessArgs};
 use probesim_core::ProbeSimConfig;
 use probesim_datasets::Dataset;
 use probesim_eval::{
-    metrics, sample_query_nodes, timed, Aggregate, GroundTruth, McAlgo, ProbeSimAlgo,
-    SimRankAlgorithm, TopSimAlgo, TsfAlgo,
+    metrics, sample_query_nodes, Aggregate, GroundTruth, McAlgo, ProbeSimAlgo, SimRankAlgorithm,
+    TopSimAlgo, TsfAlgo,
 };
 
 const DECAY: f64 = 0.6;
@@ -59,24 +59,24 @@ fn main() {
         let queries = sample_query_nodes(&graph, args.queries, args.seed);
         println!(
             "{:<22} {:>12} {:>11} {:>9} {:>9}",
-            "algorithm", "avg_query_s", "precision", "ndcg", "tau"
+            "algorithm", "med_query_s", "precision", "ndcg", "tau"
         );
         for mut algo in roster(args.seed) {
             algo.prepare(&graph);
-            let mut time_agg = Aggregate::default();
+            // Shared engine loop: per-query timing, median reported.
+            let (top_lists, latency) =
+                time_per_item(queries.iter().copied(), |u| algo.top_k(&graph, u, args.k));
             let mut prec_agg = Aggregate::default();
             let mut ndcg_agg = Aggregate::default();
             let mut tau_agg = Aggregate::default();
-            for &u in &queries {
-                let (returned, secs) = timed(|| algo.top_k(&graph, u, args.k));
-                time_agg.push(secs);
+            for (&u, returned) in queries.iter().zip(&top_lists) {
                 let truth_topk = truth.top_k(u, args.k);
                 let truth_ids: Vec<_> = truth_topk.iter().map(|&(v, _)| v).collect();
                 let returned_ids: Vec<_> = returned.iter().map(|&(v, _)| v).collect();
                 let score_map = truth.score_map(u);
                 prec_agg.push(metrics::precision_at_k(&returned_ids, &truth_ids, args.k));
                 ndcg_agg.push(metrics::ndcg_at_k(
-                    &returned,
+                    returned,
                     &truth_topk,
                     &score_map,
                     args.k,
@@ -86,7 +86,7 @@ fn main() {
             println!(
                 "{:<22} {:>12.6} {:>11.4} {:>9.4} {:>9.4}",
                 algo.name(),
-                time_agg.mean(),
+                latency.median(),
                 prec_agg.mean(),
                 ndcg_agg.mean(),
                 tau_agg.mean()

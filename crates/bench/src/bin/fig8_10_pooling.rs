@@ -13,12 +13,12 @@
 //! ```
 
 use probesim_baselines::{MonteCarlo, TopSimConfig, TopSimVariant, TsfConfig};
-use probesim_bench::{load_dataset, HarnessArgs};
+use probesim_bench::{load_dataset, HarnessArgs, Latencies};
 use probesim_core::ProbeSimConfig;
 use probesim_datasets::Dataset;
 use probesim_eval::{
-    metrics, sample_query_nodes, timed, Aggregate, Pool, ProbeSimAlgo, SimRankAlgorithm,
-    TopSimAlgo, TsfAlgo,
+    metrics, sample_query_nodes, Aggregate, Pool, ProbeSimAlgo, SimRankAlgorithm, TopSimAlgo,
+    TsfAlgo,
 };
 
 const DECAY: f64 = 0.6;
@@ -67,11 +67,10 @@ fn main() {
         // Collect each algorithm's top-(max k) list per query, timed.
         let max_k = *ks.last().expect("non-empty k sweep");
         let mut per_algo_lists: Vec<Vec<Vec<(u32, f64)>>> = vec![Vec::new(); algos.len()];
-        let mut per_algo_time: Vec<Aggregate> = vec![Aggregate::default(); algos.len()];
+        let mut per_algo_time: Vec<Latencies> = vec![Latencies::new(); algos.len()];
         for &u in &queries {
             for (i, algo) in algos.iter_mut().enumerate() {
-                let (list, secs) = timed(|| algo.top_k(&graph, u, max_k));
-                per_algo_time[i].push(secs);
+                let list = per_algo_time[i].time(|| algo.top_k(&graph, u, max_k));
                 per_algo_lists[i].push(list);
             }
         }
@@ -89,9 +88,10 @@ fn main() {
             .collect();
         for (i, algo) in algos.iter().enumerate() {
             println!(
-                "{:<22} avg_query={:.4}s",
+                "{:<22} med_query={:.4}s p95={:.4}s",
                 algo.name(),
-                per_algo_time[i].mean()
+                per_algo_time[i].median(),
+                per_algo_time[i].p95()
             );
             println!(
                 "  {:<4} {:>11} {:>9} {:>9}",

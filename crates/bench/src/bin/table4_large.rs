@@ -12,12 +12,12 @@
 //! ```
 
 use probesim_baselines::{FingerprintConfig, TopSimConfig, TopSimVariant, TsfConfig};
-use probesim_bench::{load_dataset, HarnessArgs};
+use probesim_bench::{load_dataset, time_per_item, HarnessArgs};
 use probesim_core::{ProbeSim, ProbeSimConfig, Query};
 use probesim_datasets::Dataset;
 use probesim_eval::{
-    human_bytes, human_secs, sample_query_nodes, timed, Aggregate, FingerprintAlgo,
-    SimRankAlgorithm, TopSimAlgo, TsfAlgo,
+    human_bytes, human_secs, sample_query_nodes, timed, FingerprintAlgo, SimRankAlgorithm,
+    TopSimAlgo, TsfAlgo,
 };
 use probesim_graph::GraphView;
 
@@ -46,7 +46,7 @@ fn main() {
         let queries = sample_query_nodes(&graph, args.queries, args.seed);
         println!(
             "{:<22} {:>14} {:>14} {:>12}",
-            "algorithm", "build_time", "avg_query", "index_space"
+            "algorithm", "build_time", "med_query", "index_space"
         );
 
         // ProbeSim: index-free, eps = 0.1 (the paper's large-graph
@@ -55,20 +55,16 @@ fn main() {
         {
             let engine = ProbeSim::new(ProbeSimConfig::paper(0.1).with_seed(args.seed));
             let mut session = engine.session(&graph);
-            let mut time_agg = Aggregate::default();
-            for &u in &queries {
-                let (_, secs) = timed(|| {
-                    session
-                        .run(Query::TopK { node: u, k: args.k })
-                        .expect("queries sampled from the graph are valid")
-                });
-                time_agg.push(secs);
-            }
+            let (_, latency) = time_per_item(queries.iter().copied(), |u| {
+                session
+                    .run(Query::TopK { node: u, k: args.k })
+                    .expect("queries sampled from the graph are valid")
+            });
             println!(
                 "{:<22} {:>14} {:>14} {:>12}",
                 format!("ProbeSim(eps={})", engine.config().epsilon),
                 "none",
-                human_secs(time_agg.mean()),
+                human_secs(latency.median()),
                 "0 B (index-free)"
             );
         }
@@ -94,16 +90,13 @@ fn main() {
             } else {
                 let mut algo = TsfAlgo::new(config);
                 let ((), build_secs) = timed(|| algo.prepare(&graph));
-                let mut time_agg = Aggregate::default();
-                for &u in &queries {
-                    let (_, secs) = timed(|| algo.top_k(&graph, u, args.k));
-                    time_agg.push(secs);
-                }
+                let (_, latency) =
+                    time_per_item(queries.iter().copied(), |u| algo.top_k(&graph, u, args.k));
                 println!(
                     "{:<22} {:>14} {:>14} {:>12}",
                     algo.name(),
                     human_secs(build_secs),
-                    human_secs(time_agg.mean()),
+                    human_secs(latency.median()),
                     human_bytes(algo.index_bytes())
                 );
             }
@@ -132,16 +125,13 @@ fn main() {
             } else {
                 let mut algo = FingerprintAlgo::new(config);
                 let ((), build_secs) = timed(|| algo.prepare(&graph));
-                let mut time_agg = Aggregate::default();
-                for &u in &queries {
-                    let (_, secs) = timed(|| algo.top_k(&graph, u, args.k));
-                    time_agg.push(secs);
-                }
+                let (_, latency) =
+                    time_per_item(queries.iter().copied(), |u| algo.top_k(&graph, u, args.k));
                 println!(
                     "{:<22} {:>14} {:>14} {:>12}",
                     algo.name(),
                     human_secs(build_secs),
-                    human_secs(time_agg.mean()),
+                    human_secs(latency.median()),
                     human_bytes(algo.index_bytes())
                 );
             }
@@ -170,16 +160,13 @@ fn main() {
                 continue;
             }
             let mut algo = TopSimAlgo::new(TopSimConfig::paper(variant));
-            let mut time_agg = Aggregate::default();
-            for &u in &queries {
-                let (_, secs) = timed(|| algo.top_k(&graph, u, args.k));
-                time_agg.push(secs);
-            }
+            let (_, latency) =
+                time_per_item(queries.iter().copied(), |u| algo.top_k(&graph, u, args.k));
             println!(
                 "{:<22} {:>14} {:>14} {:>12}",
                 name,
                 "none",
-                human_secs(time_agg.mean()),
+                human_secs(latency.median()),
                 "0 B (index-free)"
             );
         }

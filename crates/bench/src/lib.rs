@@ -1,8 +1,25 @@
 #![warn(missing_docs)]
 //! # probesim-bench
 //!
-//! Experiment-regeneration harness: one binary per table and figure of the
-//! paper's evaluation (Section 6), plus Criterion micro-benchmarks.
+//! Benchmark harness: the workload **scenario engine** behind the
+//! `probesim-bench` runner, plus one experiment-regeneration binary per
+//! table and figure of the paper's evaluation (Section 6) and Criterion
+//! micro-benchmarks.
+//!
+//! ## The scenario engine
+//!
+//! * [`scenario`] — named, seeded, self-describing workloads covering
+//!   static queries, batch execution, session reuse, and
+//!   update-interleaved dynamic streams on a live `DynamicGraph`; shared
+//!   timing primitives ([`scenario::Latencies`],
+//!   [`scenario::time_per_item`]) used by every binary in this crate.
+//! * [`report`] — dependency-free JSON serialization of scenario results
+//!   (`BENCH_<scenario>.json`), baseline files, and the regression
+//!   comparator the CI `perf-smoke` job gates on.
+//! * [`cli`] — the `probesim-bench` driver (`--list`, `--out`,
+//!   `--compare`, `--write-baseline`).
+//!
+//! ## Paper-reproduction binaries
 //!
 //! | Paper artifact | Binary | What it prints |
 //! |---|---|---|
@@ -22,6 +39,13 @@
 //! --seed N                RNG seed
 //! --datasets a,b,c        restrict to named datasets (paper names)
 //! ```
+
+pub mod cli;
+pub mod report;
+pub mod scenario;
+
+pub use report::{compare, CompareThresholds, Json, ScenarioReport, Verdict};
+pub use scenario::{catalog, run_scenario, time_per_item, Latencies, ScenarioSpec};
 
 use probesim_datasets::{Dataset, Scale};
 use probesim_eval::runner::timed;

@@ -1,0 +1,1135 @@
+//! Machine-readable benchmark reports and the regression comparator.
+//!
+//! The scenario engine ([`crate::scenario`]) measures; this module
+//! serializes. Each scenario run becomes a [`ScenarioReport`] written to
+//! `BENCH_<scenario>.json`, and a set of runs becomes a combined baseline
+//! file (`bench/baseline.json` in the repo) that `probesim-bench
+//! --compare` diffs against. The comparator is what the CI `perf-smoke`
+//! job gates on.
+//!
+//! Everything here is dependency-free: [`Json`] is a small ordered JSON
+//! value type with a `Display` writer and a recursive-descent parser —
+//! enough for the fixed report schema, not a general-purpose JSON crate.
+//!
+//! ## Report schema (`schema_version` 1)
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "scenario": "dynamic_churn_balanced",
+//!   "description": "...",
+//!   "kind": "dynamic",
+//!   "seed": 2017,
+//!   "scale": "ci",
+//!   "graph": {"dataset": "...", "nodes": 123, "edges": 456},
+//!   "config": {"epsilon": 0.1, "delta": 0.01, "decay": 0.6},
+//!   "workload": {"queries": 32, "updates": 320, "update_query_ratio": 10.0},
+//!   "query_latency_secs": {"count": 32, "median": ..., "p95": ..., "mean": ..., "min": ..., "max": ...},
+//!   "update_latency_secs": {...},            // dynamic scenarios only
+//!   "query_stats": {"walks": ..., ...},      // QueryStats::fields()
+//!   "total_work": 123456
+//! }
+//! ```
+//!
+//! ## Regression verdicts
+//!
+//! Three signals, compared per scenario by name:
+//!
+//! * **median query latency** — gated with a *generous* threshold
+//!   (default 1.0 = fail beyond 2× the baseline), because wall-clock
+//!   medians move across runner generations;
+//! * **median update latency** (dynamic scenarios) — same threshold,
+//!   plus a 2 µs noise floor: sub-microsecond update medians sit at
+//!   timer resolution, so only regressions into measurable territory
+//!   fail the gate (a real `insert_edge` slowdown clears the floor by
+//!   orders of magnitude);
+//! * **total work** ([`probesim_core::QueryStats::total_work`]) — gated
+//!   tightly (default 0.10), because the counter is deterministic given
+//!   seed + scenario and only moves when the algorithm does more work.
+
+use std::fmt;
+
+use crate::scenario::{Latencies, ScenarioResult};
+
+/// An ordered JSON value: the writer preserves insertion order so report
+/// files are schema-stable and diff-friendly.
+///
+/// Numbers come in two flavors: [`Json::UInt`] for exact unsigned
+/// integers (counters, seeds — a `u64` seed must survive serialization
+/// bit-exactly, which `f64` cannot guarantee past 2^53) and [`Json::Num`]
+/// for everything else. Equality treats them as one numeric domain, the
+/// way JSON itself does.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An exact unsigned integer (the parser produces this for any
+    /// unsigned digits-only literal that fits `u64`).
+    UInt(u64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl PartialEq for Json {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::UInt(a), Json::UInt(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            // Mixed numeric forms compare numerically: `7` == `7.0`.
+            (Json::UInt(a), Json::Num(b)) | (Json::Num(b), Json::UInt(a)) => *a as f64 == *b,
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Json {
+    /// Object constructor from key/value pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Exact-integer constructor for `usize` counters.
+    pub fn uint(value: usize) -> Json {
+        Json::UInt(value as u64)
+    }
+
+    /// Member lookup on an object (`None` for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number (integers included).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Num(x) => Some(x),
+            Json::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact unsigned-integer value: [`Json::UInt`] directly, or a
+    /// [`Json::Num`] that is a non-negative integer small enough
+    /// (≤ 2^53) to be exact.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(u) => Some(u),
+            Json::Num(x) if x >= 0.0 && x.fract() == 0.0 && x <= 9_007_199_254_740_992.0 => {
+                Some(x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document. Errors carry the byte offset of the
+    /// problem.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing characters after the JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::UInt(u) => write!(f, "{u}"),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    write!(f, "{x}")
+                } else {
+                    // JSON has no Infinity/NaN; reports never produce them,
+                    // but a writer must not emit invalid documents.
+                    write!(f, "null")
+                }
+            }
+            Json::Str(s) => write_json_string(f, s),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(fields) => {
+                write!(f, "{{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write_json_string(f, key)?;
+                    write!(f, ": {value}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+/// A JSON parse failure: message plus byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", expected as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {literal:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_literal("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|()| Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null").map(|()| Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Reports only escape control characters (BMP,
+                            // non-surrogate); reject surrogate pairs rather
+                            // than mis-decode them.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("surrogate \\u escape unsupported"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Continue a UTF-8 sequence: find its end and push the
+                    // whole char.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("empty char"))?;
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        // Unsigned digits-only literals stay exact (u64); everything else
+        // goes through f64.
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Version stamp written into every report; bump when the schema changes
+/// shape incompatibly.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One scenario run, serialized. Built by
+/// [`ScenarioReport::from_result`], written with
+/// [`ScenarioReport::to_json`], and re-read (for `--compare`) with
+/// [`ScenarioReport::from_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (the comparator's join key).
+    pub scenario: String,
+    /// Human-readable description of the workload.
+    pub description: String,
+    /// "static" or "dynamic".
+    pub kind: String,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// Dataset scale name ("ci" / "laptop" / "paper").
+    pub scale: String,
+    /// Dataset or generator name.
+    pub dataset: String,
+    /// Node count of the benchmarked graph.
+    pub nodes: usize,
+    /// Edge count of the benchmarked graph (at scenario start for dynamic
+    /// workloads).
+    pub edges: usize,
+    /// Engine accuracy parameter εa.
+    pub epsilon: f64,
+    /// Queries executed.
+    pub queries: usize,
+    /// Updates applied (0 for static scenarios).
+    pub updates: usize,
+    /// Per-query wall-clock latencies.
+    pub query_latency: LatencySummary,
+    /// Per-update wall-clock latencies (dynamic scenarios only).
+    pub update_latency: Option<LatencySummary>,
+    /// Merged `QueryStats` counters as `(name, value)` pairs.
+    pub query_stats: Vec<(&'static str, usize)>,
+    /// [`probesim_core::QueryStats::total_work`] over the whole run — the
+    /// deterministic regression signal.
+    pub total_work: usize,
+}
+
+/// The five-number latency summary serialized per scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: usize,
+    /// Median seconds.
+    pub median: f64,
+    /// 95th-percentile seconds.
+    pub p95: f64,
+    /// Mean seconds.
+    pub mean: f64,
+    /// Fastest sample.
+    pub min: f64,
+    /// Slowest sample.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a latency recording.
+    pub fn from_latencies(lat: &Latencies) -> LatencySummary {
+        LatencySummary {
+            count: lat.count(),
+            median: lat.quantile(0.5),
+            p95: lat.quantile(0.95),
+            mean: lat.mean(),
+            min: lat.min(),
+            max: lat.max(),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("count", Json::uint(self.count)),
+            ("median", Json::Num(self.median)),
+            ("p95", Json::Num(self.p95)),
+            ("mean", Json::Num(self.mean)),
+            ("min", Json::Num(self.min)),
+            ("max", Json::Num(self.max)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<LatencySummary, String> {
+        let field = |name: &str| -> Result<f64, String> {
+            value
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("latency summary missing numeric field {name:?}"))
+        };
+        Ok(LatencySummary {
+            count: field("count")? as usize,
+            median: field("median")?,
+            p95: field("p95")?,
+            mean: field("mean")?,
+            min: field("min")?,
+            max: field("max")?,
+        })
+    }
+}
+
+impl ScenarioReport {
+    /// Builds the serializable report for one scenario result.
+    pub fn from_result(result: &ScenarioResult) -> ScenarioReport {
+        ScenarioReport {
+            scenario: result.spec.name.to_string(),
+            description: result.spec.description.to_string(),
+            kind: if result.spec.is_dynamic() {
+                "dynamic".to_string()
+            } else {
+                "static".to_string()
+            },
+            seed: result.seed,
+            scale: result.scale_name.to_string(),
+            dataset: result.dataset.clone(),
+            nodes: result.nodes,
+            edges: result.edges,
+            epsilon: result.epsilon,
+            queries: result.queries_executed,
+            updates: result.update_latency.as_ref().map_or(0, |lat| lat.count()),
+            query_latency: LatencySummary::from_latencies(&result.query_latency),
+            update_latency: result
+                .update_latency
+                .as_ref()
+                .map(LatencySummary::from_latencies),
+            query_stats: result.query_stats.fields().collect(),
+            total_work: result.query_stats.total_work(),
+        }
+    }
+
+    /// Serializes in the fixed `schema_version` 1 shape.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema_version", Json::UInt(SCHEMA_VERSION)),
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("description", Json::Str(self.description.clone())),
+            ("kind", Json::Str(self.kind.clone())),
+            ("seed", Json::UInt(self.seed)),
+            ("scale", Json::Str(self.scale.clone())),
+            (
+                "graph",
+                Json::obj(vec![
+                    ("dataset", Json::Str(self.dataset.clone())),
+                    ("nodes", Json::uint(self.nodes)),
+                    ("edges", Json::uint(self.edges)),
+                ]),
+            ),
+            (
+                "config",
+                Json::obj(vec![("epsilon", Json::Num(self.epsilon))]),
+            ),
+            (
+                "workload",
+                Json::obj(vec![
+                    ("queries", Json::uint(self.queries)),
+                    ("updates", Json::uint(self.updates)),
+                ]),
+            ),
+            ("query_latency_secs", self.query_latency.to_json()),
+        ];
+        if let Some(update) = self.update_latency {
+            fields.push(("update_latency_secs", update.to_json()));
+        }
+        fields.push((
+            "query_stats",
+            Json::Obj(
+                self.query_stats
+                    .iter()
+                    .map(|&(name, value)| (name.to_string(), Json::uint(value)))
+                    .collect(),
+            ),
+        ));
+        fields.push(("total_work", Json::uint(self.total_work)));
+        Json::obj(fields)
+    }
+
+    /// Deserializes a report (used by `--compare` on baseline files).
+    /// Unknown fields are ignored; `query_stats` keys are matched against
+    /// the current [`probesim_core::QueryStats::FIELD_NAMES`], so old
+    /// baselines survive counter additions.
+    pub fn from_json(value: &Json) -> Result<ScenarioReport, String> {
+        let version = value
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("report missing schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (this binary reads {SCHEMA_VERSION})"
+            ));
+        }
+        let str_field = |name: &str| -> Result<String, String> {
+            value
+                .get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("report missing string field {name:?}"))
+        };
+        let num_field = |obj: &Json, name: &str| -> Result<f64, String> {
+            obj.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("report missing numeric field {name:?}"))
+        };
+        let graph = value.get("graph").ok_or("report missing graph object")?;
+        let workload = value
+            .get("workload")
+            .ok_or("report missing workload object")?;
+        let stats_obj = value
+            .get("query_stats")
+            .ok_or("report missing query_stats object")?;
+        let query_stats: Vec<(&'static str, usize)> = probesim_core::QueryStats::FIELD_NAMES
+            .into_iter()
+            .map(|name| {
+                let counter = stats_obj.get(name).and_then(Json::as_f64).unwrap_or(0.0);
+                (name, counter as usize)
+            })
+            .collect();
+        Ok(ScenarioReport {
+            scenario: str_field("scenario")?,
+            description: str_field("description")?,
+            kind: str_field("kind")?,
+            seed: value
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("report missing integer field \"seed\"")?,
+            scale: str_field("scale")?,
+            dataset: graph
+                .get("dataset")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            nodes: num_field(graph, "nodes")? as usize,
+            edges: num_field(graph, "edges")? as usize,
+            epsilon: value
+                .get("config")
+                .map(|c| num_field(c, "epsilon"))
+                .transpose()?
+                .unwrap_or(f64::NAN),
+            queries: num_field(workload, "queries")? as usize,
+            updates: num_field(workload, "updates")? as usize,
+            query_latency: LatencySummary::from_json(
+                value
+                    .get("query_latency_secs")
+                    .ok_or("report missing query_latency_secs")?,
+            )?,
+            update_latency: value
+                .get("update_latency_secs")
+                .map(LatencySummary::from_json)
+                .transpose()?,
+            query_stats,
+            total_work: num_field(value, "total_work")? as usize,
+        })
+    }
+
+    /// The counter value for `name` (0 when absent).
+    pub fn stat(&self, name: &str) -> usize {
+        self.query_stats
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+}
+
+/// Serializes a set of reports as a combined baseline document
+/// (`{"schema_version": 1, "scenarios": [...]}`).
+pub fn baseline_json(reports: &[ScenarioReport]) -> Json {
+    Json::obj(vec![
+        ("schema_version", Json::UInt(SCHEMA_VERSION)),
+        (
+            "scenarios",
+            Json::Arr(reports.iter().map(ScenarioReport::to_json).collect()),
+        ),
+    ])
+}
+
+/// Parses a baseline document: either the combined form produced by
+/// [`baseline_json`] / `--write-baseline`, or a single `BENCH_*.json`
+/// report.
+pub fn parse_baseline(text: &str) -> Result<Vec<ScenarioReport>, String> {
+    let value = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    match value.get("scenarios") {
+        Some(list) => list
+            .as_arr()
+            .ok_or("baseline \"scenarios\" is not an array")?
+            .iter()
+            .map(ScenarioReport::from_json)
+            .collect(),
+        None => Ok(vec![ScenarioReport::from_json(&value)?]),
+    }
+}
+
+/// Comparator thresholds (fractional slowdowns that trigger a failure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareThresholds {
+    /// Allowed fractional increase of median query latency before the
+    /// gate fails (1.0 = up to 2× the baseline passes).
+    pub latency: f64,
+    /// Allowed fractional increase of deterministic total work
+    /// (0.10 = up to 10% more walk/probe work passes).
+    pub work: f64,
+}
+
+impl Default for CompareThresholds {
+    fn default() -> Self {
+        CompareThresholds {
+            latency: 1.0,
+            work: 0.10,
+        }
+    }
+}
+
+/// One comparator finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Current ≤ baseline × (1 + threshold) on both signals.
+    Pass {
+        /// Scenario name.
+        scenario: String,
+    },
+    /// A signal regressed beyond its threshold.
+    Regression {
+        /// Scenario name.
+        scenario: String,
+        /// Which signal regressed ("median query latency" or
+        /// "total work").
+        signal: &'static str,
+        /// Baseline value.
+        baseline: f64,
+        /// Current value.
+        current: f64,
+        /// The fractional threshold that was exceeded.
+        threshold: f64,
+    },
+    /// The scenario exists on only one side; informational, never fails
+    /// the gate (new scenarios must be able to land before their baseline
+    /// does).
+    Missing {
+        /// Scenario name.
+        scenario: String,
+        /// Which side lacks it ("baseline" or "current run").
+        side: &'static str,
+    },
+}
+
+impl Verdict {
+    /// True for [`Verdict::Regression`].
+    pub fn is_regression(&self) -> bool {
+        matches!(self, Verdict::Regression { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Pass { scenario } => write!(f, "PASS       {scenario}"),
+            Verdict::Regression {
+                scenario,
+                signal,
+                baseline,
+                current,
+                threshold,
+            } => write!(
+                f,
+                "REGRESSION {scenario}: {signal} {current:.6} vs baseline {baseline:.6} \
+                 ({:+.1}% > allowed +{:.0}%)",
+                100.0 * (current / baseline - 1.0),
+                100.0 * threshold
+            ),
+            Verdict::Missing { scenario, side } => {
+                write!(f, "SKIP       {scenario}: not present in {side}")
+            }
+        }
+    }
+}
+
+/// Compares a current run against a baseline, scenario by scenario.
+///
+/// The gate fails (the binary exits nonzero) when any verdict
+/// [`Verdict::is_regression`]. Scenarios present on one side only are
+/// reported as [`Verdict::Missing`] and do not fail the gate.
+pub fn compare(
+    baseline: &[ScenarioReport],
+    current: &[ScenarioReport],
+    thresholds: CompareThresholds,
+) -> Vec<Verdict> {
+    let mut verdicts = Vec::new();
+    for cur in current {
+        let Some(base) = baseline.iter().find(|b| b.scenario == cur.scenario) else {
+            verdicts.push(Verdict::Missing {
+                scenario: cur.scenario.clone(),
+                side: "baseline",
+            });
+            continue;
+        };
+        let mut regressed = false;
+        let lat_base = base.query_latency.median;
+        let lat_cur = cur.query_latency.median;
+        // A zero baseline median (timer resolution on a trivial scenario)
+        // cannot be meaningfully ratioed; only the work signal gates then.
+        if lat_base > 0.0 && lat_cur > lat_base * (1.0 + thresholds.latency) {
+            regressed = true;
+            verdicts.push(Verdict::Regression {
+                scenario: cur.scenario.clone(),
+                signal: "median query latency",
+                baseline: lat_base,
+                current: lat_cur,
+                threshold: thresholds.latency,
+            });
+        }
+        // Dynamic scenarios also gate the update path: a DynamicGraph
+        // insert/remove slowdown leaves query latency and work counters
+        // untouched, so without this signal it would sail through. The
+        // noise floor keeps sub-microsecond medians (timer resolution)
+        // from flapping the gate.
+        const UPDATE_NOISE_FLOOR_SECS: f64 = 2e-6;
+        if let (Some(base_up), Some(cur_up)) = (base.update_latency, cur.update_latency) {
+            if base_up.median > 0.0
+                && cur_up.median > UPDATE_NOISE_FLOOR_SECS
+                && cur_up.median
+                    > base_up.median.max(UPDATE_NOISE_FLOOR_SECS) * (1.0 + thresholds.latency)
+            {
+                regressed = true;
+                verdicts.push(Verdict::Regression {
+                    scenario: cur.scenario.clone(),
+                    signal: "median update latency",
+                    baseline: base_up.median,
+                    current: cur_up.median,
+                    threshold: thresholds.latency,
+                });
+            }
+        }
+        let work_base = base.total_work as f64;
+        let work_cur = cur.total_work as f64;
+        if work_base > 0.0 && work_cur > work_base * (1.0 + thresholds.work) {
+            regressed = true;
+            verdicts.push(Verdict::Regression {
+                scenario: cur.scenario.clone(),
+                signal: "total work",
+                baseline: work_base,
+                current: work_cur,
+                threshold: thresholds.work,
+            });
+        }
+        if !regressed {
+            verdicts.push(Verdict::Pass {
+                scenario: cur.scenario.clone(),
+            });
+        }
+    }
+    for base in baseline {
+        if !current.iter().any(|c| c.scenario == base.scenario) {
+            verdicts.push(Verdict::Missing {
+                scenario: base.scenario.clone(),
+                side: "current run",
+            });
+        }
+    }
+    verdicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(median: f64) -> LatencySummary {
+        LatencySummary {
+            count: 10,
+            median,
+            p95: median * 2.0,
+            mean: median * 1.1,
+            min: median * 0.5,
+            max: median * 3.0,
+        }
+    }
+
+    fn report(name: &str, median: f64, work: usize) -> ScenarioReport {
+        ScenarioReport {
+            scenario: name.to_string(),
+            description: "test".to_string(),
+            kind: "static".to_string(),
+            seed: 1,
+            scale: "ci".to_string(),
+            dataset: "toy".to_string(),
+            nodes: 8,
+            edges: 12,
+            epsilon: 0.1,
+            queries: 10,
+            updates: 0,
+            query_latency: summary(median),
+            update_latency: None,
+            query_stats: vec![("walks", 5), ("walk_nodes", work)],
+            total_work: work,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let value = Json::obj(vec![
+            ("s", Json::Str("he said \"hi\"\n\ttab".to_string())),
+            ("n", Json::Num(-1.25e-7)),
+            ("i", Json::Num(1234567.0)),
+            ("b", Json::Bool(true)),
+            ("z", Json::Null),
+            (
+                "a",
+                Json::Arr(vec![Json::Num(1.0), Json::Str("x".to_string())]),
+            ),
+            ("o", Json::obj(vec![("k", Json::Num(2.0))])),
+            ("unicode", Json::Str("προβ→sim".to_string())),
+        ]);
+        let text = value.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1, ]x",
+            "{\"a\": }",
+            "\"unterminated",
+            "{\"a\": 1} trailing",
+            "nul",
+            "{'single': 1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_nesting() {
+        let value = Json::parse("  { \"a\" : [ 1 , { \"b\" : null } ] }\n").unwrap();
+        assert_eq!(
+            value.get("a").unwrap().as_arr().unwrap()[1].get("b"),
+            Some(&Json::Null)
+        );
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut original = report("static_top_k", 0.0015, 42_000);
+        original.update_latency = Some(summary(0.0001));
+        original.updates = 100;
+        original.kind = "dynamic".to_string();
+        // from_json normalizes stats onto the full FIELD_NAMES schema.
+        original.query_stats = probesim_core::QueryStats::FIELD_NAMES
+            .into_iter()
+            .map(|n| (n, if n == "walks" { 5 } else { 0 }))
+            .collect();
+        let text = original.to_json().to_string();
+        let parsed = ScenarioReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn baseline_round_trips_and_single_report_is_accepted() {
+        let reports = vec![report("a", 0.001, 100), report("b", 0.002, 200)];
+        let text = baseline_json(&reports).to_string();
+        let parsed = parse_baseline(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].scenario, "a");
+        // A bare BENCH_<scenario>.json also parses as a 1-element baseline.
+        let single = parse_baseline(&reports[1].to_json().to_string()).unwrap();
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].scenario, "b");
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_rejected() {
+        let mut text = report("a", 0.001, 100).to_json().to_string();
+        text = text.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(parse_baseline(&text)
+            .unwrap_err()
+            .contains("schema_version"));
+    }
+
+    #[test]
+    fn compare_passes_within_thresholds() {
+        let baseline = vec![report("a", 0.001, 1000)];
+        let current = vec![report("a", 0.0015, 1050)];
+        let verdicts = compare(&baseline, &current, CompareThresholds::default());
+        assert!(verdicts.iter().all(|v| !v.is_regression()), "{verdicts:?}");
+    }
+
+    #[test]
+    fn compare_flags_latency_regression() {
+        let baseline = vec![report("a", 0.001, 1000)];
+        let current = vec![report("a", 0.0021, 1000)];
+        let verdicts = compare(&baseline, &current, CompareThresholds::default());
+        assert!(
+            verdicts.iter().any(|v| matches!(
+                v,
+                Verdict::Regression {
+                    signal: "median query latency",
+                    ..
+                }
+            )),
+            "{verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn compare_flags_work_regression_even_when_latency_passes() {
+        let baseline = vec![report("a", 0.001, 1000)];
+        let current = vec![report("a", 0.001, 1200)];
+        let verdicts = compare(&baseline, &current, CompareThresholds::default());
+        assert!(
+            verdicts.iter().any(|v| matches!(
+                v,
+                Verdict::Regression {
+                    signal: "total work",
+                    ..
+                }
+            )),
+            "{verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn huge_u64_seed_round_trips_exactly() {
+        let mut original = report("a", 0.001, 100);
+        original.seed = u64::MAX; // not representable in f64
+        let text = original.to_json().to_string();
+        assert!(text.contains(&format!("\"seed\": {}", u64::MAX)));
+        let parsed = ScenarioReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed.seed, u64::MAX);
+    }
+
+    #[test]
+    fn compare_flags_update_latency_regression_on_dynamic_scenarios() {
+        let mut baseline = report("dyn", 0.001, 1000);
+        baseline.update_latency = Some(summary(5e-6));
+        let mut current = baseline.clone();
+        // Queries and work identical; only the update path got 100x slower.
+        current.update_latency = Some(summary(5e-4));
+        let verdicts = compare(
+            &[baseline.clone()],
+            &[current],
+            CompareThresholds::default(),
+        );
+        assert!(
+            verdicts.iter().any(|v| matches!(
+                v,
+                Verdict::Regression {
+                    signal: "median update latency",
+                    ..
+                }
+            )),
+            "{verdicts:?}"
+        );
+        // Sub-microsecond wiggle stays under the noise floor: no flapping.
+        let mut noisy = baseline.clone();
+        noisy.update_latency = Some(summary(0.9e-6));
+        let mut tiny_base = baseline.clone();
+        tiny_base.update_latency = Some(summary(0.2e-6));
+        let verdicts = compare(&[tiny_base], &[noisy], CompareThresholds::default());
+        assert!(verdicts.iter().all(|v| !v.is_regression()), "{verdicts:?}");
+    }
+
+    #[test]
+    fn compare_reports_missing_scenarios_without_failing() {
+        let baseline = vec![report("old", 0.001, 1000)];
+        let current = vec![report("new", 0.001, 1000)];
+        let verdicts = compare(&baseline, &current, CompareThresholds::default());
+        assert_eq!(verdicts.iter().filter(|v| v.is_regression()).count(), 0);
+        assert_eq!(
+            verdicts
+                .iter()
+                .filter(|v| matches!(v, Verdict::Missing { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn verdict_display_is_informative() {
+        let v = Verdict::Regression {
+            scenario: "a".to_string(),
+            signal: "total work",
+            baseline: 1000.0,
+            current: 1500.0,
+            threshold: 0.10,
+        };
+        let text = v.to_string();
+        assert!(text.contains("REGRESSION"));
+        assert!(text.contains("+50.0%"));
+    }
+}

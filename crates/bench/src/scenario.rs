@@ -1,0 +1,695 @@
+//! The workload scenario engine.
+//!
+//! A **scenario** is a named, seeded, self-describing workload: which
+//! graph, which query mix, which execution mode, and — for dynamic
+//! scenarios — how edge updates interleave with live queries. The engine
+//! runs a scenario and returns a [`ScenarioResult`] with per-query (and
+//! per-update) wall-clock latencies plus merged
+//! [`QueryStats`] counters; [`crate::report`] serializes that into the
+//! `BENCH_<scenario>.json` files the CI perf gate consumes.
+//!
+//! The catalog ([`catalog`]) covers the full query surface of the session
+//! API — static single-source / top-k / threshold, sequential and
+//! parallel batches, session reuse vs. per-query allocation — and the
+//! regime the paper is actually *about* but classic benchmark tables
+//! never measure: queries racing a stream of edge insertions and
+//! deletions on a live [`probesim_graph::DynamicGraph`] at configurable update:query
+//! ratios (compare the evaluation protocols of SLING/SimPush-style
+//! index-free systems and "Dynamical SimRank Search on Time-Varying
+//! Networks").
+//!
+//! The timing primitives ([`Latencies`], [`time_per_item`]) are shared
+//! with the paper-reproduction binaries, which report medians from the
+//! same machinery instead of hand-rolled mean aggregates.
+
+use std::time::Instant;
+
+use probesim_core::{ProbeSim, ProbeSimConfig, Query, QueryStats};
+use probesim_datasets::{sliding_window_workload, Dataset, Scale};
+use probesim_eval::sample_query_nodes;
+use probesim_graph::{GraphView, NodeId};
+
+/// A wall-clock latency recording with order statistics.
+///
+/// The scenario engine and the harness binaries both record per-item
+/// timings here; medians and tail quantiles are what the reports emit
+/// (mean-of-latencies hides exactly the tail a service cares about).
+#[derive(Debug, Clone, Default)]
+pub struct Latencies {
+    samples: Vec<f64>,
+}
+
+impl Latencies {
+    /// An empty recording.
+    pub fn new() -> Latencies {
+        Latencies::default()
+    }
+
+    /// Records one sample (seconds).
+    pub fn push(&mut self, secs: f64) {
+        self.samples.push(secs);
+    }
+
+    /// Times `f` and records the elapsed seconds, passing the value
+    /// through.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let value = f();
+        self.push(start.elapsed().as_secs_f64());
+        value
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean seconds (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest sample (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest sample (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Nearest-rank quantile `q ∈ [0, 1]` (0.0 when empty): `q = 0.5` is
+    /// the median, `q = 0.95` the p95.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
+        let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank]
+    }
+
+    /// Median seconds.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th-percentile seconds.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// The raw samples, in recording order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Runs `f` once per item, timing each call individually. Returns the
+/// outputs and the latency recording — the shared measurement loop the
+/// harness binaries use instead of private `for`-loops around `timed`.
+pub fn time_per_item<I, T>(
+    items: impl IntoIterator<Item = I>,
+    mut f: impl FnMut(I) -> T,
+) -> (Vec<T>, Latencies) {
+    let mut latencies = Latencies::new();
+    let outputs = items
+        .into_iter()
+        .map(|item| latencies.time(|| f(item)))
+        .collect();
+    (outputs, latencies)
+}
+
+/// What a scenario executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioKind {
+    /// Sequential queries of one shape through a single pooled session.
+    Static {
+        /// The query shape to issue.
+        shape: QueryShape,
+    },
+    /// A whole query list executed with `QuerySession::run_batch`,
+    /// repeated; each latency sample is one batch divided by its length
+    /// (per-query cost in the batch regime).
+    SequentialBatch,
+    /// The same list through `ProbeSim::par_batch`.
+    ParBatch {
+        /// Worker threads (0 = auto).
+        threads: usize,
+    },
+    /// A query stream revisiting a small node set on one long-lived
+    /// session — the pooled steady state a query service runs in.
+    SessionReuseStream {
+        /// How many times the node set is swept.
+        sweeps: usize,
+    },
+    /// The same stream with a fresh session (fresh `O(n)` scratch) per
+    /// query — the allocation-bound contrast to
+    /// [`ScenarioKind::SessionReuseStream`].
+    FreshSessionPerQuery,
+    /// Queries interleaved with a sliding-window update stream on a live
+    /// [`probesim_graph::DynamicGraph`]: each round applies `updates_per_round` events,
+    /// then issues `queries_per_round` queries against the mutated graph.
+    DynamicInterleaved {
+        /// Edge events applied per round.
+        updates_per_round: usize,
+        /// Queries issued per round.
+        queries_per_round: usize,
+    },
+}
+
+/// The query shape a static scenario issues.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryShape {
+    /// `Query::SingleSource`.
+    SingleSource,
+    /// `Query::TopK` with this `k`.
+    TopK(usize),
+    /// `Query::Threshold` with this `tau`.
+    Threshold(f64),
+}
+
+impl QueryShape {
+    fn for_node(self, node: NodeId) -> Query {
+        match self {
+            QueryShape::SingleSource => Query::SingleSource { node },
+            QueryShape::TopK(k) => Query::TopK { node, k },
+            QueryShape::Threshold(tau) => Query::Threshold { node, tau },
+        }
+    }
+}
+
+/// Which graph a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphSource {
+    /// A registry dataset at the run's [`Scale`].
+    Dataset(Dataset),
+    /// A warmed-up sliding-window stream graph (dynamic scenarios):
+    /// `n` nodes, `window` live edges, both scaled down at CI scale.
+    SlidingWindow {
+        /// Node count at laptop scale.
+        n: usize,
+        /// Live-edge window at laptop scale.
+        window: usize,
+    },
+}
+
+/// A named, self-describing workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSpec {
+    /// Unique name (the report file suffix and comparator join key).
+    pub name: &'static str,
+    /// One-line description of what the scenario measures.
+    pub description: &'static str,
+    /// The graph it runs on.
+    pub graph: GraphSource,
+    /// What it executes.
+    pub kind: ScenarioKind,
+    /// Engine accuracy parameter εa.
+    pub epsilon: f64,
+    /// Query-node sample size (for dynamic scenarios: per full run).
+    pub queries: usize,
+}
+
+impl ScenarioSpec {
+    /// True for update-interleaved dynamic workloads.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self.kind, ScenarioKind::DynamicInterleaved { .. })
+    }
+}
+
+/// The measured outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario that ran.
+    pub spec: ScenarioSpec,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Scale name ("ci" / "laptop" / "paper").
+    pub scale_name: &'static str,
+    /// Dataset / generator label.
+    pub dataset: String,
+    /// Node count of the benchmarked graph.
+    pub nodes: usize,
+    /// Edge count at scenario start.
+    pub edges: usize,
+    /// εa the engine ran with.
+    pub epsilon: f64,
+    /// Queries actually executed. Equals `query_latency.count()` except
+    /// for batch scenarios, where one latency sample covers a whole
+    /// batch (5 reps × list size queries).
+    pub queries_executed: usize,
+    /// Per-query latencies (per-batch-÷-size for batch scenarios).
+    pub query_latency: Latencies,
+    /// Per-update latencies (dynamic scenarios only).
+    pub update_latency: Option<Latencies>,
+    /// Counters merged over every query of the run.
+    pub query_stats: QueryStats,
+}
+
+/// The full scenario catalog, in a stable order.
+///
+/// Ten scenarios: six static (query shapes × execution modes), one
+/// allocation contrast, and three update-interleaved dynamic workloads at
+/// different update:query ratios.
+pub fn catalog() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            name: "static_single_source",
+            description: "sequential single-source queries, pooled session, HepTh-like graph",
+            graph: GraphSource::Dataset(Dataset::HepTh),
+            kind: ScenarioKind::Static {
+                shape: QueryShape::SingleSource,
+            },
+            epsilon: 0.1,
+            queries: 20,
+        },
+        ScenarioSpec {
+            name: "static_top_k",
+            description: "sequential top-50 queries on the locally dense Wiki-Vote analogue",
+            graph: GraphSource::Dataset(Dataset::WikiVote),
+            kind: ScenarioKind::Static {
+                shape: QueryShape::TopK(50),
+            },
+            epsilon: 0.1,
+            queries: 20,
+        },
+        ScenarioSpec {
+            name: "static_threshold",
+            description: "sequential threshold (s > 0.05) queries on the AS topology analogue",
+            graph: GraphSource::Dataset(Dataset::As),
+            kind: ScenarioKind::Static {
+                shape: QueryShape::Threshold(0.05),
+            },
+            epsilon: 0.1,
+            queries: 20,
+        },
+        ScenarioSpec {
+            name: "batch_sequential",
+            description: "top-10 query list via run_batch on one session (per-query cost)",
+            graph: GraphSource::Dataset(Dataset::HepTh),
+            kind: ScenarioKind::SequentialBatch,
+            epsilon: 0.1,
+            queries: 16,
+        },
+        ScenarioSpec {
+            name: "batch_parallel",
+            description: "the same query list via par_batch across per-thread sessions",
+            graph: GraphSource::Dataset(Dataset::HepTh),
+            kind: ScenarioKind::ParBatch { threads: 0 },
+            epsilon: 0.1,
+            queries: 16,
+        },
+        ScenarioSpec {
+            name: "session_reuse_stream",
+            description: "8-node query stream swept repeatedly on one pooled session",
+            graph: GraphSource::Dataset(Dataset::As),
+            kind: ScenarioKind::SessionReuseStream { sweeps: 4 },
+            epsilon: 0.1,
+            queries: 8,
+        },
+        ScenarioSpec {
+            name: "fresh_session_per_query",
+            description: "the same stream with fresh O(n) scratch per query (allocation cost)",
+            graph: GraphSource::Dataset(Dataset::As),
+            kind: ScenarioKind::FreshSessionPerQuery,
+            epsilon: 0.1,
+            queries: 8,
+        },
+        ScenarioSpec {
+            name: "dynamic_churn_balanced",
+            description: "live DynamicGraph, sliding-window stream, 1 update : 1 query",
+            graph: GraphSource::SlidingWindow {
+                n: 20_000,
+                window: 120_000,
+            },
+            kind: ScenarioKind::DynamicInterleaved {
+                updates_per_round: 1,
+                queries_per_round: 1,
+            },
+            epsilon: 0.1,
+            queries: 24,
+        },
+        ScenarioSpec {
+            name: "dynamic_update_heavy",
+            description: "live DynamicGraph, 10 updates : 1 query (write-dominated stream)",
+            graph: GraphSource::SlidingWindow {
+                n: 20_000,
+                window: 120_000,
+            },
+            kind: ScenarioKind::DynamicInterleaved {
+                updates_per_round: 10,
+                queries_per_round: 1,
+            },
+            epsilon: 0.1,
+            queries: 24,
+        },
+        ScenarioSpec {
+            name: "dynamic_read_heavy",
+            description: "live DynamicGraph, 1 update : 8 queries (read-dominated stream)",
+            graph: GraphSource::SlidingWindow {
+                n: 20_000,
+                window: 120_000,
+            },
+            kind: ScenarioKind::DynamicInterleaved {
+                updates_per_round: 1,
+                queries_per_round: 8,
+            },
+            epsilon: 0.1,
+            queries: 24,
+        },
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<ScenarioSpec> {
+    catalog().into_iter().find(|spec| spec.name == name)
+}
+
+/// Scale name for reports.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Ci => "ci",
+        Scale::Laptop => "laptop",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Shrinks dynamic-scenario sizes the same way the dataset registry
+/// shrinks its graphs: CI runs are ~20× smaller than laptop runs.
+fn scaled(scale: Scale, size: usize) -> usize {
+    match scale {
+        Scale::Ci => (size / 20).max(64),
+        Scale::Laptop | Scale::Paper => size,
+    }
+}
+
+/// Executes one scenario. Deterministic in `(spec, scale, seed)`: the
+/// graph, the update stream, the query nodes and the engine RNG are all
+/// derived from `seed`, so the work counters in the result are exactly
+/// reproducible (latencies, of course, are not).
+pub fn run_scenario(spec: &ScenarioSpec, scale: Scale, seed: u64) -> ScenarioResult {
+    let engine = ProbeSim::new(ProbeSimConfig::paper(spec.epsilon).with_seed(seed));
+    match spec.kind {
+        ScenarioKind::DynamicInterleaved {
+            updates_per_round,
+            queries_per_round,
+        } => run_dynamic(
+            spec,
+            scale,
+            seed,
+            &engine,
+            updates_per_round,
+            queries_per_round,
+        ),
+        _ => run_static(spec, scale, seed, &engine),
+    }
+}
+
+fn run_static(spec: &ScenarioSpec, scale: Scale, seed: u64, engine: &ProbeSim) -> ScenarioResult {
+    let GraphSource::Dataset(dataset) = spec.graph else {
+        panic!(
+            "scenario {}: static kinds require a Dataset graph source",
+            spec.name
+        );
+    };
+    let graph = dataset.generate(scale);
+    let nodes = sample_query_nodes(&graph, spec.queries, seed);
+    let mut query_latency = Latencies::new();
+    let mut query_stats = QueryStats::default();
+    let mut queries_executed = 0usize;
+
+    match spec.kind {
+        ScenarioKind::Static { shape } => {
+            let mut session = engine.session(&graph);
+            for &u in &nodes {
+                let output = query_latency
+                    .time(|| session.run(shape.for_node(u)))
+                    .expect("sampled query nodes are valid");
+                query_stats.merge(&output.stats);
+                queries_executed += 1;
+            }
+        }
+        ScenarioKind::SequentialBatch | ScenarioKind::ParBatch { .. } => {
+            let queries: Vec<Query> = nodes
+                .iter()
+                .map(|&node| Query::TopK { node, k: 10 })
+                .collect();
+            // Five batch repetitions; each sample is one batch divided by
+            // its size, i.e. achieved per-query cost in the batch regime.
+            for rep in 0..5 {
+                let batch = match spec.kind {
+                    ScenarioKind::SequentialBatch => {
+                        let mut session = engine.session(&graph);
+                        let start = Instant::now();
+                        let batch = session.run_batch(&queries);
+                        query_latency
+                            .push(start.elapsed().as_secs_f64() / queries.len().max(1) as f64);
+                        batch
+                    }
+                    ScenarioKind::ParBatch { threads } => {
+                        let start = Instant::now();
+                        let batch = engine.par_batch(&graph, &queries, threads);
+                        query_latency
+                            .push(start.elapsed().as_secs_f64() / queries.len().max(1) as f64);
+                        batch
+                    }
+                    _ => unreachable!(),
+                }
+                .expect("sampled query nodes are valid");
+                queries_executed += queries.len();
+                if rep == 0 {
+                    // Per-query RNG derivation makes every repetition
+                    // identical work; count it once.
+                    query_stats.merge(&batch.stats);
+                }
+            }
+        }
+        ScenarioKind::SessionReuseStream { sweeps } => {
+            let mut session = engine.session(&graph);
+            for _ in 0..sweeps {
+                for &u in &nodes {
+                    let output = query_latency
+                        .time(|| session.run(Query::SingleSource { node: u }))
+                        .expect("sampled query nodes are valid");
+                    query_stats.merge(&output.stats);
+                    queries_executed += 1;
+                }
+            }
+        }
+        ScenarioKind::FreshSessionPerQuery => {
+            for _ in 0..4 {
+                for &u in &nodes {
+                    let output = query_latency
+                        .time(|| {
+                            // Fresh O(n) scratch inside the timed region —
+                            // the cost the pooled stream scenario avoids.
+                            engine.session(&graph).run(Query::SingleSource { node: u })
+                        })
+                        .expect("sampled query nodes are valid");
+                    query_stats.merge(&output.stats);
+                    queries_executed += 1;
+                }
+            }
+        }
+        ScenarioKind::DynamicInterleaved { .. } => unreachable!("handled by run_dynamic"),
+    }
+
+    ScenarioResult {
+        spec: *spec,
+        seed,
+        scale_name: scale_name(scale),
+        dataset: dataset.name().to_string(),
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        epsilon: spec.epsilon,
+        queries_executed,
+        query_latency,
+        update_latency: None,
+        query_stats,
+    }
+}
+
+fn run_dynamic(
+    spec: &ScenarioSpec,
+    scale: Scale,
+    seed: u64,
+    engine: &ProbeSim,
+    updates_per_round: usize,
+    queries_per_round: usize,
+) -> ScenarioResult {
+    let GraphSource::SlidingWindow { n, window } = spec.graph else {
+        panic!(
+            "scenario {}: dynamic kinds require a SlidingWindow graph source",
+            spec.name
+        );
+    };
+    let n = scaled(scale, n);
+    let window = scaled(scale, window);
+    let rounds = spec.queries.div_ceil(queries_per_round.max(1));
+    let total_updates = rounds * updates_per_round;
+    let (mut graph, updates) = sliding_window_workload(n, window, total_updates, seed ^ 0x5EED);
+    let start_edges = graph.num_edges();
+    let query_nodes = sample_query_nodes(&graph, spec.queries.max(queries_per_round), seed);
+
+    let mut query_latency = Latencies::new();
+    let mut update_latency = Latencies::new();
+    let mut query_stats = QueryStats::default();
+    let mut update_iter = updates.into_iter();
+    let mut next_query = 0usize;
+
+    for _ in 0..rounds {
+        for update in update_iter.by_ref().take(updates_per_round) {
+            update_latency.time(|| graph.apply(update));
+        }
+        for _ in 0..queries_per_round {
+            let u = query_nodes[next_query % query_nodes.len()];
+            next_query += 1;
+            // Index-free means the query needs nothing but the current
+            // graph: scratch is re-bound to the just-mutated graph inside
+            // the timed region, exactly what a live service pays.
+            let output = query_latency
+                .time(|| engine.session(&graph).run(Query::SingleSource { node: u }))
+                .expect("query nodes stay valid under edge churn");
+            query_stats.merge(&output.stats);
+        }
+    }
+
+    ScenarioResult {
+        spec: *spec,
+        seed,
+        scale_name: scale_name(scale),
+        dataset: format!("sliding_window(n={n}, window={window})"),
+        nodes: n,
+        edges: start_edges,
+        epsilon: spec.epsilon,
+        queries_executed: next_query,
+        query_latency,
+        update_latency: Some(update_latency),
+        query_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_order_statistics() {
+        let mut lat = Latencies::new();
+        for x in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            lat.push(x);
+        }
+        assert_eq!(lat.count(), 5);
+        assert_eq!(lat.median(), 3.0);
+        assert_eq!(lat.quantile(0.0), 1.0);
+        assert_eq!(lat.quantile(1.0), 5.0);
+        assert_eq!(lat.p95(), 5.0);
+        assert_eq!(lat.min(), 1.0);
+        assert_eq!(lat.max(), 5.0);
+        assert!((lat.mean() - 3.0).abs() < 1e-12);
+        let empty = Latencies::new();
+        assert_eq!(empty.median(), 0.0);
+        assert_eq!(empty.min(), 0.0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn time_per_item_preserves_outputs_and_counts() {
+        let (outputs, lat) = time_per_item([1, 2, 3], |x| x * 10);
+        assert_eq!(outputs, vec![10, 20, 30]);
+        assert_eq!(lat.count(), 3);
+        assert!(lat.samples().iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn catalog_meets_the_contract() {
+        let specs = catalog();
+        assert!(specs.len() >= 8, "catalog has {} scenarios", specs.len());
+        let dynamic = specs.iter().filter(|s| s.is_dynamic()).count();
+        assert!(dynamic >= 2, "only {dynamic} dynamic scenarios");
+        // Names are unique and filesystem-safe (they become file names).
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len, "duplicate scenario names");
+        for spec in &specs {
+            assert!(spec
+                .name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(!spec.description.is_empty());
+            assert_eq!(find(spec.name), Some(*spec));
+        }
+        assert_eq!(find("no_such_scenario"), None);
+    }
+
+    #[test]
+    fn static_scenario_runs_and_counts_queries() {
+        let spec = find("static_top_k").unwrap();
+        let result = run_scenario(&spec, Scale::Ci, 7);
+        assert_eq!(result.query_latency.count(), spec.queries);
+        assert!(result.query_stats.walks > 0);
+        assert!(result.update_latency.is_none());
+        assert!(result.nodes > 0 && result.edges > 0);
+    }
+
+    #[test]
+    fn dynamic_scenario_interleaves_updates_and_queries() {
+        let spec = find("dynamic_update_heavy").unwrap();
+        let result = run_scenario(&spec, Scale::Ci, 7);
+        assert_eq!(result.query_latency.count(), spec.queries);
+        let updates = result.update_latency.as_ref().unwrap().count();
+        assert_eq!(updates, spec.queries * 10, "10 updates per query");
+        assert!(result.query_stats.walks > 0);
+    }
+
+    #[test]
+    fn work_counters_are_seed_deterministic() {
+        let spec = find("dynamic_churn_balanced").unwrap();
+        let a = run_scenario(&spec, Scale::Ci, 42);
+        let b = run_scenario(&spec, Scale::Ci, 42);
+        assert_eq!(a.query_stats, b.query_stats);
+        assert_eq!(a.query_stats.total_work(), b.query_stats.total_work());
+        let c = run_scenario(&spec, Scale::Ci, 43);
+        assert_ne!(
+            a.query_stats.total_work(),
+            c.query_stats.total_work(),
+            "different seed should vary the workload"
+        );
+    }
+
+    #[test]
+    fn batch_scenarios_record_per_query_samples() {
+        for name in ["batch_sequential", "batch_parallel"] {
+            let spec = find(name).unwrap();
+            let result = run_scenario(&spec, Scale::Ci, 3);
+            assert_eq!(result.query_latency.count(), 5, "{name}: 5 batch reps");
+            // One sample per batch, but every query of every rep counts
+            // as executed.
+            assert_eq!(result.queries_executed, 5 * spec.queries, "{name}");
+            assert!(result.query_stats.walks > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn queries_executed_matches_samples_outside_batch_mode() {
+        let spec = find("static_single_source").unwrap();
+        let result = run_scenario(&spec, Scale::Ci, 3);
+        assert_eq!(result.queries_executed, result.query_latency.count());
+        let spec = find("dynamic_churn_balanced").unwrap();
+        let result = run_scenario(&spec, Scale::Ci, 3);
+        assert_eq!(result.queries_executed, result.query_latency.count());
+    }
+}

@@ -27,6 +27,64 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
+    /// Counter names, in declaration order — the schema of
+    /// [`QueryStats::field_values`] and the key order serializers emit.
+    pub const FIELD_NAMES: [&'static str; 9] = [
+        "walks",
+        "truncated_walks",
+        "walk_nodes",
+        "probes",
+        "randomized_probes",
+        "hybrid_switches",
+        "edges_expanded",
+        "nodes_sampled",
+        "trie_prefixes",
+    ];
+
+    /// Counter values in [`QueryStats::FIELD_NAMES`] order.
+    pub fn field_values(&self) -> [usize; 9] {
+        // Exhaustive destructuring: adding a counter to the struct without
+        // extending this snapshot is a compile error, not a silent gap.
+        let QueryStats {
+            walks,
+            truncated_walks,
+            walk_nodes,
+            probes,
+            randomized_probes,
+            hybrid_switches,
+            edges_expanded,
+            nodes_sampled,
+            trie_prefixes,
+        } = *self;
+        [
+            walks,
+            truncated_walks,
+            walk_nodes,
+            probes,
+            randomized_probes,
+            hybrid_switches,
+            edges_expanded,
+            nodes_sampled,
+            trie_prefixes,
+        ]
+    }
+
+    /// `(name, value)` pairs for every counter — the serializable
+    /// snapshot consumed by the JSON writers in the CLI and the benchmark
+    /// report, so a new counter added here flows into every output format
+    /// automatically.
+    pub fn fields(&self) -> impl Iterator<Item = (&'static str, usize)> {
+        Self::FIELD_NAMES.into_iter().zip(self.field_values())
+    }
+
+    /// Total algorithmic work: walk nodes generated plus edges expanded
+    /// plus nodes sampled. Deterministic given graph + config + seed,
+    /// which makes it a machine-independent signal for the CI perf gate
+    /// (wall-clock medians vary across runners; this does not).
+    pub fn total_work(&self) -> usize {
+        self.walk_nodes + self.edges_expanded + self.nodes_sampled
+    }
+
     /// Merges counters from another query (for experiment aggregates).
     pub fn merge(&mut self, other: &QueryStats) {
         self.walks += other.walks;
@@ -100,6 +158,30 @@ mod tests {
         assert_eq!(a.probes, 6);
         assert_eq!(a.edges_expanded, 10);
         assert_eq!(a.hybrid_switches, 1);
+    }
+
+    #[test]
+    fn fields_snapshot_covers_every_counter() {
+        let stats = QueryStats {
+            walks: 1,
+            truncated_walks: 2,
+            walk_nodes: 3,
+            probes: 4,
+            randomized_probes: 5,
+            hybrid_switches: 6,
+            edges_expanded: 7,
+            nodes_sampled: 8,
+            trie_prefixes: 9,
+        };
+        let fields: Vec<(&str, usize)> = stats.fields().collect();
+        assert_eq!(fields.len(), QueryStats::FIELD_NAMES.len());
+        // Every value 1..=9 appears exactly once: a counter added to the
+        // struct without extending the snapshot would break this.
+        let mut values: Vec<usize> = fields.iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        assert_eq!(values, (1..=9).collect::<Vec<_>>());
+        assert_eq!(stats.fields().count(), 9);
+        assert_eq!(stats.total_work(), 3 + 7 + 8);
     }
 
     #[test]

@@ -106,6 +106,20 @@ pub enum QueryError {
         /// The rejected `tau`.
         tau: f64,
     },
+    /// The graph's node count changed after the session was created.
+    ///
+    /// A [`QuerySession`]'s workspace and accumulator slabs are sized for
+    /// the node count at construction. `DynamicGraph::add_nodes` (reached
+    /// through interior mutability or a fresh borrow between sessions'
+    /// lifetimes being juggled by a wrapper type) can grow `n` past that
+    /// size; executing anyway would index out of bounds. Rebuild the
+    /// session against the resized graph instead.
+    GraphResized {
+        /// Node count the session's scratch was sized for.
+        session_nodes: usize,
+        /// The graph's node count now.
+        graph_nodes: usize,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -122,6 +136,16 @@ impl std::fmt::Display for QueryError {
                 write!(
                     f,
                     "threshold query requires a finite, non-negative tau (got {tau})"
+                )
+            }
+            QueryError::GraphResized {
+                session_nodes,
+                graph_nodes,
+            } => {
+                write!(
+                    f,
+                    "graph grew from {session_nodes} to {graph_nodes} nodes after the \
+                     session was created; create a new session for the resized graph"
                 )
             }
         }
@@ -403,6 +427,9 @@ pub struct BatchOutput {
 pub struct QuerySession<'g, G: GraphView> {
     engine: ProbeSim,
     graph: &'g G,
+    /// Node count the scratch slabs were sized for; re-checked against the
+    /// graph on every `run` (see [`QueryError::GraphResized`]).
+    session_nodes: usize,
     ws: ProbeWorkspace,
     acc: SparseAccumulator,
     total_stats: QueryStats,
@@ -414,13 +441,16 @@ pub struct QuerySession<'g, G: GraphView> {
 
 impl<'g, G: GraphView> QuerySession<'g, G> {
     /// Binds `engine`'s configuration to `graph`. Scratch buffers are
-    /// sized for the graph's current node count (fixed for the session's
-    /// lifetime — the shared borrow keeps the graph from mutating).
+    /// sized for the graph's current node count; if the graph's `n` grows
+    /// afterwards (e.g. `DynamicGraph::add_nodes` reached through a
+    /// wrapper with interior mutability), `run` reports
+    /// [`QueryError::GraphResized`] instead of indexing out of bounds.
     pub fn new(engine: &ProbeSim, graph: &'g G) -> Self {
         let n = graph.num_nodes();
         QuerySession {
             engine: engine.clone(),
             graph,
+            session_nodes: n,
             ws: ProbeWorkspace::new(n),
             acc: SparseAccumulator::new(n),
             total_stats: QueryStats::default(),
@@ -455,6 +485,7 @@ impl<'g, G: GraphView> QuerySession<'g, G> {
     /// same seed: the RNG stream is derived per query, so session reuse
     /// never changes an answer.
     pub fn run(&mut self, query: Query) -> Result<QueryOutput, QueryError> {
+        self.check_unresized()?;
         validate(self.graph, &query)?;
         Ok(self.run_validated(query))
     }
@@ -466,6 +497,7 @@ impl<'g, G: GraphView> QuerySession<'g, G> {
         query: Query,
         rng: &mut R,
     ) -> Result<QueryOutput, QueryError> {
+        self.check_unresized()?;
         validate(self.graph, &query)?;
         Ok(self.execute(query, rng))
     }
@@ -474,10 +506,30 @@ impl<'g, G: GraphView> QuerySession<'g, G> {
     /// across all queries. The whole batch is validated up front, so a
     /// bad query is reported before any work runs.
     pub fn run_batch(&mut self, queries: &[Query]) -> Result<BatchOutput, QueryError> {
+        self.check_unresized()?;
         for query in queries {
             validate(self.graph, query)?;
         }
         Ok(self.run_batch_validated(queries))
+    }
+
+    /// The scratch slabs index `0..session_nodes`; a graph that grew past
+    /// that (only possible through interior mutability behind the shared
+    /// borrow) must be rejected before execution, not caught as an
+    /// out-of-bounds panic mid-probe. Shrinking cannot happen — the
+    /// workspace stays valid for any `n ≤ session_nodes` and node-range
+    /// validation uses the *current* count — but a changed count in either
+    /// direction means the session no longer matches the graph, so both
+    /// directions are rejected for predictability.
+    fn check_unresized(&self) -> Result<(), QueryError> {
+        let graph_nodes = self.graph.num_nodes();
+        if graph_nodes != self.session_nodes {
+            return Err(QueryError::GraphResized {
+                session_nodes: self.session_nodes,
+                graph_nodes,
+            });
+        }
+        Ok(())
     }
 
     /// Runs a pre-validated query (shared by `run` and `par_batch`).
@@ -775,6 +827,83 @@ mod tests {
         assert!(validate(&g, &Query::SingleSource { node: A }).is_ok());
     }
 
+    /// A graph whose node count can grow behind a shared borrow — the
+    /// shape of bugs where `DynamicGraph::add_nodes` outruns a session's
+    /// slab sizing (e.g. a service holding the graph in a lock and
+    /// recreating sessions lazily).
+    struct GrowableGraph {
+        inner: CsrGraph,
+        extra_nodes: std::cell::Cell<usize>,
+    }
+
+    impl GraphView for GrowableGraph {
+        fn num_nodes(&self) -> usize {
+            self.inner.num_nodes() + self.extra_nodes.get()
+        }
+        fn num_edges(&self) -> usize {
+            self.inner.num_edges()
+        }
+        fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+            if (v as usize) < self.inner.num_nodes() {
+                self.inner.in_neighbors(v)
+            } else {
+                &[]
+            }
+        }
+        fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+            if (v as usize) < self.inner.num_nodes() {
+                self.inner.out_neighbors(v)
+            } else {
+                &[]
+            }
+        }
+    }
+
+    #[test]
+    fn graph_growth_after_session_creation_is_an_error_not_oob() {
+        let graph = GrowableGraph {
+            inner: toy_graph(),
+            extra_nodes: std::cell::Cell::new(0),
+        };
+        let e = engine(0.1);
+        let mut session = e.session(&graph);
+        assert!(session.run(Query::SingleSource { node: A }).is_ok());
+
+        // The graph grows underneath the live session.
+        graph.extra_nodes.set(4);
+        let err = session.run(Query::SingleSource { node: A }).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::GraphResized {
+                session_nodes: 8,
+                graph_nodes: 12,
+            }
+        );
+        // Batches and external-RNG runs hit the same guard, before any
+        // per-query validation.
+        assert_eq!(
+            session
+                .run_batch(&[Query::SingleSource { node: A }])
+                .unwrap_err(),
+            err
+        );
+        let mut rng = query_rng(0, A);
+        assert_eq!(
+            session
+                .run_with_rng(Query::SingleSource { node: A }, &mut rng)
+                .unwrap_err(),
+            err
+        );
+        assert_eq!(session.queries_run(), 1, "no execution after the resize");
+
+        // A fresh session sized for the grown graph works again — and can
+        // query the new (isolated) nodes.
+        let mut rebound = e.session(&graph);
+        assert!(rebound.run(Query::SingleSource { node: A }).is_ok());
+        let out = rebound.run(Query::SingleSource { node: 11 }).unwrap();
+        assert!(out.scores.is_empty(), "isolated node touches nothing");
+    }
+
     #[test]
     fn query_error_display_is_actionable() {
         let messages = [
@@ -786,11 +915,18 @@ mod tests {
             QueryError::EmptyGraph.to_string(),
             QueryError::InvalidK { k: 0 }.to_string(),
             QueryError::InvalidThreshold { tau: -1.0 }.to_string(),
+            QueryError::GraphResized {
+                session_nodes: 8,
+                graph_nodes: 12,
+            }
+            .to_string(),
         ];
         assert!(messages[0].contains("out of range"));
         assert!(messages[1].contains("empty graph"));
         assert!(messages[2].contains("k >= 1"));
         assert!(messages[3].contains("tau"));
+        assert!(messages[4].contains("grew from 8 to 12"));
+        assert!(messages[4].contains("new session"));
     }
 
     #[test]

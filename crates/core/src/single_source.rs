@@ -47,7 +47,7 @@ impl ProbeSim {
     /// The RNG is seeded from `config.seed` and the query node, so repeated
     /// identical calls return identical estimates.
     ///
-    /// Convenience wrapper over a throwaway [`QuerySession`]; panics on an
+    /// Convenience wrapper over a throwaway [`crate::session::QuerySession`]; panics on an
     /// invalid query node — use [`ProbeSim::try_single_source`] for a
     /// fallible variant, and a long-lived session to amortize scratch
     /// allocation across queries.
@@ -86,7 +86,7 @@ impl ProbeSim {
     /// nodes most similar to `u`, each true score within `εa` of the true
     /// i-th largest with probability ≥ 1 − δ.
     ///
-    /// Convenience wrapper over a throwaway [`QuerySession`]; panics on an
+    /// Convenience wrapper over a throwaway [`crate::session::QuerySession`]; panics on an
     /// invalid query — see [`ProbeSim::try_top_k`].
     pub fn top_k<G: GraphView>(&self, graph: &G, u: NodeId, k: usize) -> Vec<(NodeId, f64)> {
         self.try_top_k(graph, u, k)

@@ -30,11 +30,17 @@
 //! [`registry`] maps each paper dataset to a generator configuration at a
 //! configurable scale; the benchmark harness names datasets exactly as the
 //! paper does.
+//!
+//! For dynamic workloads, [`stream`] generates seeded update streams
+//! ([`stream::SlidingWindowStream`]) that the benchmark scenarios and
+//! churn tests replay against a live `DynamicGraph`.
 
 pub mod alias;
 pub mod gens;
 pub mod powerlaw;
 pub mod registry;
+pub mod stream;
 
 pub use alias::AliasTable;
 pub use registry::{Dataset, DatasetSpec, Scale};
+pub use stream::{sliding_window_workload, SlidingWindowStream};

@@ -12,6 +12,45 @@
 use crate::view::GraphView;
 use crate::{CsrGraph, Edge, NodeId};
 
+/// One edge-level mutation of a [`DynamicGraph`].
+///
+/// Update streams — recorded workloads, the sliding-window generators in
+/// `probesim-datasets`, benchmark scenarios — are sequences of these
+/// events, applied with [`DynamicGraph::apply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphUpdate {
+    /// Insert the directed edge `u -> v`.
+    Insert {
+        /// Edge source.
+        u: NodeId,
+        /// Edge target.
+        v: NodeId,
+    },
+    /// Remove the directed edge `u -> v`.
+    Remove {
+        /// Edge source.
+        u: NodeId,
+        /// Edge target.
+        v: NodeId,
+    },
+}
+
+impl GraphUpdate {
+    /// The `(source, target)` endpoints of the affected edge.
+    #[inline]
+    pub fn edge(self) -> Edge {
+        match self {
+            GraphUpdate::Insert { u, v } | GraphUpdate::Remove { u, v } => (u, v),
+        }
+    }
+
+    /// True for [`GraphUpdate::Insert`].
+    #[inline]
+    pub fn is_insert(self) -> bool {
+        matches!(self, GraphUpdate::Insert { .. })
+    }
+}
+
 /// A directed graph under edge-level updates.
 ///
 /// Adjacency lists are kept sorted so membership checks are O(log deg) and
@@ -108,6 +147,36 @@ impl DynamicGraph {
         self.out[u as usize].binary_search(&v).is_ok()
     }
 
+    /// Applies one update event. Returns `true` when the event changed the
+    /// graph (the edge was actually inserted / removed).
+    pub fn apply(&mut self, update: GraphUpdate) -> bool {
+        match update {
+            GraphUpdate::Insert { u, v } => self.insert_edge(u, v),
+            GraphUpdate::Remove { u, v } => self.remove_edge(u, v),
+        }
+    }
+
+    /// Applies a sequence of update events, returning how many changed the
+    /// graph.
+    pub fn apply_all<I: IntoIterator<Item = GraphUpdate>>(&mut self, updates: I) -> usize {
+        updates
+            .into_iter()
+            .filter(|&update| self.apply(update))
+            .count()
+    }
+
+    /// The current edge list in `(source, target)` order, sorted — the
+    /// input [`CsrGraph::from_edges`] expects for a from-scratch rebuild.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut edges = Vec::with_capacity(self.num_edges);
+        for (u, targets) in self.out.iter().enumerate() {
+            for &v in targets {
+                edges.push((u as NodeId, v));
+            }
+        }
+        edges
+    }
+
     /// Appends `extra` isolated nodes, returning the id of the first new
     /// node. Supports growing streams where new entities appear over time.
     pub fn add_nodes(&mut self, extra: usize) -> NodeId {
@@ -119,13 +188,7 @@ impl DynamicGraph {
 
     /// An immutable CSR copy of the current state.
     pub fn snapshot(&self) -> CsrGraph {
-        let mut edges = Vec::with_capacity(self.num_edges);
-        for (u, targets) in self.out.iter().enumerate() {
-            for &v in targets {
-                edges.push((u as NodeId, v));
-            }
-        }
-        CsrGraph::from_edges(self.num_nodes(), &edges)
+        CsrGraph::from_edges(self.num_nodes(), &self.edges())
     }
 }
 
@@ -222,5 +285,39 @@ mod tests {
     fn insert_out_of_bounds_panics() {
         let mut g = DynamicGraph::new(1);
         g.insert_edge(0, 1);
+    }
+
+    #[test]
+    fn apply_mirrors_insert_and_remove() {
+        let mut by_hand = DynamicGraph::new(4);
+        let mut by_apply = DynamicGraph::new(4);
+        let updates = [
+            GraphUpdate::Insert { u: 0, v: 1 },
+            GraphUpdate::Insert { u: 2, v: 1 },
+            GraphUpdate::Insert { u: 0, v: 1 }, // duplicate: no-op
+            GraphUpdate::Remove { u: 2, v: 1 },
+            GraphUpdate::Remove { u: 3, v: 0 }, // absent: no-op
+        ];
+        let changed = by_apply.apply_all(updates);
+        assert_eq!(changed, 3);
+        by_hand.insert_edge(0, 1);
+        by_hand.insert_edge(2, 1);
+        by_hand.remove_edge(2, 1);
+        assert_eq!(by_apply.edges(), by_hand.edges());
+        assert_eq!(by_apply.num_edges(), 1);
+    }
+
+    #[test]
+    fn edges_round_trip_through_from_edges() {
+        let mut g = DynamicGraph::new(5);
+        for (u, v) in [(4, 0), (1, 3), (0, 2), (1, 0)] {
+            g.insert_edge(u, v);
+        }
+        let rebuilt = DynamicGraph::from_edges(5, &g.edges());
+        assert_eq!(rebuilt.edges(), g.edges());
+        let update = GraphUpdate::Remove { u: 1, v: 3 };
+        assert_eq!(update.edge(), (1, 3));
+        assert!(!update.is_insert());
+        assert!(GraphUpdate::Insert { u: 0, v: 1 }.is_insert());
     }
 }

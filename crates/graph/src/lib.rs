@@ -41,7 +41,7 @@ pub mod view;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
-pub use dynamic::DynamicGraph;
+pub use dynamic::{DynamicGraph, GraphUpdate};
 pub use error::GraphError;
 pub use hash::{FxHashMap, FxHashSet};
 pub use stats::DegreeStats;

@@ -188,7 +188,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Measures `routine`, adaptively choosing an iteration count so the
-    /// measurement runs for roughly [`TARGET_MEASURE`].
+    /// measurement runs for roughly `TARGET_MEASURE`.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         if self.mode == Mode::Smoke {
             black_box(routine());

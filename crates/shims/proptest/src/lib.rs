@@ -288,7 +288,7 @@ pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Size specification for [`vec`]: a `usize` range.
+    /// Size specification for [`vec()`]: a `usize` range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         start: usize,

@@ -366,20 +366,13 @@ fn query_output_json(output: &QueryOutput, elapsed: f64) -> String {
 }
 
 fn stats_json(stats: &QueryStats) -> String {
-    format!(
-        "{{\"walks\": {}, \"truncated_walks\": {}, \"walk_nodes\": {}, \"probes\": {}, \
-         \"randomized_probes\": {}, \"hybrid_switches\": {}, \"edges_expanded\": {}, \
-         \"nodes_sampled\": {}, \"trie_prefixes\": {}}}",
-        stats.walks,
-        stats.truncated_walks,
-        stats.walk_nodes,
-        stats.probes,
-        stats.randomized_probes,
-        stats.hybrid_switches,
-        stats.edges_expanded,
-        stats.nodes_sampled,
-        stats.trie_prefixes
-    )
+    // Serialized off the named-field snapshot, so new counters flow into
+    // the CLI JSON without touching this function.
+    let fields: Vec<String> = stats
+        .fields()
+        .map(|(name, value)| format!("\"{name}\": {value}"))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
 }
 
 /// JSON-safe float formatting (`Display` for f64 round-trips and never

@@ -1,0 +1,129 @@
+//! Dynamic-graph correctness under churn: after an arbitrary
+//! insert/remove stream, a session query on the live [`DynamicGraph`] is
+//! **bit-for-bit identical** (same engine seed) to the same query on a
+//! [`CsrGraph`] rebuilt from scratch from the surviving edges.
+//!
+//! This is the index-free contract the paper's dynamic-graph claim rests
+//! on: a query depends on nothing but the current graph, so *how* the
+//! graph got into its state — incremental mutation vs. fresh build — must
+//! be unobservable, down to the last mantissa bit.
+
+use probesim::prelude::*;
+use probesim_datasets::SlidingWindowStream;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Applies `ops` random insert/remove events to a fresh `n`-node graph.
+fn churned_graph(n: usize, ops: usize, seed: u64) -> DynamicGraph {
+    let mut graph = DynamicGraph::new(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..ops {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u == v {
+            continue;
+        }
+        // Bias toward insertion so the graph doesn't stay near-empty.
+        if rng.gen_range(0u32..4) < 3 {
+            graph.insert_edge(u, v);
+        } else {
+            graph.remove_edge(u, v);
+        }
+    }
+    graph
+}
+
+/// Every touched score must agree to the bit, not within a tolerance.
+fn assert_bit_identical(live: &SparseScores, rebuilt: &SparseScores) {
+    assert_eq!(live.len(), rebuilt.len(), "touched sets differ");
+    for ((lv, ls), (rv, rs)) in live.iter().zip(rebuilt.iter()) {
+        assert_eq!(lv, rv, "touched node ids diverged");
+        assert_eq!(
+            ls.to_bits(),
+            rs.to_bits(),
+            "score for node {lv} diverged: {ls} vs {rs}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random churn, then every query kind, on the live graph vs. a
+    /// from-scratch rebuild.
+    #[test]
+    fn live_graph_queries_match_rebuilt_csr(
+        n in 4usize..=32,
+        ops in 1usize..=160,
+        graph_seed in any::<u64>(),
+        engine_seed in any::<u64>(),
+    ) {
+        let live = churned_graph(n, ops, graph_seed);
+        let rebuilt = CsrGraph::from_edges(n, &live.edges());
+        let engine = ProbeSim::new(ProbeSimConfig::new(0.6, 0.08, 0.01).with_seed(engine_seed));
+        let mut live_session = engine.session(&live);
+        let mut rebuilt_session = engine.session(&rebuilt);
+        for node in 0..n as NodeId {
+            let queries = [
+                Query::SingleSource { node },
+                Query::TopK { node, k: 5 },
+                Query::Threshold { node, tau: 0.05 },
+            ];
+            for query in queries {
+                let a = live_session.run(query).expect("valid query");
+                let b = rebuilt_session.run(query).expect("valid query");
+                assert_bit_identical(&a.scores, &b.scores);
+                prop_assert_eq!(a.stats, b.stats, "work counters diverged");
+                prop_assert_eq!(a.ranking(), b.ranking());
+            }
+        }
+    }
+
+    /// The same property driven by the sliding-window stream generator
+    /// (the workload the dynamic benchmark scenarios replay).
+    #[test]
+    fn sliding_window_stream_matches_rebuilt_csr(
+        seed in any::<u64>(),
+        events in 1usize..=200,
+    ) {
+        let n = 24;
+        let mut live = DynamicGraph::new(n);
+        for update in SlidingWindowStream::new(n, 40, seed).take(events) {
+            prop_assert!(live.apply(update));
+        }
+        let rebuilt = CsrGraph::from_edges(n, &live.edges());
+        let engine = ProbeSim::new(ProbeSimConfig::new(0.6, 0.1, 0.01).with_seed(seed ^ 0xC0FFEE));
+        let mut live_session = engine.session(&live);
+        let mut rebuilt_session = engine.session(&rebuilt);
+        for node in 0..n as NodeId {
+            let a = live_session.run(Query::SingleSource { node }).expect("valid");
+            let b = rebuilt_session.run(Query::SingleSource { node }).expect("valid");
+            assert_bit_identical(&a.scores, &b.scores);
+        }
+    }
+}
+
+/// Non-proptest regression: a long stream with interleaved verification
+/// points (rebuild + compare after every block of updates), mirroring how
+/// the dynamic benchmark scenarios interleave updates and queries.
+#[test]
+fn interleaved_verification_points_along_a_stream() {
+    let n = 40;
+    let mut live = DynamicGraph::new(n);
+    let mut stream = SlidingWindowStream::new(n, 80, 99);
+    let engine = ProbeSim::new(ProbeSimConfig::new(0.6, 0.1, 0.01).with_seed(7));
+    for block in 0..6 {
+        for update in stream.by_ref().take(50) {
+            live.apply(update);
+        }
+        let rebuilt = CsrGraph::from_edges(n, &live.edges());
+        let query = Query::SingleSource {
+            node: (block * 7 % n) as NodeId,
+        };
+        let a = engine.session(&live).run(query).expect("valid");
+        let b = engine.session(&rebuilt).run(query).expect("valid");
+        assert_bit_identical(&a.scores, &b.scores);
+        assert_eq!(a.stats, b.stats);
+    }
+}
