@@ -9,7 +9,10 @@ use std::path::Path;
 
 use probesim_datasets::Scale;
 
-use crate::report::{baseline_json, compare, parse_baseline, CompareThresholds, ScenarioReport};
+use crate::report::{
+    baseline_json, compare, contrast_json, contrast_pairs, parse_baseline, CompareThresholds,
+    ScenarioReport,
+};
 use crate::scenario::{catalog, find, run_scenario, scale_name, ScenarioSpec};
 
 /// Usage text printed on flag errors.
@@ -18,6 +21,7 @@ pub const USAGE: &str = "usage:
   probesim-bench [--scenarios a,b,c] [--scale ci|laptop|paper] [--seed N]
                  [--out DIR] [--write-baseline FILE]
                  [--compare FILE] [--threshold F] [--work-threshold F]
+                 [--contrast FILE] [--contrast-min PCT]
 
   --list                print the scenario catalog and exit
   --scenarios a,b,c     run only the named scenarios (default: all)
@@ -30,7 +34,14 @@ pub const USAGE: &str = "usage:
   --threshold F         allowed fractional median-latency increase (default 1.0,
                         i.e. fail beyond 2x — wall clocks differ across machines)
   --work-threshold F    allowed fractional total-work increase (default 0.10 —
-                        the work counters are deterministic, so this is tight)";
+                        the work counters are deterministic, so this is tight;
+                        *_fused scenarios are additionally capped at +5%)
+  --contrast FILE       pair this run's <base>_fused/<base>_legacy scenarios,
+                        write a one-line JSON summary (work_reduction_pct per
+                        pair) to FILE, and exit 1 when a pair's deterministic
+                        work reduction falls below --contrast-min
+  --contrast-min PCT    minimum percent work reduction the fused engine must
+                        deliver on every contrast pair (default 25)";
 
 /// Parsed driver options.
 #[derive(Debug, Clone)]
@@ -51,6 +62,10 @@ pub struct Options {
     pub compare: Option<String>,
     /// Comparator thresholds.
     pub thresholds: CompareThresholds,
+    /// Path for the fused-vs-legacy contrast summary.
+    pub contrast: Option<String>,
+    /// Minimum percent work reduction every contrast pair must show.
+    pub contrast_min: f64,
 }
 
 impl Options {
@@ -65,6 +80,8 @@ impl Options {
             write_baseline: None,
             compare: None,
             thresholds: CompareThresholds::default(),
+            contrast: None,
+            contrast_min: 25.0,
         };
         let mut i = 0;
         while i < args.len() {
@@ -136,6 +153,16 @@ impl Options {
                         .map_err(|_| "--work-threshold expects a number".to_string())?;
                     i += 2;
                 }
+                "--contrast" => {
+                    options.contrast = Some(value("--contrast")?);
+                    i += 2;
+                }
+                "--contrast-min" => {
+                    options.contrast_min = value("--contrast-min")?
+                        .parse()
+                        .map_err(|_| "--contrast-min expects a number".to_string())?;
+                    i += 2;
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -203,6 +230,47 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         );
     }
 
+    let mut failed = false;
+    if let Some(path) = &options.contrast {
+        let pairs = contrast_pairs(&reports);
+        // A contrast gate with nothing to gate must fail, not pass: a
+        // scenario rename or a narrowed --scenarios selection would
+        // otherwise switch the fused-regression check off silently.
+        if pairs.is_empty() {
+            return Err(format!(
+                "--contrast {path}: no <base>_fused/<base>_legacy scenario pair in this run \
+                 (include both halves of a pair, e.g. probe_static_fused,probe_static_legacy)"
+            ));
+        }
+        let mut text = contrast_json(&pairs).to_string();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!();
+        println!(
+            "# fused-vs-legacy contrast ({} pair(s), minimum {:.0}% work reduction)",
+            pairs.len(),
+            options.contrast_min
+        );
+        for pair in &pairs {
+            let ok = pair.work_reduction_pct() >= options.contrast_min;
+            println!(
+                "{} {:<22} work -{:.1}% ({} -> {}), edges_expanded -{:.1}%",
+                if ok { "PASS      " } else { "REGRESSION" },
+                pair.base,
+                pair.work_reduction_pct(),
+                pair.legacy_total_work,
+                pair.fused_total_work,
+                pair.edges_reduction_pct(),
+            );
+            if !ok {
+                failed = true;
+            }
+        }
+        if failed {
+            println!("fused work reduction below the floor — failing the contrast gate");
+        }
+    }
+
     if let Some(path) = &options.compare {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let baseline = parse_baseline(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -219,11 +287,12 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         let regressions = verdicts.iter().filter(|v| v.is_regression()).count();
         if regressions > 0 {
             println!("{regressions} regression(s) — failing the perf gate");
-            return Ok(1);
+            failed = true;
+        } else {
+            println!("perf gate passed");
         }
-        println!("perf gate passed");
     }
-    Ok(0)
+    Ok(if failed { 1 } else { 0 })
 }
 
 fn print_catalog() {
@@ -278,6 +347,10 @@ mod tests {
             "0.5",
             "--work-threshold",
             "0.2",
+            "--contrast",
+            "contrast.json",
+            "--contrast-min",
+            "30",
         ]))
         .unwrap();
         assert_eq!(options.scenarios.as_ref().unwrap().len(), 2);
@@ -287,6 +360,8 @@ mod tests {
         assert_eq!(options.compare.as_deref(), Some("bench/baseline.json"));
         assert_eq!(options.thresholds.latency, 0.5);
         assert_eq!(options.thresholds.work, 0.2);
+        assert_eq!(options.contrast.as_deref(), Some("contrast.json"));
+        assert_eq!(options.contrast_min, 30.0);
     }
 
     #[test]
@@ -308,5 +383,21 @@ mod tests {
     #[test]
     fn list_mode_exits_zero_without_running() {
         assert_eq!(run(&argv(&["--list"])).unwrap(), 0);
+    }
+
+    #[test]
+    fn contrast_without_a_pair_is_an_error_not_a_silent_pass() {
+        // `static_threshold` is the cheapest scenario; a --contrast run
+        // over it alone has no fused/legacy pair and must error out
+        // instead of writing an empty summary and exiting 0.
+        let err = run(&argv(&[
+            "--scenarios",
+            "static_threshold",
+            "--contrast",
+            "/tmp/probesim-contrast-none.json",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no <base>_fused/<base>_legacy"), "{err}");
+        assert!(!std::path::Path::new("/tmp/probesim-contrast-none.json").exists());
     }
 }

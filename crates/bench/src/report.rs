@@ -470,6 +470,10 @@ pub struct ScenarioReport {
     /// Edge count of the benchmarked graph (at scenario start for dynamic
     /// workloads).
     pub edges: usize,
+    /// Deterministic hash of the final edge list (dynamic scenarios
+    /// only): baseline and current runs with the same seed must agree,
+    /// or they did not replay the same workload.
+    pub final_state_hash: Option<u64>,
     /// Engine accuracy parameter εa.
     pub epsilon: f64,
     /// Queries executed.
@@ -562,6 +566,7 @@ impl ScenarioReport {
             dataset: result.dataset.clone(),
             nodes: result.nodes,
             edges: result.edges,
+            final_state_hash: result.final_state_hash,
             epsilon: result.epsilon,
             queries: result.queries_executed,
             updates: result.update_latency.as_ref().map_or(0, |lat| lat.count()),
@@ -584,14 +589,17 @@ impl ScenarioReport {
             ("kind", Json::Str(self.kind.clone())),
             ("seed", Json::UInt(self.seed)),
             ("scale", Json::Str(self.scale.clone())),
-            (
-                "graph",
-                Json::obj(vec![
+            ("graph", {
+                let mut graph = vec![
                     ("dataset", Json::Str(self.dataset.clone())),
                     ("nodes", Json::uint(self.nodes)),
                     ("edges", Json::uint(self.edges)),
-                ]),
-            ),
+                ];
+                if let Some(hash) = self.final_state_hash {
+                    graph.push(("final_state_hash", Json::UInt(hash)));
+                }
+                Json::obj(graph)
+            }),
             (
                 "config",
                 Json::obj(vec![("epsilon", Json::Num(self.epsilon))]),
@@ -677,6 +685,7 @@ impl ScenarioReport {
                 .to_string(),
             nodes: num_field(graph, "nodes")? as usize,
             edges: num_field(graph, "edges")? as usize,
+            final_state_hash: graph.get("final_state_hash").and_then(Json::as_u64),
             epsilon: value
                 .get("config")
                 .map(|c| num_field(c, "epsilon"))
@@ -746,6 +755,13 @@ pub struct CompareThresholds {
     pub work: f64,
 }
 
+/// Tightened work threshold applied to `*_fused` scenarios: the fused
+/// engine's whole reason to exist is its work reduction, so its
+/// scenarios may not give back more than 5% of it without failing the
+/// gate (the global `work` threshold still applies everywhere else,
+/// and whichever is smaller wins on fused scenarios).
+pub const FUSED_WORK_THRESHOLD: f64 = 0.05;
+
 impl Default for CompareThresholds {
     fn default() -> Self {
         CompareThresholds {
@@ -777,6 +793,19 @@ pub enum Verdict {
         /// The fractional threshold that was exceeded.
         threshold: f64,
     },
+    /// The deterministic workload fingerprint (`final_state_hash`)
+    /// differs: baseline and current did not replay the same update
+    /// stream, so their counters compare different workloads. Always
+    /// fails the gate; the fix is regenerating the baseline.
+    FingerprintMismatch {
+        /// Scenario name.
+        scenario: String,
+        /// Baseline fingerprint.
+        baseline: u64,
+        /// Current fingerprint; `None` when the current run stopped
+        /// emitting one (itself a regression of the identity check).
+        current: Option<u64>,
+    },
     /// The scenario exists on only one side; informational, never fails
     /// the gate (new scenarios must be able to land before their baseline
     /// does).
@@ -789,9 +818,13 @@ pub enum Verdict {
 }
 
 impl Verdict {
-    /// True for [`Verdict::Regression`].
+    /// True for the gate-failing verdicts ([`Verdict::Regression`] and
+    /// [`Verdict::FingerprintMismatch`]).
     pub fn is_regression(&self) -> bool {
-        matches!(self, Verdict::Regression { .. })
+        matches!(
+            self,
+            Verdict::Regression { .. } | Verdict::FingerprintMismatch { .. }
+        )
     }
 }
 
@@ -812,6 +845,22 @@ impl fmt::Display for Verdict {
                 100.0 * (current / baseline - 1.0),
                 100.0 * threshold
             ),
+            Verdict::FingerprintMismatch {
+                scenario,
+                baseline,
+                current,
+            } => match current {
+                Some(current) => write!(
+                    f,
+                    "REGRESSION {scenario}: workload fingerprint {current:#018x} vs baseline \
+                     {baseline:#018x} — not the same workload, regenerate the baseline"
+                ),
+                None => write!(
+                    f,
+                    "REGRESSION {scenario}: workload fingerprint missing from the current run \
+                     (baseline has {baseline:#018x}) — the identity check stopped being emitted"
+                ),
+            },
             Verdict::Missing { scenario, side } => {
                 write!(f, "SKIP       {scenario}: not present in {side}")
             }
@@ -875,16 +924,41 @@ pub fn compare(
                 });
             }
         }
+        // Workload identity: the final-state hash is a pure function of
+        // (scenario, scale, seed). A mismatch means the update stream or
+        // graph generator changed — the work numbers are then comparing
+        // different workloads, which must fail loudly, not drift quietly.
+        // Asymmetric on purpose: a baseline *without* a hash predates the
+        // field and passes, but a current run that stopped emitting one
+        // against a hash-carrying baseline has lost the identity check —
+        // exactly the quiet drift this gate exists to catch.
+        if let Some(base_hash) = base.final_state_hash {
+            if cur.final_state_hash != Some(base_hash) {
+                regressed = true;
+                verdicts.push(Verdict::FingerprintMismatch {
+                    scenario: cur.scenario.clone(),
+                    baseline: base_hash,
+                    current: cur.final_state_hash,
+                });
+            }
+        }
         let work_base = base.total_work as f64;
         let work_cur = cur.total_work as f64;
-        if work_base > 0.0 && work_cur > work_base * (1.0 + thresholds.work) {
+        // Fused scenarios gate their work budget tighter: the reduction
+        // they were introduced for is not allowed to erode silently.
+        let work_threshold = if cur.scenario.ends_with("_fused") {
+            thresholds.work.min(FUSED_WORK_THRESHOLD)
+        } else {
+            thresholds.work
+        };
+        if work_base > 0.0 && work_cur > work_base * (1.0 + work_threshold) {
             regressed = true;
             verdicts.push(Verdict::Regression {
                 scenario: cur.scenario.clone(),
                 signal: "total work",
                 baseline: work_base,
                 current: work_cur,
-                threshold: thresholds.work,
+                threshold: work_threshold,
             });
         }
         if !regressed {
@@ -902,6 +976,95 @@ pub fn compare(
         }
     }
     verdicts
+}
+
+/// One fused-vs-legacy scenario pairing, matched by the `<base>_fused` /
+/// `<base>_legacy` naming convention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContrastPair {
+    /// Shared scenario-name prefix (e.g. `probe_static`).
+    pub base: String,
+    /// `total_work` of the fused run.
+    pub fused_total_work: usize,
+    /// `total_work` of the legacy per-prefix run.
+    pub legacy_total_work: usize,
+    /// `edges_expanded` of the fused run.
+    pub fused_edges_expanded: usize,
+    /// `edges_expanded` of the legacy per-prefix run.
+    pub legacy_edges_expanded: usize,
+}
+
+impl ContrastPair {
+    /// Percentage of deterministic total work the fused engine saved
+    /// (positive = fused did less work).
+    pub fn work_reduction_pct(&self) -> f64 {
+        reduction_pct(self.legacy_total_work, self.fused_total_work)
+    }
+
+    /// Percentage of deterministic edge expansions the fused engine
+    /// saved.
+    pub fn edges_reduction_pct(&self) -> f64 {
+        reduction_pct(self.legacy_edges_expanded, self.fused_edges_expanded)
+    }
+}
+
+fn reduction_pct(legacy: usize, fused: usize) -> f64 {
+    if legacy == 0 {
+        return 0.0;
+    }
+    100.0 * (legacy as f64 - fused as f64) / legacy as f64
+}
+
+/// Pairs `<base>_fused` / `<base>_legacy` reports from one run. Reports
+/// without a counterpart are skipped (the contrast gate then simply has
+/// nothing to say about them).
+pub fn contrast_pairs(reports: &[ScenarioReport]) -> Vec<ContrastPair> {
+    let mut pairs = Vec::new();
+    for fused in reports {
+        let Some(base) = fused.scenario.strip_suffix("_fused") else {
+            continue;
+        };
+        let legacy_name = format!("{base}_legacy");
+        let Some(legacy) = reports.iter().find(|r| r.scenario == legacy_name) else {
+            continue;
+        };
+        pairs.push(ContrastPair {
+            base: base.to_string(),
+            fused_total_work: fused.total_work,
+            legacy_total_work: legacy.total_work,
+            fused_edges_expanded: fused.stat("edges_expanded"),
+            legacy_edges_expanded: legacy.stat("edges_expanded"),
+        });
+    }
+    pairs
+}
+
+/// Serializes contrast pairs as the one-line JSON summary CI uploads:
+/// `{"schema_version": 1, "contrast": [{"scenario": "probe_static",
+/// "work_reduction_pct": …, …}, …]}`.
+pub fn contrast_json(pairs: &[ContrastPair]) -> Json {
+    Json::obj(vec![
+        ("schema_version", Json::UInt(SCHEMA_VERSION)),
+        (
+            "contrast",
+            Json::Arr(
+                pairs
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("scenario", Json::Str(p.base.clone())),
+                            ("fused_total_work", Json::uint(p.fused_total_work)),
+                            ("legacy_total_work", Json::uint(p.legacy_total_work)),
+                            ("work_reduction_pct", Json::Num(p.work_reduction_pct())),
+                            ("fused_edges_expanded", Json::uint(p.fused_edges_expanded)),
+                            ("legacy_edges_expanded", Json::uint(p.legacy_edges_expanded)),
+                            ("edges_reduction_pct", Json::Num(p.edges_reduction_pct())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 #[cfg(test)]
@@ -929,6 +1092,7 @@ mod tests {
             dataset: "toy".to_string(),
             nodes: 8,
             edges: 12,
+            final_state_hash: None,
             epsilon: 0.1,
             queries: 10,
             updates: 0,
@@ -1102,6 +1266,127 @@ mod tests {
         tiny_base.update_latency = Some(summary(0.2e-6));
         let verdicts = compare(&[tiny_base], &[noisy], CompareThresholds::default());
         assert!(verdicts.iter().all(|v| !v.is_regression()), "{verdicts:?}");
+    }
+
+    #[test]
+    fn fused_scenarios_gate_work_tighter() {
+        // +7% work: inside the global +10% budget, outside the fused +5%.
+        let baseline = vec![report("probe_static_fused", 0.001, 1000)];
+        let current = vec![report("probe_static_fused", 0.001, 1070)];
+        let verdicts = compare(&baseline, &current, CompareThresholds::default());
+        assert!(
+            verdicts.iter().any(|v| matches!(
+                v,
+                Verdict::Regression {
+                    signal: "total work",
+                    threshold,
+                    ..
+                } if *threshold == FUSED_WORK_THRESHOLD
+            )),
+            "{verdicts:?}"
+        );
+        // The same +7% on a non-fused scenario passes.
+        let baseline = vec![report("static_top_k", 0.001, 1000)];
+        let current = vec![report("static_top_k", 0.001, 1070)];
+        let verdicts = compare(&baseline, &current, CompareThresholds::default());
+        assert!(verdicts.iter().all(|v| !v.is_regression()), "{verdicts:?}");
+    }
+
+    #[test]
+    fn workload_fingerprint_mismatch_fails_the_gate() {
+        // Hashes above 2^53 that differ only in low bits must still be
+        // detected and displayed distinctly (they collide as f64).
+        let mut baseline = report("dyn", 0.001, 1000);
+        baseline.final_state_hash = Some(u64::MAX - 2);
+        let mut current = baseline.clone();
+        current.final_state_hash = Some(u64::MAX - 1);
+        let verdicts = compare(
+            &[baseline.clone()],
+            &[current],
+            CompareThresholds::default(),
+        );
+        let mismatch = verdicts
+            .iter()
+            .find(|v| matches!(v, Verdict::FingerprintMismatch { .. }))
+            .expect("fingerprint mismatch verdict");
+        assert!(mismatch.is_regression());
+        let text = mismatch.to_string();
+        assert!(text.contains("regenerate the baseline"), "{text}");
+        assert!(
+            text.contains(&format!("{:#018x}", u64::MAX - 1))
+                && text.contains(&format!("{:#018x}", u64::MAX - 2)),
+            "hashes must print exactly: {text}"
+        );
+        // Matching hashes (or a baseline predating the field) pass.
+        let verdicts = compare(
+            &[baseline.clone()],
+            &[baseline.clone()],
+            CompareThresholds::default(),
+        );
+        assert!(verdicts.iter().all(|v| !v.is_regression()));
+        let mut old_baseline = baseline.clone();
+        old_baseline.final_state_hash = None;
+        let verdicts = compare(
+            &[old_baseline],
+            &[baseline.clone()],
+            CompareThresholds::default(),
+        );
+        assert!(verdicts.iter().all(|v| !v.is_regression()));
+        // Asymmetric: a current run that LOST the hash against a
+        // hash-carrying baseline fails — the identity check went dark.
+        let mut hashless_current = baseline.clone();
+        hashless_current.final_state_hash = None;
+        let verdicts = compare(
+            &[baseline],
+            &[hashless_current],
+            CompareThresholds::default(),
+        );
+        let gone = verdicts
+            .iter()
+            .find(|v| v.is_regression())
+            .expect("missing-hash regression");
+        assert!(gone.to_string().contains("missing from the current run"));
+    }
+
+    #[test]
+    fn final_state_hash_round_trips_through_json() {
+        let mut original = report("dyn", 0.001, 100);
+        original.final_state_hash = Some(u64::MAX - 1);
+        // from_json normalizes stats onto the full FIELD_NAMES schema.
+        original.query_stats = probesim_core::QueryStats::FIELD_NAMES
+            .into_iter()
+            .map(|n| (n, 0))
+            .collect();
+        let text = original.to_json().to_string();
+        let parsed = ScenarioReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, original);
+        assert_eq!(parsed.final_state_hash, Some(u64::MAX - 1));
+    }
+
+    #[test]
+    fn contrast_pairs_and_summary_json() {
+        let mut fused = report("probe_static_fused", 0.001, 600);
+        fused.query_stats = vec![("edges_expanded", 500)];
+        let mut legacy = report("probe_static_legacy", 0.002, 1000);
+        legacy.query_stats = vec![("edges_expanded", 900)];
+        let unpaired = report("static_top_k", 0.001, 77);
+        let pairs = contrast_pairs(&[fused, legacy, unpaired]);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].base, "probe_static");
+        assert!((pairs[0].work_reduction_pct() - 40.0).abs() < 1e-12);
+        assert!((pairs[0].edges_reduction_pct() - 400.0 / 9.0).abs() < 1e-9);
+        let json = contrast_json(&pairs);
+        let text = json.to_string();
+        assert!(text.contains("\"work_reduction_pct\": 40"));
+        let parsed = Json::parse(&text).unwrap();
+        let list = parsed.get("contrast").unwrap().as_arr().unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(
+            list[0].get("scenario").unwrap().as_str().unwrap(),
+            "probe_static"
+        );
+        // No counterpart => no pair.
+        assert!(contrast_pairs(&[report("x_fused", 0.1, 1)]).is_empty());
     }
 
     #[test]

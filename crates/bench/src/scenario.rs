@@ -22,12 +22,14 @@
 //! with the paper-reproduction binaries, which report medians from the
 //! same machinery instead of hand-rolled mean aggregates.
 
+use std::hash::Hasher;
 use std::time::Instant;
 
 use probesim_core::{ProbeSim, ProbeSimConfig, Query, QueryStats};
 use probesim_datasets::{sliding_window_workload, Dataset, Scale};
 use probesim_eval::sample_query_nodes;
-use probesim_graph::{GraphView, NodeId};
+use probesim_graph::hash::FxHasher;
+use probesim_graph::{DynamicGraph, GraphView, NodeId};
 
 /// A wall-clock latency recording with order statistics.
 ///
@@ -219,6 +221,10 @@ pub struct ScenarioSpec {
     pub epsilon: f64,
     /// Query-node sample size (for dynamic scenarios: per full run).
     pub queries: usize,
+    /// Whether the engine runs the fused probe engine (the library
+    /// default) or the legacy per-prefix path. The `*_fused`/`*_legacy`
+    /// contrast pairs flip only this bit.
+    pub fuse_probes: bool,
 }
 
 impl ScenarioSpec {
@@ -255,13 +261,19 @@ pub struct ScenarioResult {
     pub update_latency: Option<Latencies>,
     /// Counters merged over every query of the run.
     pub query_stats: QueryStats,
+    /// Order-sensitive hash of the final edge list (dynamic scenarios
+    /// only), streamed through `DynamicGraph::edges_iter` — a
+    /// deterministic witness that baseline and current runs replayed the
+    /// same update stream.
+    pub final_state_hash: Option<u64>,
 }
 
 /// The full scenario catalog, in a stable order.
 ///
-/// Ten scenarios: six static (query shapes × execution modes), one
-/// allocation contrast, and three update-interleaved dynamic workloads at
-/// different update:query ratios.
+/// Fourteen scenarios: six static (query shapes × execution modes), one
+/// allocation contrast, three update-interleaved dynamic workloads at
+/// different update:query ratios, and two fused-vs-legacy probe-engine
+/// contrast pairs (one static, one dynamic).
 pub fn catalog() -> Vec<ScenarioSpec> {
     vec![
         ScenarioSpec {
@@ -273,6 +285,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             },
             epsilon: 0.1,
             queries: 20,
+            fuse_probes: true,
         },
         ScenarioSpec {
             name: "static_top_k",
@@ -283,6 +296,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             },
             epsilon: 0.1,
             queries: 20,
+            fuse_probes: true,
         },
         ScenarioSpec {
             name: "static_threshold",
@@ -293,6 +307,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             },
             epsilon: 0.1,
             queries: 20,
+            fuse_probes: true,
         },
         ScenarioSpec {
             name: "batch_sequential",
@@ -301,6 +316,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             kind: ScenarioKind::SequentialBatch,
             epsilon: 0.1,
             queries: 16,
+            fuse_probes: true,
         },
         ScenarioSpec {
             name: "batch_parallel",
@@ -309,6 +325,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             kind: ScenarioKind::ParBatch { threads: 0 },
             epsilon: 0.1,
             queries: 16,
+            fuse_probes: true,
         },
         ScenarioSpec {
             name: "session_reuse_stream",
@@ -317,6 +334,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             kind: ScenarioKind::SessionReuseStream { sweeps: 4 },
             epsilon: 0.1,
             queries: 8,
+            fuse_probes: true,
         },
         ScenarioSpec {
             name: "fresh_session_per_query",
@@ -325,6 +343,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             kind: ScenarioKind::FreshSessionPerQuery,
             epsilon: 0.1,
             queries: 8,
+            fuse_probes: true,
         },
         ScenarioSpec {
             name: "dynamic_churn_balanced",
@@ -339,6 +358,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             },
             epsilon: 0.1,
             queries: 24,
+            fuse_probes: true,
         },
         ScenarioSpec {
             name: "dynamic_update_heavy",
@@ -353,6 +373,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             },
             epsilon: 0.1,
             queries: 24,
+            fuse_probes: true,
         },
         ScenarioSpec {
             name: "dynamic_read_heavy",
@@ -367,6 +388,63 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             },
             epsilon: 0.1,
             queries: 24,
+            fuse_probes: true,
+        },
+        // Fused-vs-legacy probe contrast pairs: identical workloads, only
+        // the `fuse_probes` bit differs. `probesim-bench --contrast` pairs
+        // them by the `_fused`/`_legacy` suffix and gates the minimum
+        // deterministic work reduction.
+        ScenarioSpec {
+            name: "probe_static_fused",
+            description: "probe-heavy single-source on dense Wiki-Vote, fused frontier engine",
+            graph: GraphSource::Dataset(Dataset::WikiVote),
+            kind: ScenarioKind::Static {
+                shape: QueryShape::SingleSource,
+            },
+            epsilon: 0.1,
+            queries: 12,
+            fuse_probes: true,
+        },
+        ScenarioSpec {
+            name: "probe_static_legacy",
+            description: "the same probe-heavy workload on the legacy per-prefix path",
+            graph: GraphSource::Dataset(Dataset::WikiVote),
+            kind: ScenarioKind::Static {
+                shape: QueryShape::SingleSource,
+            },
+            epsilon: 0.1,
+            queries: 12,
+            fuse_probes: false,
+        },
+        ScenarioSpec {
+            name: "probe_dynamic_fused",
+            description: "probe-heavy queries racing a live update stream, fused engine",
+            graph: GraphSource::SlidingWindow {
+                n: 20_000,
+                window: 160_000,
+            },
+            kind: ScenarioKind::DynamicInterleaved {
+                updates_per_round: 1,
+                queries_per_round: 2,
+            },
+            epsilon: 0.1,
+            queries: 12,
+            fuse_probes: true,
+        },
+        ScenarioSpec {
+            name: "probe_dynamic_legacy",
+            description: "the same dynamic probe-heavy workload on the per-prefix path",
+            graph: GraphSource::SlidingWindow {
+                n: 20_000,
+                window: 160_000,
+            },
+            kind: ScenarioKind::DynamicInterleaved {
+                updates_per_round: 1,
+                queries_per_round: 2,
+            },
+            epsilon: 0.1,
+            queries: 12,
+            fuse_probes: false,
         },
     ]
 }
@@ -399,7 +477,9 @@ fn scaled(scale: Scale, size: usize) -> usize {
 /// derived from `seed`, so the work counters in the result are exactly
 /// reproducible (latencies, of course, are not).
 pub fn run_scenario(spec: &ScenarioSpec, scale: Scale, seed: u64) -> ScenarioResult {
-    let engine = ProbeSim::new(ProbeSimConfig::paper(spec.epsilon).with_seed(seed));
+    let mut config = ProbeSimConfig::paper(spec.epsilon).with_seed(seed);
+    config.optimizations.fuse_probes = spec.fuse_probes;
+    let engine = ProbeSim::new(config);
     match spec.kind {
         ScenarioKind::DynamicInterleaved {
             updates_per_round,
@@ -517,7 +597,20 @@ fn run_static(spec: &ScenarioSpec, scale: Scale, seed: u64, engine: &ProbeSim) -
         query_latency,
         update_latency: None,
         query_stats,
+        final_state_hash: None,
     }
+}
+
+/// Order-sensitive FxHash of a live graph's edge list, streamed through
+/// the non-allocating [`DynamicGraph::edges_iter`].
+fn graph_state_hash(graph: &DynamicGraph) -> u64 {
+    let mut hasher = FxHasher::default();
+    hasher.write_u64(graph.num_nodes() as u64);
+    for (u, v) in graph.edges_iter() {
+        hasher.write_u32(u);
+        hasher.write_u32(v);
+    }
+    hasher.finish()
 }
 
 fn run_dynamic(
@@ -577,6 +670,7 @@ fn run_dynamic(
         query_latency,
         update_latency: Some(update_latency),
         query_stats,
+        final_state_hash: Some(graph_state_hash(&graph)),
     }
 }
 
@@ -668,6 +762,63 @@ mod tests {
             c.query_stats.total_work(),
             "different seed should vary the workload"
         );
+    }
+
+    #[test]
+    fn contrast_pairs_flip_only_the_fuse_bit() {
+        for base in ["probe_static", "probe_dynamic"] {
+            let fused = find(&format!("{base}_fused")).unwrap();
+            let legacy = find(&format!("{base}_legacy")).unwrap();
+            assert!(fused.fuse_probes, "{base}_fused");
+            assert!(!legacy.fuse_probes, "{base}_legacy");
+            assert_eq!(fused.graph, legacy.graph, "{base}");
+            assert_eq!(fused.kind, legacy.kind, "{base}");
+            assert_eq!(fused.epsilon, legacy.epsilon, "{base}");
+            assert_eq!(fused.queries, legacy.queries, "{base}");
+        }
+    }
+
+    #[test]
+    fn fused_engine_cuts_probe_work_by_a_quarter_at_ci_scale() {
+        // The PR's headline acceptance criterion, asserted on the
+        // committed seed: the work counters are deterministic, so this
+        // either holds for everyone or for no one.
+        let fused = run_scenario(&find("probe_static_fused").unwrap(), Scale::Ci, 2017);
+        let legacy = run_scenario(&find("probe_static_legacy").unwrap(), Scale::Ci, 2017);
+        assert_eq!(
+            fused.query_stats.walks, legacy.query_stats.walks,
+            "identical seed => identical walks"
+        );
+        let fused_work = fused.query_stats.total_work() as f64;
+        let legacy_work = legacy.query_stats.total_work() as f64;
+        let reduction = 100.0 * (legacy_work - fused_work) / legacy_work;
+        assert!(
+            reduction >= 25.0,
+            "fused total_work reduction {reduction:.1}% < 25% \
+             (fused {fused_work}, legacy {legacy_work})"
+        );
+        let fused_edges = fused.query_stats.edges_expanded as f64;
+        let legacy_edges = legacy.query_stats.edges_expanded as f64;
+        let edge_reduction = 100.0 * (legacy_edges - fused_edges) / legacy_edges;
+        assert!(
+            edge_reduction >= 25.0,
+            "fused edges_expanded reduction {edge_reduction:.1}% < 25%"
+        );
+        assert!(fused.query_stats.frontier_merges > 0);
+        assert_eq!(legacy.query_stats.frontier_merges, 0);
+    }
+
+    #[test]
+    fn dynamic_final_state_hash_is_a_workload_witness() {
+        let spec = find("dynamic_churn_balanced").unwrap();
+        let a = run_scenario(&spec, Scale::Ci, 11);
+        let b = run_scenario(&spec, Scale::Ci, 11);
+        assert!(a.final_state_hash.is_some());
+        assert_eq!(a.final_state_hash, b.final_state_hash);
+        let c = run_scenario(&spec, Scale::Ci, 12);
+        assert_ne!(a.final_state_hash, c.final_state_hash);
+        let s = run_scenario(&find("static_single_source").unwrap(), Scale::Ci, 11);
+        assert!(s.final_state_hash.is_none());
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub struct Optimizations {
     /// Batch √c-walks in a reverse-reachability trie (Algorithm 3) so each
     /// distinct prefix is probed once.
     pub batch_walks: bool,
+    /// Fuse all of a query's probes into one level-synchronous weighted
+    /// frontier sweep over the trie ([`crate::frontier`]), so a graph node
+    /// reached at the same trie position by many prefixes is expanded at
+    /// most once. Only effective together with `batch_walks`; the legacy
+    /// per-prefix path is kept for A/B comparison and property tests.
+    pub fuse_probes: bool,
     /// PROBE implementation.
     pub strategy: ProbeStrategy,
     /// The constant `c0` in the hybrid switch condition `Σ|O(x)| > c0·w·n`.
@@ -56,6 +62,7 @@ impl Default for Optimizations {
             truncation_compensation: false,
             prune_scores: true,
             batch_walks: true,
+            fuse_probes: true,
             strategy: ProbeStrategy::default(),
             hybrid_c0: 0.5,
         }
@@ -70,6 +77,7 @@ impl Optimizations {
             truncation_compensation: false,
             prune_scores: false,
             batch_walks: false,
+            fuse_probes: false,
             strategy: ProbeStrategy::Deterministic,
             hybrid_c0: 0.5,
         }

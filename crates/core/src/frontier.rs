@@ -1,0 +1,399 @@
+//! The fused probe engine: level-synchronous weighted frontiers over the
+//! walk trie.
+//!
+//! ## Why a third batching tier
+//!
+//! ProbeSim's cost is dominated by PROBE traversals. The repo implements
+//! three tiers of probe batching:
+//!
+//! 1. **per walk** (Algorithm 1) — every prefix of every walk runs its
+//!    own probe;
+//! 2. **per distinct prefix** (Algorithm 3, [`crate::trie::WalkTrie`]) —
+//!    walks sharing a prefix are probed once, scaled by the prefix
+//!    weight;
+//! 3. **fused frontiers** (this module) — *all* of a query's probes run
+//!    as one level-synchronous sweep over the trie, so probe work is
+//!    shared even across *different* prefixes.
+//!
+//! Tier 2 still re-expands shared graph regions: a probe for the prefix
+//! ending at trie node `t` walks the trie positions `t → parent(t) → … →
+//! root`, and every probe passing through a position applies the *same*
+//! linear expansion operator (same avoid vertex — the position's parent —
+//! and the same remaining avoid chain). The fused engine exploits that
+//! linearity: it keeps one **weighted arrival frontier per trie
+//! position** (the merged mass of every probe that has propagated down to
+//! it) and, sweeping the trie's levels deepest-first, merges all sibling
+//! frontiers and expands each **distinct graph node once per (node,
+//! parent position)** — instead of once per contributing prefix. At the
+//! final level every probe's mass converges on the root, so the whole
+//! query performs exactly one expansion pass per trie position and emits
+//! once. [`QueryStats::frontier_merges`](crate::QueryStats::frontier_merges)
+//! counts the deduplicated contributions (expansions tier 2 would have
+//! repeated) and
+//! [`QueryStats::levels_expanded`](crate::QueryStats::levels_expanded)
+//! the sweeps.
+//!
+//! ## Strategy semantics on the fused path
+//!
+//! * **Deterministic** — bit-equivalent math to tier 2: the expansion is
+//!   linear, so expanding a weight-merged frontier equals summing the
+//!   per-prefix expansions (identical up to floating-point association;
+//!   the equivalence is property-tested to 1e-9).
+//! * **Randomized** — each candidate node still draws one uniform
+//!   in-edge per level, but an accepted candidate inherits the sampled
+//!   source's *merged weight* instead of a unit flag (the private
+//!   `probe::expand_level_randomized` emission site is shared between
+//!   both paths). The draw is therefore weight-proportional and the estimator
+//!   stays unbiased level by level; what changes is the variance
+//!   structure (tier 2 runs `w` independent probes per weight-`w`
+//!   prefix). Unbiasedness is covered by a mean-over-seeds test against
+//!   exact SimRank.
+//! * **Hybrid** — the switch condition is evaluated per (level, parent
+//!   group): a group whose frontier out-degree sum exceeds `c0·w·n`
+//!   (with `w` = walks represented by the group) expands that one level
+//!   randomized, others stay deterministic. Unlike tier 2's one-way
+//!   switch, a fused group can return to deterministic expansion at a
+//!   shallower level — both directions are unbiased.
+//!
+//! ## Pruning
+//!
+//! Fused frontiers carry weights (`Σ w_t/nr · score_t`), so pruning rule
+//! 2 compares against a weight-scaled threshold `εp · W` with `W` the
+//! group's walk share — the same condition as the legacy unweighted
+//! `score · (√c)^r > εp` when a prefix is unshared, and an aggregate
+//! analogue of it when mass is merged. Decisions can therefore differ
+//! from tier 2 on shared prefixes (the error guarantee is preserved —
+//! each dropped entry forfeits at most `εp·W ≤ εp` of any final score,
+//! the same per-level loss bound the legacy path has); exact-equivalence
+//! tests run with pruning disabled.
+
+use probesim_graph::GraphView;
+use rand::Rng;
+
+use crate::accum::ScoreSink;
+use crate::config::ProbeStrategy;
+use crate::probe::{self, ProbeParams};
+use crate::result::QueryStats;
+use crate::trie::WalkTrie;
+use crate::workspace::ProbeWorkspace;
+
+/// The weight-proportional draw budget of a randomized group expansion:
+/// one independent in-edge trial per *alive walk equivalent* of the
+/// merged frontier — `⌈nr · Σ_v H(v)⌉`, capped by the group's walk count.
+///
+/// The legacy path spends one trial per probe still alive at this
+/// position; `nr · mass` is exactly that count in expectation (mass is
+/// the merged per-walk survival probability), so the fused budget decays
+/// with depth the way legacy probes die off instead of charging the full
+/// group walk count to every candidate. The budget depends only on the
+/// pre-expansion frontier, so the per-candidate averaged estimator stays
+/// unbiased for any positive value.
+#[inline]
+fn draw_budget(group_walks: u64, frontier_mass: f64, nr: usize) -> u32 {
+    let alive = (frontier_mass * nr as f64).ceil() as u64;
+    alive.clamp(1, group_walks.clamp(1, u32::MAX as u64)) as u32
+}
+
+/// Runs every probe of a batched single-source query as one fused
+/// level-synchronous sweep over `trie`, adding each node's accumulated
+/// score (already scaled by `1/nr`) into `acc`.
+///
+/// Equivalent in expectation to probing each trie prefix separately with
+/// weight `w/nr` (see the module docs for the per-strategy guarantees);
+/// the work is bounded by distinct touched `(node, trie position)` pairs
+/// instead of touched nodes *per prefix*.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fused<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
+    graph: &G,
+    trie: &WalkTrie,
+    nr: usize,
+    params: &ProbeParams,
+    strategy: ProbeStrategy,
+    c0: f64,
+    ws: &mut ProbeWorkspace,
+    acc: &mut A,
+    stats: &mut QueryStats,
+    rng: &mut R,
+) {
+    if trie.is_empty() {
+        return;
+    }
+    // Take the BFS scratch buffers out of the arena so the level slices
+    // can be borrowed while the arena stores new spans.
+    let mut order = std::mem::take(&mut ws.frontier.order);
+    let mut level_starts = std::mem::take(&mut ws.frontier.level_starts);
+    trie.bfs_levels(&mut order, &mut level_starts);
+    ws.frontier.begin_query(trie.len());
+    stats.trie_prefixes += order.len();
+
+    let inv_nr = 1.0 / nr as f64;
+    let n = graph.num_nodes();
+    let depth_count = level_starts.len() - 1;
+    // Sweep deepest-first: consuming level `depth` produces the arrival
+    // frontiers of level `depth - 1`, and the `depth == 1` sweep emits
+    // into the accumulator (the mass has reached the root).
+    for depth in (1..=depth_count).rev() {
+        stats.levels_expanded += 1;
+        let level = &order[level_starts[depth - 1]..level_starts[depth]];
+        // Pruning rule 2: mass at depth `r` has `r` expansions left, so an
+        // entry can grow by at most (√c)^r before emission.
+        let bound = params.sqrt_c.powi(depth as i32);
+        let mut group_start = 0;
+        while group_start < level.len() {
+            // Siblings are consecutive within a BFS level; one group =
+            // all children of `parent`.
+            let parent = level[group_start].1;
+            let mut group_end = group_start + 1;
+            while group_end < level.len() && level[group_end].1 == parent {
+                group_end += 1;
+            }
+            let group = &level[group_start..group_end];
+            group_start = group_end;
+
+            let ProbeWorkspace {
+                current,
+                next,
+                frontier,
+            } = ws;
+            // Merge phase: every sibling's arrival frontier plus each
+            // sibling's own probe start (H_0 = {vertex}, weight w/nr)
+            // lands in one deduplicated weighted frontier.
+            current.clear();
+            let mut contributions = 0usize;
+            let mut group_walks = 0u64;
+            for &(child, _) in group {
+                for &(v, w) in frontier.span(child) {
+                    contributions += 1;
+                    current.add(v, w);
+                }
+                contributions += 1;
+                current.add(trie.vertex(child), trie.weight(child) as f64 * inv_nr);
+                group_walks += trie.weight(child) as u64;
+            }
+            stats.frontier_merges += contributions - current.len();
+
+            // The legacy randomized probe never prunes; mirror that.
+            if params.epsilon_p > 0.0 && strategy != ProbeStrategy::Randomized {
+                let tau = params.epsilon_p * (group_walks as f64 * inv_nr);
+                current.retain(|_, s| s * bound > tau);
+            }
+            if current.is_empty() {
+                continue;
+            }
+
+            // Every probe stepping from this group toward the root must
+            // avoid the parent's vertex at this level (Definition 4).
+            let avoid = trie.vertex(parent);
+            stats.probes += 1;
+            next.clear();
+            match strategy {
+                ProbeStrategy::Deterministic => {
+                    probe::expand_level_deterministic(
+                        graph,
+                        params.sqrt_c,
+                        avoid,
+                        current,
+                        next,
+                        stats,
+                    );
+                }
+                ProbeStrategy::Randomized => {
+                    stats.randomized_probes += 1;
+                    let mass: f64 = current.nodes().iter().map(|&v| current.get(v)).sum();
+                    probe::expand_level_randomized(
+                        graph,
+                        params.sqrt_c,
+                        avoid,
+                        current,
+                        next,
+                        draw_budget(group_walks, mass, nr),
+                        stats,
+                        rng,
+                    );
+                }
+                ProbeStrategy::Hybrid => {
+                    let out_sum = probe::frontier_out_degree_sum(graph, current);
+                    let threshold = (c0 * group_walks as f64 * n as f64).max(1.0);
+                    if out_sum as f64 > threshold {
+                        stats.hybrid_switches += 1;
+                        stats.randomized_probes += 1;
+                        let mass: f64 = current.nodes().iter().map(|&v| current.get(v)).sum();
+                        probe::expand_level_randomized(
+                            graph,
+                            params.sqrt_c,
+                            avoid,
+                            current,
+                            next,
+                            draw_budget(group_walks, mass, nr),
+                            stats,
+                            rng,
+                        );
+                    } else {
+                        probe::expand_level_deterministic(
+                            graph,
+                            params.sqrt_c,
+                            avoid,
+                            current,
+                            next,
+                            stats,
+                        );
+                    }
+                }
+            }
+            if depth == 1 {
+                // `parent` is the root: the frontier is fully expanded;
+                // emit. (The root itself is not a probeable prefix.)
+                for &v in next.nodes() {
+                    let score = next.get(v);
+                    if score > 0.0 {
+                        acc.add(v, score);
+                    }
+                }
+            } else {
+                frontier.store(parent, next);
+            }
+        }
+    }
+    ws.frontier.order = order;
+    ws.frontier.level_starts = level_starts;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probesim_graph::toy::{toy_graph, A, B, C};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fuse_det(trie: &WalkTrie, nr: usize, epsilon_p: f64) -> Vec<f64> {
+        let g = toy_graph();
+        let params = ProbeParams {
+            sqrt_c: 0.5,
+            epsilon_p,
+        };
+        let mut ws = ProbeWorkspace::new(8);
+        let mut acc = vec![0.0; 8];
+        let mut stats = QueryStats::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        run_fused(
+            &g,
+            trie,
+            nr,
+            &params,
+            ProbeStrategy::Deterministic,
+            0.5,
+            &mut ws,
+            &mut acc,
+            &mut stats,
+            &mut rng,
+        );
+        acc
+    }
+
+    fn legacy_det(trie: &WalkTrie, nr: usize, epsilon_p: f64) -> Vec<f64> {
+        let g = toy_graph();
+        let params = ProbeParams {
+            sqrt_c: 0.5,
+            epsilon_p,
+        };
+        let mut ws = ProbeWorkspace::new(8);
+        let mut acc = vec![0.0; 8];
+        let mut stats = QueryStats::default();
+        trie.for_each_prefix(|path, w| {
+            probe::deterministic(
+                &g,
+                path,
+                &params,
+                w as f64 / nr as f64,
+                &mut ws,
+                &mut acc,
+                &mut stats,
+            );
+        });
+        acc
+    }
+
+    #[test]
+    fn fused_matches_per_prefix_on_shared_trie() {
+        // The paper's Figure 3 trie: three walks, two sharing a prefix.
+        let mut trie = WalkTrie::new(A);
+        trie.insert(&[A, B, 2]);
+        trie.insert(&[A, 2, A]);
+        trie.insert(&[A, B, A]);
+        let fused = fuse_det(&trie, 3, 0.0);
+        let legacy = legacy_det(&trie, 3, 0.0);
+        for v in 0..8 {
+            assert!(
+                (fused[v] - legacy[v]).abs() < 1e-12,
+                "node {v}: fused {} vs legacy {}",
+                fused[v],
+                legacy[v]
+            );
+        }
+        assert!(fused.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn fused_counts_merges_and_levels() {
+        let g = toy_graph();
+        let mut trie = WalkTrie::new(A);
+        // Two branches that overlap at the root group: expanding (A,B,A)
+        // past position B yields {c}, expanding (A,C,A) past position C
+        // yields {b} — each collides with the other branch's own probe
+        // start (vertex b resp. c), so the root-level merge dedups two
+        // contributions the per-prefix path would have expanded twice.
+        for _ in 0..50 {
+            trie.insert(&[A, B, A]);
+            trie.insert(&[A, C, A]);
+        }
+        let params = ProbeParams {
+            sqrt_c: 0.5,
+            epsilon_p: 0.0,
+        };
+        let mut ws = ProbeWorkspace::new(8);
+        let mut acc = vec![0.0; 8];
+        let mut stats = QueryStats::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        run_fused(
+            &g,
+            &trie,
+            100,
+            &params,
+            ProbeStrategy::Deterministic,
+            0.5,
+            &mut ws,
+            &mut acc,
+            &mut stats,
+            &mut rng,
+        );
+        assert_eq!(stats.levels_expanded, 2);
+        assert_eq!(stats.trie_prefixes, 4);
+        assert_eq!(
+            stats.probes, 3,
+            "two depth-2 parent groups, one fused root group"
+        );
+        assert!(stats.edges_expanded > 0);
+        assert_eq!(stats.frontier_merges, 2, "b and c each merged once");
+    }
+
+    #[test]
+    fn empty_trie_is_a_no_op() {
+        let trie = WalkTrie::new(A);
+        let acc = fuse_det(&trie, 1, 0.0);
+        assert!(acc.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn fused_respects_the_avoid_rule() {
+        // Mass converging on the root must never be emitted onto the
+        // query node's avoid chain: probe (A,B) avoids A at its only
+        // expansion, so A's score stays zero.
+        let mut trie = WalkTrie::new(A);
+        for _ in 0..10 {
+            trie.insert(&[A, B]);
+        }
+        let acc = fuse_det(&trie, 10, 0.0);
+        assert_eq!(acc[A as usize], 0.0);
+        assert!(acc[3] > 0.0, "d gets first-meeting mass via b");
+    }
+}

@@ -65,7 +65,7 @@
 //! within a trial and averaging across trials yields an unbiased estimator
 //! (Lemma 1 of the paper).
 //!
-//! ## Optimizations (Section 4 of the paper)
+//! ## Optimizations (Section 4 of the paper, plus the fused engine)
 //!
 //! * walk truncation and score pruning ([`config::ErrorBudget`],
 //!   pruning rules 1 & 2),
@@ -75,9 +75,38 @@
 //!   deterministic→randomized hybrid ([`probe::hybrid`]) that gives the
 //!   `O(n/εa²·log(n/δ))` worst case with deterministic speed on the
 //!   common path.
+//!
+//! ### The three probe-batching tiers
+//!
+//! PROBE traversals dominate query cost, and three batching tiers trade
+//! increasingly more shared work for them:
+//!
+//! 1. **Per walk** (Algorithm 1; `batch_walks = false`) — every prefix of
+//!    every √c-walk runs an independent probe.
+//! 2. **Per distinct prefix** (Algorithm 3; `batch_walks = true`,
+//!    `fuse_probes = false`) — walks sharing a prefix are probed once,
+//!    scaled by the prefix weight. A graph node reached at the same
+//!    position by *different* prefixes is still re-expanded per prefix.
+//! 3. **Fused frontiers** ([`frontier`]; `fuse_probes = true`, the
+//!    default) — the whole query runs as one level-synchronous weighted
+//!    sweep over the trie, expanding each distinct `(node, trie
+//!    position)` at most once. Deterministic math is equivalent up to
+//!    floating-point association; randomized draws get a
+//!    weight-proportional trial budget so unbiasedness and concentration
+//!    are preserved. [`QueryStats::frontier_merges`] counts the
+//!    expansions tier 2 would have repeated.
+//!
+//! Tier 3 helps most on probe-heavy workloads — locally dense graphs,
+//! tight `εa` (many walks → heavy prefix sharing), long walks — where the
+//! same frontier regions are re-expanded by many prefixes; run
+//! `probesim-bench --scenarios probe_static_fused,probe_static_legacy
+//! --contrast out.json` (or the `probesim` CLI's `--probe-path
+//! fused|legacy`) to A/B the tiers on identical seeds and compare
+//! `edges_expanded`/`total_work`.
 
 pub mod accum;
 pub mod config;
+pub mod frontier;
 pub mod par;
 pub mod probe;
 pub mod result;

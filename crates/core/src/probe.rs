@@ -24,7 +24,7 @@ use rand::Rng;
 
 use crate::accum::ScoreSink;
 use crate::result::QueryStats;
-use crate::workspace::ProbeWorkspace;
+use crate::workspace::{LevelBuf, ProbeWorkspace};
 
 /// Shared probe parameters.
 #[derive(Debug, Clone, Copy)]
@@ -71,7 +71,14 @@ pub fn deterministic<G: GraphView, A: ScoreSink + ?Sized>(
         // The walk from v must avoid u_{i-j-1} at this position
         // (1-based u_{i-j-1} = 0-based path[i-j-2]).
         let avoid = path[i - j - 2];
-        expand_level_deterministic(graph, params.sqrt_c, avoid, ws, stats);
+        expand_level_deterministic(
+            graph,
+            params.sqrt_c,
+            avoid,
+            &ws.current,
+            &mut ws.next,
+            stats,
+        );
         ws.advance();
     }
     for &v in ws.current.nodes() {
@@ -81,16 +88,20 @@ pub fn deterministic<G: GraphView, A: ScoreSink + ?Sized>(
 
 /// One deterministic frontier expansion: `H_{j+1}[v] += √c/|I(v)| · H_j[x]`
 /// for every out-edge `x → v` with `v ≠ avoid`.
+///
+/// This is the shared deterministic emission site: the per-prefix probes
+/// drive it with a single probe's frontier, the fused engine
+/// ([`crate::frontier`]) with a weight-merged multi-probe frontier —
+/// linearity of the recurrence makes the two uses interchangeable.
 #[inline]
-fn expand_level_deterministic<G: GraphView>(
+pub(crate) fn expand_level_deterministic<G: GraphView>(
     graph: &G,
     sqrt_c: f64,
     avoid: NodeId,
-    ws: &mut ProbeWorkspace,
+    current: &LevelBuf,
+    next: &mut LevelBuf,
     stats: &mut QueryStats,
 ) {
-    let current = &ws.current;
-    let next = &mut ws.next;
     for &x in current.nodes() {
         let score_x = current.get(x);
         if score_x <= 0.0 {
@@ -105,6 +116,14 @@ fn expand_level_deterministic<G: GraphView>(
             next.add(v, contribution);
         }
     }
+}
+
+/// Out-degree sum of a frontier — the quantity the hybrid switch
+/// condition compares against `c0·w·n` (shared by the per-prefix hybrid
+/// and the fused engine).
+#[inline]
+pub(crate) fn frontier_out_degree_sum<G: GraphView>(graph: &G, frontier: &LevelBuf) -> usize {
+    frontier.nodes().iter().map(|&x| graph.out_degree(x)).sum()
 }
 
 /// Runs the randomized PROBE (Algorithm 4) and adds `weight` to `acc[v]`
@@ -135,7 +154,16 @@ pub fn randomized<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
             return;
         }
         let avoid = path[i - j - 2];
-        expand_level_randomized(graph, params.sqrt_c, avoid, ws, stats, rng);
+        expand_level_randomized(
+            graph,
+            params.sqrt_c,
+            avoid,
+            &ws.current,
+            &mut ws.next,
+            1,
+            stats,
+            rng,
+        );
         ws.advance();
     }
     for &v in ws.current.nodes() {
@@ -153,35 +181,79 @@ pub fn randomized<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
 /// the per-node selection probability exactly `√c·|I(x) ∩ H_j|/|I(x)|`…
 /// with one subtlety: sampling an in-edge uniformly already weights by
 /// `1/|I(x)|`, so the deduped single trial has the correct marginal.
-fn expand_level_randomized<G: GraphView, R: Rng + ?Sized>(
+///
+/// This is the shared randomized emission site, generalized along two
+/// axes for the fused engine ([`crate::frontier`]) while reproducing
+/// Algorithm 4 verbatim for the per-prefix paths:
+///
+/// * an accepted draw inherits the *score of the sampled in-neighbor* —
+///   exactly 1.0 on the per-prefix paths (the legacy unit flag), a
+///   merged weight on the fused path;
+/// * each candidate performs `draws` independent in-edge trials and
+///   keeps the average — the **weight-proportional budget**. The
+///   per-prefix paths pass `draws = 1` (each of their probes is its own
+///   trial); the fused path passes the merged frontier's alive-walk
+///   equivalent (`⌈nr·mass⌉`, capped at the group walk count — see
+///   `frontier::draw_budget`), matching the trial count the legacy path
+///   spends as separate unit probes, so the estimate concentrates
+///   identically as `nr` grows.
+///
+/// Either way `E[H'(x)] = √c/|I(x)| · Σ_{v∈H} H(v)`, so the estimator
+/// is unbiased level by level.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn expand_level_randomized<G: GraphView, R: Rng + ?Sized>(
     graph: &G,
     sqrt_c: f64,
     avoid: NodeId,
-    ws: &mut ProbeWorkspace,
+    current: &LevelBuf,
+    next: &mut LevelBuf,
+    draws: u32,
     stats: &mut QueryStats,
     rng: &mut R,
 ) {
     let n = graph.num_nodes();
-    let out_sum: usize = ws
-        .current
-        .nodes()
-        .iter()
-        .map(|&x| graph.out_degree(x))
-        .sum();
-    let current = &ws.current;
-    let next = &mut ws.next;
+    let out_sum = frontier_out_degree_sum(graph, current);
+    let draws = draws.max(1);
     let mut try_candidate = |x: NodeId, rng: &mut R, stats: &mut QueryStats| {
         if x == avoid || next.contains(x) {
             return;
         }
-        stats.nodes_sampled += 1;
         let in_nbrs = graph.in_neighbors(x);
         if in_nbrs.is_empty() {
+            // Inspected but nothing to draw: charge the single candidate
+            // visit, not the full draw budget that never runs.
+            stats.nodes_sampled += 1;
             return;
         }
-        let v = in_nbrs[rng.gen_range(0..in_nbrs.len())];
-        if current.contains(v) && current.get(v) > 0.0 && rng.gen::<f64>() < sqrt_c {
-            next.add(x, 1.0);
+        if draws > 1 && draws as usize >= in_nbrs.len() {
+            // Rao–Blackwell shortcut (fused path only; legacy's
+            // `draws = 1` keeps Algorithm 4 verbatim): once the budget
+            // covers the candidate's in-degree, scanning the in-edges and
+            // taking the exact conditional expectation is cheaper than
+            // the draws it replaces and has zero variance — the estimator
+            // it substitutes for is its own conditional mean, so
+            // unbiasedness is untouched.
+            stats.nodes_sampled += 1;
+            stats.edges_expanded += in_nbrs.len();
+            let mass: f64 = in_nbrs.iter().map(|&v| current.get(v)).sum();
+            if mass > 0.0 {
+                next.add(x, sqrt_c * mass / in_nbrs.len() as f64);
+            } else {
+                next.set(x, 0.0);
+            }
+            return;
+        }
+        stats.nodes_sampled += draws as usize;
+        let mut kept = 0.0f64;
+        for _ in 0..draws {
+            let v = in_nbrs[rng.gen_range(0..in_nbrs.len())];
+            let score_v = current.get(v);
+            if score_v > 0.0 && rng.gen::<f64>() < sqrt_c {
+                kept += score_v;
+            }
+        }
+        if kept > 0.0 {
+            next.add(x, kept / draws as f64);
         } else {
             // Mark as processed with a zero score so duplicate candidates
             // coming from other frontier nodes are not re-sampled.
@@ -189,8 +261,7 @@ fn expand_level_randomized<G: GraphView, R: Rng + ?Sized>(
         }
     };
     if out_sum <= n {
-        for idx in 0..current.nodes().len() {
-            let x = current.nodes()[idx];
+        for &x in current.nodes() {
             if current.get(x) <= 0.0 {
                 continue;
             }
@@ -205,7 +276,7 @@ fn expand_level_randomized<G: GraphView, R: Rng + ?Sized>(
     }
     // Compact away the zero-score "processed" markers so the next level
     // only iterates real members.
-    ws.next.retain(|_, s| s > 0.0);
+    next.retain(|_, s| s > 0.0);
 }
 
 /// Runs the hybrid PROBE (Section 4.4) for a batched prefix of weight
@@ -244,12 +315,7 @@ pub fn hybrid<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
         if ws.current.is_empty() {
             return;
         }
-        let out_sum: usize = ws
-            .current
-            .nodes()
-            .iter()
-            .map(|&x| graph.out_degree(x))
-            .sum();
+        let out_sum = frontier_out_degree_sum(graph, &ws.current);
         if out_sum as f64 > switch_threshold {
             stats.hybrid_switches += 1;
             randomized_continuations(
@@ -258,7 +324,14 @@ pub fn hybrid<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
             return;
         }
         let avoid = path[i - j - 2];
-        expand_level_deterministic(graph, params.sqrt_c, avoid, ws, stats);
+        expand_level_deterministic(
+            graph,
+            params.sqrt_c,
+            avoid,
+            &ws.current,
+            &mut ws.next,
+            stats,
+        );
         ws.advance();
     }
     for &v in ws.current.nodes() {
@@ -306,7 +379,16 @@ fn randomized_continuations<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized
         if alive {
             for j in start_level..(i - 1) {
                 let avoid = path[i - j - 2];
-                expand_level_randomized(graph, params.sqrt_c, avoid, ws, stats, rng);
+                expand_level_randomized(
+                    graph,
+                    params.sqrt_c,
+                    avoid,
+                    &ws.current,
+                    &mut ws.next,
+                    1,
+                    stats,
+                    rng,
+                );
                 ws.advance();
                 if ws.current.is_empty() {
                     alive = false;

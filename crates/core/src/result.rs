@@ -24,12 +24,19 @@ pub struct QueryStats {
     pub nodes_sampled: usize,
     /// Distinct prefixes probed via the batch trie (0 when unbatched).
     pub trie_prefixes: usize,
+    /// Frontier entries deduplicated by the fused probe engine: each one
+    /// is a `(node, trie position)` contribution the legacy per-prefix
+    /// path would have expanded separately (0 off the fused path).
+    pub frontier_merges: usize,
+    /// Level-synchronous sweeps executed by the fused probe engine
+    /// (0 off the fused path).
+    pub levels_expanded: usize,
 }
 
 impl QueryStats {
     /// Counter names, in declaration order — the schema of
     /// [`QueryStats::field_values`] and the key order serializers emit.
-    pub const FIELD_NAMES: [&'static str; 9] = [
+    pub const FIELD_NAMES: [&'static str; 11] = [
         "walks",
         "truncated_walks",
         "walk_nodes",
@@ -39,10 +46,12 @@ impl QueryStats {
         "edges_expanded",
         "nodes_sampled",
         "trie_prefixes",
+        "frontier_merges",
+        "levels_expanded",
     ];
 
     /// Counter values in [`QueryStats::FIELD_NAMES`] order.
-    pub fn field_values(&self) -> [usize; 9] {
+    pub fn field_values(&self) -> [usize; 11] {
         // Exhaustive destructuring: adding a counter to the struct without
         // extending this snapshot is a compile error, not a silent gap.
         let QueryStats {
@@ -55,6 +64,8 @@ impl QueryStats {
             edges_expanded,
             nodes_sampled,
             trie_prefixes,
+            frontier_merges,
+            levels_expanded,
         } = *self;
         [
             walks,
@@ -66,6 +77,8 @@ impl QueryStats {
             edges_expanded,
             nodes_sampled,
             trie_prefixes,
+            frontier_merges,
+            levels_expanded,
         ]
     }
 
@@ -86,16 +99,35 @@ impl QueryStats {
     }
 
     /// Merges counters from another query (for experiment aggregates).
+    ///
+    /// Exhaustively destructures `other`, so a counter added to the struct
+    /// without being merged here (the bug class that would silently drop
+    /// it from `run_batch`/`par_batch` aggregates) is a compile error.
     pub fn merge(&mut self, other: &QueryStats) {
-        self.walks += other.walks;
-        self.truncated_walks += other.truncated_walks;
-        self.walk_nodes += other.walk_nodes;
-        self.probes += other.probes;
-        self.randomized_probes += other.randomized_probes;
-        self.hybrid_switches += other.hybrid_switches;
-        self.edges_expanded += other.edges_expanded;
-        self.nodes_sampled += other.nodes_sampled;
-        self.trie_prefixes += other.trie_prefixes;
+        let QueryStats {
+            walks,
+            truncated_walks,
+            walk_nodes,
+            probes,
+            randomized_probes,
+            hybrid_switches,
+            edges_expanded,
+            nodes_sampled,
+            trie_prefixes,
+            frontier_merges,
+            levels_expanded,
+        } = *other;
+        self.walks += walks;
+        self.truncated_walks += truncated_walks;
+        self.walk_nodes += walk_nodes;
+        self.probes += probes;
+        self.randomized_probes += randomized_probes;
+        self.hybrid_switches += hybrid_switches;
+        self.edges_expanded += edges_expanded;
+        self.nodes_sampled += nodes_sampled;
+        self.trie_prefixes += trie_prefixes;
+        self.frontier_merges += frontier_merges;
+        self.levels_expanded += levels_expanded;
     }
 }
 
@@ -151,6 +183,8 @@ mod tests {
             walks: 3,
             probes: 4,
             hybrid_switches: 1,
+            frontier_merges: 5,
+            levels_expanded: 2,
             ..QueryStats::default()
         };
         a.merge(&b);
@@ -158,6 +192,8 @@ mod tests {
         assert_eq!(a.probes, 6);
         assert_eq!(a.edges_expanded, 10);
         assert_eq!(a.hybrid_switches, 1);
+        assert_eq!(a.frontier_merges, 5);
+        assert_eq!(a.levels_expanded, 2);
     }
 
     #[test]
@@ -172,15 +208,17 @@ mod tests {
             edges_expanded: 7,
             nodes_sampled: 8,
             trie_prefixes: 9,
+            frontier_merges: 10,
+            levels_expanded: 11,
         };
         let fields: Vec<(&str, usize)> = stats.fields().collect();
         assert_eq!(fields.len(), QueryStats::FIELD_NAMES.len());
-        // Every value 1..=9 appears exactly once: a counter added to the
+        // Every value 1..=11 appears exactly once: a counter added to the
         // struct without extending the snapshot would break this.
         let mut values: Vec<usize> = fields.iter().map(|&(_, v)| v).collect();
         values.sort_unstable();
-        assert_eq!(values, (1..=9).collect::<Vec<_>>());
-        assert_eq!(stats.fields().count(), 9);
+        assert_eq!(values, (1..=11).collect::<Vec<_>>());
+        assert_eq!(stats.fields().count(), 11);
         assert_eq!(stats.total_work(), 3 + 7 + 8);
     }
 

@@ -226,12 +226,17 @@ impl ProbeSim {
     }
 
     /// Algorithm 3: insert all walks into the reverse-reachability trie,
-    /// then probe each distinct prefix once with weight `w/nr`.
+    /// then batch the probes over it. With `Optimizations::fuse_probes`
+    /// (the default) the whole trie runs as one level-synchronous fused
+    /// sweep ([`crate::frontier`]); otherwise each distinct prefix is
+    /// probed independently with weight `w/nr` (the legacy per-prefix
+    /// path, kept for A/B contrast and property tests).
     ///
-    /// With the `Randomized` strategy a prefix of weight `w` still needs
-    /// `w` independent probes for unbiasedness (Section 4.4's motivating
-    /// observation); the `Hybrid` strategy is what makes batching pay off
-    /// in the worst case.
+    /// On the per-prefix path with the `Randomized` strategy, a prefix of
+    /// weight `w` still needs `w` independent probes for unbiasedness
+    /// (Section 4.4's motivating observation); the `Hybrid` strategy is
+    /// what makes per-prefix batching pay off in the worst case. The
+    /// fused path instead makes the single draw weight-proportional.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_batched<G: GraphView, A: ScoreSink + ?Sized, R: Rng>(
         &self,
@@ -260,6 +265,10 @@ impl ProbeSim {
                 stats.truncated_walks += 1;
             }
             trie.insert(&walk_buf);
+        }
+        if self.config.optimizations.fuse_probes {
+            crate::frontier::run_fused(graph, &trie, nr, params, strategy, c0, ws, acc, stats, rng);
+            return;
         }
         let inv_nr = 1.0 / nr as f64;
         trie.for_each_prefix(|path, w| {
@@ -333,10 +342,14 @@ mod tests {
 
     #[test]
     fn batched_and_unbatched_agree() {
+        // Pinned to the legacy per-prefix path: this is the Algorithm 3
+        // (trie batching) vs Algorithm 1 equivalence. The fused engine's
+        // own equivalence properties live in tests/fused_probe.rs.
         let g = toy_graph();
         let mut cfg = toy_config(0.05);
         cfg.optimizations.strategy = ProbeStrategy::Deterministic;
         cfg.optimizations.batch_walks = true;
+        cfg.optimizations.fuse_probes = false;
         let batched = ProbeSim::new(cfg.clone()).single_source(&g, A);
         cfg.optimizations.batch_walks = false;
         let unbatched = ProbeSim::new(cfg).single_source(&g, A);

@@ -8,6 +8,14 @@
 //! each *distinct* prefix once, scaling its scores by `weight / nr` —
 //! identical in expectation to probing every walk separately, but with far
 //! fewer probes.
+//!
+//! Two traversal APIs are exposed:
+//!
+//! * [`WalkTrie::for_each_prefix`] — depth-first prefix enumeration, the
+//!   shape the legacy per-prefix batch driver consumes;
+//! * [`WalkTrie::bfs_levels`] — a level-order (BFS) cursor that groups
+//!   each level's nodes by parent, the shape the fused probe engine
+//!   ([`crate::frontier`]) walks level-synchronously.
 
 use probesim_graph::NodeId;
 
@@ -24,12 +32,20 @@ struct TrieNode {
     first_child: Option<TrieIndex>,
     /// Next sibling.
     next_sibling: Option<TrieIndex>,
+    /// Most recently matched or created child — an O(1) shortcut past the
+    /// sibling scan when consecutive walks repeat a popular step.
+    last_child: Option<TrieIndex>,
 }
 
 /// Weighted prefix tree over √c-walks from a single query node.
 #[derive(Debug, Clone)]
 pub struct WalkTrie {
     nodes: Vec<TrieNode>,
+    /// Trie indices of the most recently inserted walk's non-root path.
+    /// Walks mostly share prefixes, so checking this chain first makes
+    /// inserting `nr` similar walks amortized O(walk length) instead of
+    /// O(walk length · branching).
+    last_path: Vec<TrieIndex>,
 }
 
 impl WalkTrie {
@@ -42,7 +58,9 @@ impl WalkTrie {
                 weight: 0,
                 first_child: None,
                 next_sibling: None,
+                last_child: None,
             }],
+            last_path: Vec::new(),
         }
     }
 
@@ -62,8 +80,25 @@ impl WalkTrie {
         self.nodes[0].weight
     }
 
+    /// The graph vertex stored at trie node `idx`.
+    #[inline]
+    pub fn vertex(&self, idx: TrieIndex) -> NodeId {
+        self.nodes[idx as usize].vertex
+    }
+
+    /// The number of walks sharing the prefix ending at trie node `idx`.
+    #[inline]
+    pub fn weight(&self, idx: TrieIndex) -> u32 {
+        self.nodes[idx as usize].weight
+    }
+
     /// Inserts one walk `(u1 = root, u2, …, uℓ)`; increments the weight of
     /// every prefix node on its path (Lines 5–10 of Algorithm 3).
+    ///
+    /// Lookup is accelerated by the last-path cache (consecutive walks
+    /// usually share a prefix) and a per-node last-child cache; both only
+    /// short-circuit the sibling scan, so the resulting structure and
+    /// weights are identical to the plain linked-list insert.
     ///
     /// Panics if the walk does not start at the root vertex.
     pub fn insert(&mut self, walk: &[NodeId]) {
@@ -74,8 +109,28 @@ impl WalkTrie {
         );
         self.nodes[0].weight += 1;
         let mut current: TrieIndex = 0;
-        for &vertex in &walk[1..] {
-            current = self.child_or_insert(current, vertex);
+        let mut on_last_path = true;
+        for (depth, &vertex) in walk[1..].iter().enumerate() {
+            let cached = if on_last_path {
+                // Invariant: last_path[0..depth] matched this walk so far,
+                // so last_path[depth] (if present) is a child of `current`.
+                self.last_path.get(depth).copied()
+            } else {
+                None
+            };
+            match cached {
+                Some(idx) if self.nodes[idx as usize].vertex == vertex => {
+                    current = idx;
+                }
+                _ => {
+                    current = self.child_or_insert(current, vertex);
+                    if on_last_path {
+                        on_last_path = false;
+                        self.last_path.truncate(depth);
+                    }
+                    self.last_path.push(current);
+                }
+            }
             self.nodes[current as usize].weight += 1;
         }
     }
@@ -83,10 +138,16 @@ impl WalkTrie {
     /// Finds the child of `parent` holding `vertex`, creating it (weight 0)
     /// if missing.
     fn child_or_insert(&mut self, parent: TrieIndex, vertex: NodeId) -> TrieIndex {
+        if let Some(idx) = self.nodes[parent as usize].last_child {
+            if self.nodes[idx as usize].vertex == vertex {
+                return idx;
+            }
+        }
         let mut link = self.nodes[parent as usize].first_child;
         let mut last: Option<TrieIndex> = None;
         while let Some(idx) = link {
             if self.nodes[idx as usize].vertex == vertex {
+                self.nodes[parent as usize].last_child = Some(idx);
                 return idx;
             }
             last = Some(idx);
@@ -98,11 +159,13 @@ impl WalkTrie {
             weight: 0,
             first_child: None,
             next_sibling: None,
+            last_child: None,
         });
         match last {
             Some(idx) => self.nodes[idx as usize].next_sibling = Some(new_idx),
             None => self.nodes[parent as usize].first_child = Some(new_idx),
         }
+        self.nodes[parent as usize].last_child = Some(new_idx);
         new_idx
     }
 
@@ -131,6 +194,48 @@ impl WalkTrie {
                 stack.push((c, depth + 1));
                 child = self.nodes[c as usize].next_sibling;
             }
+        }
+    }
+
+    /// The level-order (BFS) cursor: fills `order` with `(node, parent)`
+    /// pairs and `level_starts` with the boundaries of each depth, so
+    /// depth `d ≥ 1` occupies `order[level_starts[d-1]..level_starts[d]]`
+    /// (the root, depth 0, is not listed — it is always index 0).
+    ///
+    /// Two ordering guarantees the fused probe engine relies on:
+    ///
+    /// * levels are contiguous and emitted shallow-to-deep;
+    /// * within a level, children of the same parent are **consecutive**,
+    ///   so a level can be consumed as per-parent groups without sorting.
+    ///
+    /// Both buffers are cleared first; callers pool them across queries
+    /// (see [`crate::workspace::FrontierArena`]).
+    pub fn bfs_levels(
+        &self,
+        order: &mut Vec<(TrieIndex, TrieIndex)>,
+        level_starts: &mut Vec<usize>,
+    ) {
+        order.clear();
+        level_starts.clear();
+        level_starts.push(0);
+        let mut link = self.nodes[0].first_child;
+        while let Some(c) = link {
+            order.push((c, 0));
+            link = self.nodes[c as usize].next_sibling;
+        }
+        let mut begin = 0;
+        while begin < order.len() {
+            let end = order.len();
+            level_starts.push(end);
+            for i in begin..end {
+                let parent = order[i].0;
+                let mut link = self.nodes[parent as usize].first_child;
+                while let Some(c) = link {
+                    order.push((c, parent));
+                    link = self.nodes[c as usize].next_sibling;
+                }
+            }
+            begin = end;
         }
     }
 }
@@ -241,5 +346,149 @@ mod tests {
         for p in paths.keys() {
             assert_eq!(p[0], 0, "all paths start at the root: {p:?}");
         }
+    }
+
+    /// Reference insert without the last-path / last-child caches: the
+    /// exact code shape the caches replaced.
+    fn naive_insert(t: &mut WalkTrie, walk: &[NodeId]) {
+        t.nodes[0].weight += 1;
+        let mut current: TrieIndex = 0;
+        for &vertex in &walk[1..] {
+            let mut link = t.nodes[current as usize].first_child;
+            let mut last: Option<TrieIndex> = None;
+            let mut found = None;
+            while let Some(idx) = link {
+                if t.nodes[idx as usize].vertex == vertex {
+                    found = Some(idx);
+                    break;
+                }
+                last = Some(idx);
+                link = t.nodes[idx as usize].next_sibling;
+            }
+            current = found.unwrap_or_else(|| {
+                let new_idx = t.nodes.len() as TrieIndex;
+                t.nodes.push(TrieNode {
+                    vertex,
+                    weight: 0,
+                    first_child: None,
+                    next_sibling: None,
+                    last_child: None,
+                });
+                match last {
+                    Some(idx) => t.nodes[idx as usize].next_sibling = Some(new_idx),
+                    None => t.nodes[current as usize].first_child = Some(new_idx),
+                }
+                new_idx
+            });
+            t.nodes[current as usize].weight += 1;
+        }
+    }
+
+    #[test]
+    fn cached_insert_matches_naive_insert_exactly() {
+        // Pseudo-random walk mix with heavy prefix sharing, inserted into
+        // a cached trie and a cache-free reference: identical prefixes,
+        // weights, and even node numbering (caches must not change where
+        // nodes are created).
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rand = move |bound: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % bound
+        };
+        let mut cached = WalkTrie::new(0);
+        let mut naive = WalkTrie::new(0);
+        for _ in 0..500 {
+            let len = 1 + rand(6) as usize;
+            let mut walk = vec![0u32];
+            for _ in 1..len {
+                walk.push(rand(5) as u32);
+            }
+            cached.insert(&walk);
+            naive_insert(&mut naive, &walk);
+        }
+        assert_eq!(cached.len(), naive.len());
+        assert_eq!(cached.total_walks(), naive.total_walks());
+        assert_eq!(collect(&cached), collect(&naive));
+        for idx in 0..cached.len() as TrieIndex {
+            assert_eq!(cached.vertex(idx), naive.vertex(idx), "node {idx}");
+            assert_eq!(cached.weight(idx), naive.weight(idx), "node {idx}");
+        }
+    }
+
+    #[test]
+    fn last_path_cache_survives_shorter_and_diverging_walks() {
+        let mut t = WalkTrie::new(0);
+        t.insert(&[0, 1, 2, 3]); // seeds the cache
+        t.insert(&[0, 1]); // shorter, fully on the cached path
+        t.insert(&[0, 1, 2, 4]); // diverges at depth 2
+        t.insert(&[0, 5]); // diverges at depth 0
+        t.insert(&[0, 5, 2]); // extends the new path
+        let paths = collect(&t);
+        assert_eq!(paths[&vec![0, 1]], 3);
+        assert_eq!(paths[&vec![0, 1, 2]], 2);
+        assert_eq!(paths[&vec![0, 1, 2, 3]], 1);
+        assert_eq!(paths[&vec![0, 1, 2, 4]], 1);
+        assert_eq!(paths[&vec![0, 5]], 2);
+        assert_eq!(paths[&vec![0, 5, 2]], 1);
+        assert_eq!(t.total_walks(), 5);
+    }
+
+    #[test]
+    fn bfs_levels_visits_every_node_grouped_by_parent() {
+        let mut t = WalkTrie::new(0);
+        t.insert(&[0, 1, 2, 3]);
+        t.insert(&[0, 4]);
+        t.insert(&[0, 1, 5]);
+        t.insert(&[0, 4, 2]);
+        let mut order = Vec::new();
+        let mut level_starts = Vec::new();
+        t.bfs_levels(&mut order, &mut level_starts);
+        // Every non-root node appears exactly once.
+        assert_eq!(order.len(), t.len() - 1);
+        let mut seen: Vec<TrieIndex> = order.iter().map(|&(n, _)| n).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (1..t.len() as TrieIndex).collect::<Vec<_>>());
+        // Levels are contiguous and shallow-to-deep: depth 1 = {1, 4},
+        // depth 2 = {2, 5, 2'}, depth 3 = {3}.
+        assert_eq!(level_starts.first(), Some(&0));
+        assert_eq!(level_starts.last(), Some(&order.len()));
+        assert_eq!(level_starts.len(), 4, "three levels: {level_starts:?}");
+        let depth1 = &order[level_starts[0]..level_starts[1]];
+        assert_eq!(depth1.len(), 2);
+        assert!(depth1.iter().all(|&(_, p)| p == 0));
+        // Within a level, siblings are consecutive (grouped by parent).
+        for level in level_starts.windows(2) {
+            let slice = &order[level[0]..level[1]];
+            let mut seen_parents: Vec<TrieIndex> = Vec::new();
+            for &(_, parent) in slice {
+                match seen_parents.last() {
+                    Some(&last) if last == parent => {}
+                    _ => {
+                        assert!(
+                            !seen_parents.contains(&parent),
+                            "parent {parent} split across the level"
+                        );
+                        seen_parents.push(parent);
+                    }
+                }
+            }
+        }
+        // Parent links are consistent with the vertex chains.
+        for &(node, parent) in &order {
+            assert!(parent < node, "BFS parents precede children");
+            let _ = (t.vertex(node), t.weight(node), t.vertex(parent));
+        }
+    }
+
+    #[test]
+    fn bfs_levels_on_empty_trie() {
+        let t = WalkTrie::new(9);
+        let mut order = vec![(7, 7)];
+        let mut level_starts = vec![42];
+        t.bfs_levels(&mut order, &mut level_starts);
+        assert!(order.is_empty());
+        assert_eq!(level_starts, vec![0]);
     }
 }

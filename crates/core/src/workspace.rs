@@ -120,6 +120,65 @@ impl LevelBuf {
     }
 }
 
+/// Pooled storage for the fused probe engine's per-trie-node frontiers
+/// ([`crate::frontier`]).
+///
+/// A fused sweep stores one weighted frontier per trie node: the mass
+/// that has propagated down to that trie position. Frontiers are spans
+/// in one flat arena (`entries`), indexed per trie node (`spans`), plus
+/// the BFS-cursor scratch buffers ([`crate::trie::WalkTrie::bfs_levels`]
+/// fills them). Everything is `clear()`-reused: after the first few
+/// queries warm the capacities up, a query performs **zero heap
+/// allocation** here — the same pooling contract as [`LevelBuf`] and the
+/// session's sparse accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct FrontierArena {
+    /// Flat `(node, weight)` storage; each trie node's frontier is a
+    /// contiguous span.
+    entries: Vec<(NodeId, f64)>,
+    /// Per trie node: `(offset, len)` into `entries`.
+    spans: Vec<(usize, usize)>,
+    /// BFS cursor scratch: `(node, parent)` pairs in level order.
+    pub order: Vec<(u32, u32)>,
+    /// BFS cursor scratch: level boundaries into `order`.
+    pub level_starts: Vec<usize>,
+}
+
+impl FrontierArena {
+    /// An empty arena; capacities grow on first use and are kept.
+    pub fn new() -> Self {
+        FrontierArena::default()
+    }
+
+    /// Resets the arena for a query over a trie with `trie_len` nodes.
+    /// O(trie_len), no allocation once capacities are warm.
+    pub fn begin_query(&mut self, trie_len: usize) {
+        self.entries.clear();
+        self.spans.clear();
+        self.spans.resize(trie_len, (0, 0));
+    }
+
+    /// The stored frontier of trie node `idx` (empty until stored).
+    #[inline]
+    pub fn span(&self, idx: u32) -> &[(NodeId, f64)] {
+        let (offset, len) = self.spans[idx as usize];
+        &self.entries[offset..offset + len]
+    }
+
+    /// Stores `level`'s positive entries (in insertion order) as the
+    /// frontier of trie node `idx`.
+    pub fn store(&mut self, idx: u32, level: &LevelBuf) {
+        let offset = self.entries.len();
+        for &v in level.nodes() {
+            let score = level.get(v);
+            if score > 0.0 {
+                self.entries.push((v, score));
+            }
+        }
+        self.spans[idx as usize] = (offset, self.entries.len() - offset);
+    }
+}
+
 /// Double-buffered frontier pair for a probe traversal.
 #[derive(Debug, Clone)]
 pub struct ProbeWorkspace {
@@ -127,6 +186,9 @@ pub struct ProbeWorkspace {
     pub current: LevelBuf,
     /// Next level `H_{j+1}`.
     pub next: LevelBuf,
+    /// Per-trie-node frontier slabs for the fused probe engine; empty
+    /// (and allocation-free) while only the per-prefix paths run.
+    pub frontier: FrontierArena,
 }
 
 impl ProbeWorkspace {
@@ -135,6 +197,7 @@ impl ProbeWorkspace {
         ProbeWorkspace {
             current: LevelBuf::new(n),
             next: LevelBuf::new(n),
+            frontier: FrontierArena::new(),
         }
     }
 
@@ -214,6 +277,28 @@ mod tests {
         ws.advance();
         assert!(ws.current.contains(1));
         assert!(ws.next.is_empty());
+    }
+
+    #[test]
+    fn frontier_arena_stores_and_reuses_spans() {
+        let mut arena = FrontierArena::new();
+        arena.begin_query(3);
+        assert!(arena.span(0).is_empty());
+        let mut buf = LevelBuf::new(8);
+        buf.clear();
+        buf.add(5, 0.5);
+        buf.add(2, 0.25);
+        buf.set(7, 0.0); // zeroed entries are dropped at store time
+        arena.store(1, &buf);
+        assert_eq!(arena.span(1), &[(5, 0.5), (2, 0.25)]);
+        buf.clear();
+        buf.add(3, 1.0);
+        arena.store(2, &buf);
+        assert_eq!(arena.span(2), &[(3, 1.0)]);
+        assert_eq!(arena.span(1), &[(5, 0.5), (2, 0.25)]);
+        // A new query resets every span.
+        arena.begin_query(2);
+        assert!(arena.span(1).is_empty());
     }
 
     #[test]

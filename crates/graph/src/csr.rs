@@ -44,16 +44,34 @@ impl CsrGraph {
     /// [`crate::GraphBuilder`] for cleaning). Panics if an endpoint is
     /// `>= n`.
     pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
-        let m = edges.len();
+        Self::from_edge_iter(n, edges.iter().copied())
+    }
+
+    /// Builds a graph with `n` nodes from any re-iterable edge source,
+    /// without materializing an intermediate `Vec<Edge>` — the
+    /// constructor behind [`CsrGraph::from_edges`] and
+    /// [`crate::DynamicGraph::snapshot`].
+    ///
+    /// The iterator is consumed twice (degree-counting pass, then fill
+    /// pass), so it must be `Clone` and yield the same edges both times.
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edge_iter<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = Edge>,
+        I::IntoIter: Clone,
+    {
+        let edges = edges.into_iter();
+        let mut m = 0usize;
         let mut out_offsets = vec![0usize; n + 1];
         let mut in_offsets = vec![0usize; n + 1];
-        for &(u, v) in edges {
+        for (u, v) in edges.clone() {
             assert!(
                 (u as usize) < n && (v as usize) < n,
                 "edge ({u}, {v}) out of bounds for n = {n}"
             );
             out_offsets[u as usize + 1] += 1;
             in_offsets[v as usize + 1] += 1;
+            m += 1;
         }
         for i in 0..n {
             out_offsets[i + 1] += out_offsets[i];
@@ -64,7 +82,7 @@ impl CsrGraph {
         // Cursor copies so we can fill in one pass.
         let mut out_cursor = out_offsets.clone();
         let mut in_cursor = in_offsets.clone();
-        for &(u, v) in edges {
+        for (u, v) in edges {
             out_targets[out_cursor[u as usize]] = v;
             out_cursor[u as usize] += 1;
             in_sources[in_cursor[v as usize]] = u;
@@ -92,13 +110,15 @@ impl CsrGraph {
 
     /// All edges in `(source, target)` order, sorted by source then target.
     pub fn edges(&self) -> Vec<Edge> {
-        let mut out = Vec::with_capacity(self.num_edges());
-        for u in self.nodes() {
-            for &v in self.out_neighbors(u) {
-                out.push((u, v));
-            }
-        }
-        out
+        self.edges_iter().collect()
+    }
+
+    /// Iterates all edges in `(source, target)` order (sorted by source
+    /// then target) without allocating — the non-allocating counterpart
+    /// of [`CsrGraph::edges`].
+    pub fn edges_iter(&self) -> impl Iterator<Item = Edge> + Clone + '_ {
+        (0..self.num_nodes as NodeId)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// The transpose graph (every edge reversed). O(n + m); reuses the

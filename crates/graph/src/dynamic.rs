@@ -168,13 +168,18 @@ impl DynamicGraph {
     /// The current edge list in `(source, target)` order, sorted — the
     /// input [`CsrGraph::from_edges`] expects for a from-scratch rebuild.
     pub fn edges(&self) -> Vec<Edge> {
-        let mut edges = Vec::with_capacity(self.num_edges);
-        for (u, targets) in self.out.iter().enumerate() {
-            for &v in targets {
-                edges.push((u as NodeId, v));
-            }
-        }
-        edges
+        self.edges_iter().collect()
+    }
+
+    /// Iterates the current edges in `(source, target)` order, sorted,
+    /// without allocating. [`DynamicGraph::snapshot`], the churn tests and
+    /// the benchmark scenario engine rebuild CSR views through this
+    /// instead of materializing a throwaway `Vec` per rebuild.
+    pub fn edges_iter(&self) -> impl Iterator<Item = Edge> + Clone + '_ {
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, targets)| targets.iter().map(move |&v| (u as NodeId, v)))
     }
 
     /// Appends `extra` isolated nodes, returning the id of the first new
@@ -186,9 +191,10 @@ impl DynamicGraph {
         first
     }
 
-    /// An immutable CSR copy of the current state.
+    /// An immutable CSR copy of the current state. Streams the adjacency
+    /// straight into the CSR builder — no intermediate edge `Vec`.
     pub fn snapshot(&self) -> CsrGraph {
-        CsrGraph::from_edges(self.num_nodes(), &self.edges())
+        CsrGraph::from_edge_iter(self.num_nodes(), self.edges_iter())
     }
 }
 
@@ -305,6 +311,22 @@ mod tests {
         by_hand.remove_edge(2, 1);
         assert_eq!(by_apply.edges(), by_hand.edges());
         assert_eq!(by_apply.num_edges(), 1);
+    }
+
+    #[test]
+    fn edges_iter_matches_edges_without_allocating() {
+        let mut g = DynamicGraph::new(5);
+        for (u, v) in [(4, 0), (1, 3), (0, 2), (1, 0), (3, 3)] {
+            g.insert_edge(u, v);
+        }
+        g.remove_edge(1, 3);
+        let collected: Vec<Edge> = g.edges_iter().collect();
+        assert_eq!(collected, g.edges());
+        assert_eq!(collected.len(), g.num_edges());
+        // The iterator is Clone (CsrGraph::from_edge_iter walks it twice).
+        let twice: Vec<Edge> = g.edges_iter().clone().collect();
+        assert_eq!(twice, collected);
+        assert_eq!(CsrGraph::from_edge_iter(5, g.edges_iter()), g.snapshot());
     }
 
     #[test]

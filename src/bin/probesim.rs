@@ -4,7 +4,7 @@
 //! probesim generate <dataset> [--scale ci|laptop] [--out graph.psim]
 //! probesim stats    <graph-file>
 //! probesim query    <graph-file> --node N [--top K | --tau T] [--eps E] [--delta D]
-//!                   [--decay C] [--seed S] [--output text|json]
+//!                   [--decay C] [--seed S] [--probe-path fused|legacy] [--output text|json]
 //! probesim batch    <graph-file> --nodes A,B,C [--top K] [--threads T] [--output text|json]
 //! probesim pair     <graph-file> --u A --v B [--walks R] [--decay C]
 //! ```
@@ -42,8 +42,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   probesim generate <dataset> [--scale ci|laptop] [--out FILE]
   probesim stats    <graph-file>
-  probesim query    <graph-file> --node N [--top K | --tau T] [--eps E] [--delta D] [--decay C] [--seed S] [--output text|json]
-  probesim batch    <graph-file> --nodes A,B,C [--top K] [--threads T] [--eps E] [--seed S] [--output text|json]
+  probesim query    <graph-file> --node N [--top K | --tau T] [--eps E] [--delta D] [--decay C] [--seed S] [--probe-path fused|legacy] [--output text|json]
+  probesim batch    <graph-file> --nodes A,B,C [--top K] [--threads T] [--eps E] [--seed S] [--probe-path fused|legacy] [--output text|json]
   probesim pair     <graph-file> --u A --v B [--walks R] [--decay C] [--seed S]
 
 datasets: Wiki-Vote HepTh AS HepPh LiveJournal IT-2004 Twitter Friendster";
@@ -181,9 +181,15 @@ fn engine_from_flags(args: &[String]) -> Result<ProbeSim, String> {
     if !(0.0..1.0).contains(&delta) || delta <= 0.0 {
         return Err(format!("--delta must be in (0, 1), got {delta}"));
     }
-    Ok(ProbeSim::new(
-        ProbeSimConfig::new(decay, eps, delta).with_seed(seed),
-    ))
+    let mut config = ProbeSimConfig::new(decay, eps, delta).with_seed(seed);
+    // A/B the probe engines from the CLI: the stats JSON then shows the
+    // edges_expanded / frontier_merges difference directly.
+    config.optimizations.fuse_probes = match flag_str(args, "--probe-path").unwrap_or("fused") {
+        "fused" => true,
+        "legacy" => false,
+        other => return Err(format!("--probe-path expects fused|legacy, got {other:?}")),
+    };
+    Ok(ProbeSim::new(config))
 }
 
 fn query(args: &[String]) -> Result<(), String> {

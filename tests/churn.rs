@@ -60,7 +60,7 @@ proptest! {
         engine_seed in any::<u64>(),
     ) {
         let live = churned_graph(n, ops, graph_seed);
-        let rebuilt = CsrGraph::from_edges(n, &live.edges());
+        let rebuilt = CsrGraph::from_edge_iter(n, live.edges_iter());
         let engine = ProbeSim::new(ProbeSimConfig::new(0.6, 0.08, 0.01).with_seed(engine_seed));
         let mut live_session = engine.session(&live);
         let mut rebuilt_session = engine.session(&rebuilt);
@@ -92,7 +92,7 @@ proptest! {
         for update in SlidingWindowStream::new(n, 40, seed).take(events) {
             prop_assert!(live.apply(update));
         }
-        let rebuilt = CsrGraph::from_edges(n, &live.edges());
+        let rebuilt = CsrGraph::from_edge_iter(n, live.edges_iter());
         let engine = ProbeSim::new(ProbeSimConfig::new(0.6, 0.1, 0.01).with_seed(seed ^ 0xC0FFEE));
         let mut live_session = engine.session(&live);
         let mut rebuilt_session = engine.session(&rebuilt);
@@ -117,7 +117,7 @@ fn interleaved_verification_points_along_a_stream() {
         for update in stream.by_ref().take(50) {
             live.apply(update);
         }
-        let rebuilt = CsrGraph::from_edges(n, &live.edges());
+        let rebuilt = CsrGraph::from_edge_iter(n, live.edges_iter());
         let query = Query::SingleSource {
             node: (block * 7 % n) as NodeId,
         };
