@@ -188,14 +188,14 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         options.seed
     );
     println!(
-        "{:<26} {:>8} {:>12} {:>12} {:>8} {:>12} {:>14}",
+        "{:<28} {:>8} {:>12} {:>12} {:>8} {:>12} {:>14}",
         "scenario", "queries", "q_median", "q_p95", "updates", "u_median", "total_work"
     );
     for spec in &specs {
         let result = run_scenario(spec, options.scale, options.seed);
         let report = ScenarioReport::from_result(&result);
         println!(
-            "{:<26} {:>8} {:>12} {:>12} {:>8} {:>12} {:>14}",
+            "{:<28} {:>8} {:>12} {:>12} {:>8} {:>12} {:>14}",
             report.scenario,
             report.queries,
             format_secs(report.query_latency.median),
@@ -300,13 +300,9 @@ fn print_catalog() {
     println!("# scenario catalog ({} scenarios)", specs.len());
     for spec in specs {
         println!(
-            "{:<26} [{}] {}",
+            "{:<28} [{}] {}",
             spec.name,
-            if spec.is_dynamic() {
-                "dynamic"
-            } else {
-                "static"
-            },
+            spec.kind_name(),
             spec.description
         );
     }

@@ -23,7 +23,7 @@
 //!   "scale": "ci",
 //!   "graph": {"dataset": "...", "nodes": 123, "edges": 456},
 //!   "config": {"epsilon": 0.1, "delta": 0.01, "decay": 0.6},
-//!   "workload": {"queries": 32, "updates": 320, "update_query_ratio": 10.0},
+//!   "workload": {"queries": 32, "updates": 320, "work_deterministic": true},
 //!   "query_latency_secs": {"count": 32, "median": ..., "p95": ..., "mean": ..., "min": ..., "max": ...},
 //!   "update_latency_secs": {...},            // dynamic scenarios only
 //!   "query_stats": {"walks": ..., ...},      // QueryStats::fields()
@@ -46,6 +46,9 @@
 //! * **total work** ([`probesim_core::QueryStats::total_work`]) — gated
 //!   tightly (default 0.10), because the counter is deterministic given
 //!   seed + scenario and only moves when the algorithm does more work.
+//!   Skipped when either side reports `work_deterministic: false` (the
+//!   concurrent store scenarios, whose per-query work depends on which
+//!   snapshot version a racing reader happens to see).
 
 use std::fmt;
 
@@ -115,6 +118,14 @@ impl Json {
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
             _ => None,
         }
     }
@@ -457,7 +468,8 @@ pub struct ScenarioReport {
     pub scenario: String,
     /// Human-readable description of the workload.
     pub description: String,
-    /// "static" or "dynamic".
+    /// "static", "dynamic" or "concurrent" (see
+    /// `ScenarioSpec::kind_name`).
     pub kind: String,
     /// RNG seed the run used.
     pub seed: u64,
@@ -489,6 +501,14 @@ pub struct ScenarioReport {
     /// [`probesim_core::QueryStats::total_work`] over the whole run — the
     /// deterministic regression signal.
     pub total_work: usize,
+    /// Whether `total_work` is a pure function of `(scenario, scale,
+    /// seed)`. False for concurrent store scenarios (which snapshot
+    /// version a reader sees is timing-dependent), where the comparator
+    /// gates latency and workload identity but not work.
+    pub work_deterministic: bool,
+    /// Distinct snapshot versions served to readers (concurrent store
+    /// scenarios only).
+    pub versions_observed: Option<u64>,
 }
 
 /// The five-number latency summary serialized per scenario.
@@ -556,11 +576,7 @@ impl ScenarioReport {
         ScenarioReport {
             scenario: result.spec.name.to_string(),
             description: result.spec.description.to_string(),
-            kind: if result.spec.is_dynamic() {
-                "dynamic".to_string()
-            } else {
-                "static".to_string()
-            },
+            kind: result.spec.kind_name().to_string(),
             seed: result.seed,
             scale: result.scale_name.to_string(),
             dataset: result.dataset.clone(),
@@ -577,6 +593,8 @@ impl ScenarioReport {
                 .map(LatencySummary::from_latencies),
             query_stats: result.query_stats.fields().collect(),
             total_work: result.query_stats.total_work(),
+            work_deterministic: result.work_deterministic,
+            versions_observed: result.versions_observed,
         }
     }
 
@@ -604,13 +622,17 @@ impl ScenarioReport {
                 "config",
                 Json::obj(vec![("epsilon", Json::Num(self.epsilon))]),
             ),
-            (
-                "workload",
-                Json::obj(vec![
+            ("workload", {
+                let mut workload = vec![
                     ("queries", Json::uint(self.queries)),
                     ("updates", Json::uint(self.updates)),
-                ]),
-            ),
+                    ("work_deterministic", Json::Bool(self.work_deterministic)),
+                ];
+                if let Some(versions) = self.versions_observed {
+                    workload.push(("versions_observed", Json::UInt(versions)));
+                }
+                Json::obj(workload)
+            }),
             ("query_latency_secs", self.query_latency.to_json()),
         ];
         if let Some(update) = self.update_latency {
@@ -704,6 +726,13 @@ impl ScenarioReport {
                 .transpose()?,
             query_stats,
             total_work: num_field(value, "total_work")? as usize,
+            // Absent in pre-store baselines: those scenarios were all
+            // deterministic-work.
+            work_deterministic: workload
+                .get("work_deterministic")
+                .and_then(Json::as_bool)
+                .unwrap_or(true),
+            versions_observed: workload.get("versions_observed").and_then(Json::as_u64),
         })
     }
 
@@ -806,6 +835,15 @@ pub enum Verdict {
         /// emitting one (itself a regression of the identity check).
         current: Option<u64>,
     },
+    /// The current run stopped claiming deterministic work against a
+    /// baseline that gates on it: the tight `total_work` check would be
+    /// silently disarmed, so — like a vanished fingerprint — this fails
+    /// loudly. (The intended path for a genuinely newly-nondeterministic
+    /// scenario is regenerating the baseline.)
+    WorkGateDisarmed {
+        /// Scenario name.
+        scenario: String,
+    },
     /// The scenario exists on only one side; informational, never fails
     /// the gate (new scenarios must be able to land before their baseline
     /// does).
@@ -823,7 +861,9 @@ impl Verdict {
     pub fn is_regression(&self) -> bool {
         matches!(
             self,
-            Verdict::Regression { .. } | Verdict::FingerprintMismatch { .. }
+            Verdict::Regression { .. }
+                | Verdict::FingerprintMismatch { .. }
+                | Verdict::WorkGateDisarmed { .. }
         )
     }
 }
@@ -861,6 +901,12 @@ impl fmt::Display for Verdict {
                      (baseline has {baseline:#018x}) — the identity check stopped being emitted"
                 ),
             },
+            Verdict::WorkGateDisarmed { scenario } => write!(
+                f,
+                "REGRESSION {scenario}: current run no longer reports deterministic work \
+                 against a baseline that gates on it — the total-work check would be \
+                 silently disarmed; regenerate the baseline if this is intentional"
+            ),
             Verdict::Missing { scenario, side } => {
                 write!(f, "SKIP       {scenario}: not present in {side}")
             }
@@ -951,7 +997,22 @@ pub fn compare(
         } else {
             thresholds.work
         };
-        if work_base > 0.0 && work_cur > work_base * (1.0 + work_threshold) {
+        // Scheduling-dependent work (concurrent store scenarios) is not
+        // a regression signal: a reader racing a writer legitimately
+        // sees different snapshot versions run to run. Latency and the
+        // workload fingerprint above still gate those scenarios.
+        // Asymmetric like the fingerprint check: a current run that
+        // *stops* claiming deterministic work against a gating baseline
+        // has disarmed the tightest signal and must fail loudly, not
+        // quietly widen its own budget.
+        if base.work_deterministic && !cur.work_deterministic {
+            regressed = true;
+            verdicts.push(Verdict::WorkGateDisarmed {
+                scenario: cur.scenario.clone(),
+            });
+        }
+        let work_gated = base.work_deterministic && cur.work_deterministic;
+        if work_gated && work_base > 0.0 && work_cur > work_base * (1.0 + work_threshold) {
             regressed = true;
             verdicts.push(Verdict::Regression {
                 scenario: cur.scenario.clone(),
@@ -1100,6 +1161,8 @@ mod tests {
             update_latency: None,
             query_stats: vec![("walks", 5), ("walk_nodes", work)],
             total_work: work,
+            work_deterministic: true,
+            versions_observed: None,
         }
     }
 
@@ -1223,6 +1286,88 @@ mod tests {
                     ..
                 }
             )),
+            "{verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_report_fields_round_trip_and_default_for_old_baselines() {
+        let mut original = report("store_concurrent_balanced", 0.002, 9000);
+        original.kind = "concurrent".to_string();
+        original.work_deterministic = false;
+        original.versions_observed = Some(17);
+        original.update_latency = Some(summary(0.0002));
+        original.updates = 32;
+        original.query_stats = probesim_core::QueryStats::FIELD_NAMES
+            .into_iter()
+            .map(|n| (n, 0))
+            .collect();
+        let text = original.to_json().to_string();
+        assert!(text.contains("\"work_deterministic\": false"));
+        assert!(text.contains("\"versions_observed\": 17"));
+        let parsed = ScenarioReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, original);
+        // A pre-store baseline (no work_deterministic field) parses as
+        // deterministic — the gate stays armed for every old scenario.
+        let legacy = report("a", 0.001, 100).to_json().to_string();
+        assert!(!legacy.contains("versions_observed"));
+        let parsed = ScenarioReport::from_json(&Json::parse(&legacy).unwrap()).unwrap();
+        assert!(parsed.work_deterministic);
+        assert_eq!(parsed.versions_observed, None);
+    }
+
+    #[test]
+    fn compare_skips_the_work_gate_when_work_is_scheduling_dependent() {
+        let mut baseline = report("store_concurrent_balanced", 0.001, 1000);
+        baseline.work_deterministic = false;
+        let mut current = report("store_concurrent_balanced", 0.001, 1900);
+        current.work_deterministic = false;
+        // +90% work would fail a deterministic scenario outright…
+        let verdicts = compare(
+            &[baseline.clone()],
+            &[current.clone()],
+            CompareThresholds::default(),
+        );
+        assert!(verdicts.iter().all(|v| !v.is_regression()), "{verdicts:?}");
+        // …and still does when both sides claim determinism.
+        current.work_deterministic = true;
+        baseline.work_deterministic = true;
+        let verdicts = compare(
+            &[baseline.clone()],
+            &[current.clone()],
+            CompareThresholds::default(),
+        );
+        assert!(verdicts.iter().any(|v| v.is_regression()), "{verdicts:?}");
+        // Latency stays gated regardless of work determinism.
+        current.work_deterministic = false;
+        baseline.work_deterministic = false;
+        current.total_work = 1000;
+        current.query_latency = summary(0.01);
+        let verdicts = compare(
+            &[baseline.clone()],
+            &[current.clone()],
+            CompareThresholds::default(),
+        );
+        assert!(
+            verdicts.iter().any(|v| matches!(
+                v,
+                Verdict::Regression {
+                    signal: "median query latency",
+                    ..
+                }
+            )),
+            "{verdicts:?}"
+        );
+        // And dropping the deterministic-work claim against a gating
+        // baseline is itself a loud failure, not a quiet skip.
+        baseline.work_deterministic = true;
+        current.work_deterministic = false;
+        current.query_latency = baseline.query_latency;
+        let verdicts = compare(&[baseline], &[current], CompareThresholds::default());
+        assert!(
+            verdicts
+                .iter()
+                .any(|v| matches!(v, Verdict::WorkGateDisarmed { .. }) && v.is_regression()),
             "{verdicts:?}"
         );
     }

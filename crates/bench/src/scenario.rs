@@ -13,10 +13,13 @@
 //! parallel batches, session reuse vs. per-query allocation — and the
 //! regime the paper is actually *about* but classic benchmark tables
 //! never measure: queries racing a stream of edge insertions and
-//! deletions on a live [`probesim_graph::DynamicGraph`] at configurable update:query
-//! ratios (compare the evaluation protocols of SLING/SimPush-style
-//! index-free systems and "Dynamical SimRank Search on Time-Varying
-//! Networks").
+//! deletions on the overlay-backed [`probesim_graph::GraphStore`] at
+//! configurable update:query ratios, both interleaved on one thread
+//! ([`ScenarioKind::DynamicInterleaved`]) and genuinely concurrent — one
+//! writer thread vs. N snapshot-reader threads
+//! ([`ScenarioKind::StoreConcurrent`]) — (compare the evaluation
+//! protocols of SLING/SimPush-style index-free systems and "Dynamical
+//! SimRank Search on Time-Varying Networks").
 //!
 //! The timing primitives ([`Latencies`], [`time_per_item`]) are shared
 //! with the paper-reproduction binaries, which report medians from the
@@ -29,7 +32,7 @@ use probesim_core::{ProbeSim, ProbeSimConfig, Query, QueryStats};
 use probesim_datasets::{sliding_window_workload, Dataset, Scale};
 use probesim_eval::sample_query_nodes;
 use probesim_graph::hash::FxHasher;
-use probesim_graph::{DynamicGraph, GraphView, NodeId};
+use probesim_graph::{CompactionPolicy, Edge, GraphStore, GraphView, NodeId};
 
 /// A wall-clock latency recording with order statistics.
 ///
@@ -159,13 +162,31 @@ pub enum ScenarioKind {
     /// query — the allocation-bound contrast to
     /// [`ScenarioKind::SessionReuseStream`].
     FreshSessionPerQuery,
-    /// Queries interleaved with a sliding-window update stream on a live
-    /// [`probesim_graph::DynamicGraph`]: each round applies `updates_per_round` events,
-    /// then issues `queries_per_round` queries against the mutated graph.
+    /// Queries interleaved with a sliding-window update stream on a
+    /// single thread: each round applies `updates_per_round` events to a
+    /// [`probesim_graph::GraphStore`], then issues `queries_per_round`
+    /// queries against a fresh snapshot of the mutated graph.
     DynamicInterleaved {
         /// Edge events applied per round.
         updates_per_round: usize,
         /// Queries issued per round.
+        queries_per_round: usize,
+    },
+    /// One writer thread racing `readers` reader threads over a shared
+    /// [`probesim_graph::GraphStore`]: the writer applies the seeded
+    /// update stream (paced to the readers' progress at the configured
+    /// update:query ratio) and publishes a snapshot after every update;
+    /// readers continuously pull the latest snapshot and answer queries
+    /// from owned, version-pinned sessions — never blocking on the
+    /// writer. Readers record the snapshot versions they observe
+    /// (per-version consistency: versions never go backwards within a
+    /// reader).
+    StoreConcurrent {
+        /// Reader thread count.
+        readers: usize,
+        /// Updates in the update:query ratio (e.g. 1 in "1:8").
+        updates_per_round: usize,
+        /// Queries in the update:query ratio (e.g. 8 in "1:8").
         queries_per_round: usize,
     },
 }
@@ -228,9 +249,30 @@ pub struct ScenarioSpec {
 }
 
 impl ScenarioSpec {
-    /// True for update-interleaved dynamic workloads.
+    /// True for workloads that apply edge updates (interleaved or
+    /// concurrent).
     pub fn is_dynamic(&self) -> bool {
-        matches!(self.kind, ScenarioKind::DynamicInterleaved { .. })
+        matches!(
+            self.kind,
+            ScenarioKind::DynamicInterleaved { .. } | ScenarioKind::StoreConcurrent { .. }
+        )
+    }
+
+    /// The report `kind` label.
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            ScenarioKind::DynamicInterleaved { .. } => "dynamic",
+            ScenarioKind::StoreConcurrent { .. } => "concurrent",
+            _ => "static",
+        }
+    }
+
+    /// False when per-run query work depends on thread scheduling (the
+    /// concurrent store scenarios: which snapshot version a reader sees
+    /// is timing-dependent), so the `--compare` gate must not treat
+    /// `total_work` as a deterministic signal.
+    pub fn work_deterministic(&self) -> bool {
+        !matches!(self.kind, ScenarioKind::StoreConcurrent { .. })
     }
 }
 
@@ -262,18 +304,26 @@ pub struct ScenarioResult {
     /// Counters merged over every query of the run.
     pub query_stats: QueryStats,
     /// Order-sensitive hash of the final edge list (dynamic scenarios
-    /// only), streamed through `DynamicGraph::edges_iter` — a
-    /// deterministic witness that baseline and current runs replayed the
-    /// same update stream.
+    /// only), streamed through the store's non-allocating `edges_iter` —
+    /// a deterministic witness that baseline and current runs replayed
+    /// the same update stream.
     pub final_state_hash: Option<u64>,
+    /// Whether `query_stats` is a pure function of `(spec, scale, seed)`
+    /// (false for the concurrent store scenarios, where the snapshot
+    /// version each reader sees is timing-dependent).
+    pub work_deterministic: bool,
+    /// Distinct snapshot versions the reader threads observed
+    /// (concurrent store scenarios only).
+    pub versions_observed: Option<u64>,
 }
 
 /// The full scenario catalog, in a stable order.
 ///
-/// Fourteen scenarios: six static (query shapes × execution modes), one
+/// Sixteen scenarios: six static (query shapes × execution modes), one
 /// allocation contrast, three update-interleaved dynamic workloads at
-/// different update:query ratios, and two fused-vs-legacy probe-engine
-/// contrast pairs (one static, one dynamic).
+/// different update:query ratios, two concurrent 1-writer/N-reader
+/// store workloads, and two fused-vs-legacy probe-engine contrast pairs
+/// (one static, one dynamic).
 pub fn catalog() -> Vec<ScenarioSpec> {
     vec![
         ScenarioSpec {
@@ -347,7 +397,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
         },
         ScenarioSpec {
             name: "dynamic_churn_balanced",
-            description: "live DynamicGraph, sliding-window stream, 1 update : 1 query",
+            description: "overlay-backed store, sliding-window stream, 1 update : 1 query",
             graph: GraphSource::SlidingWindow {
                 n: 20_000,
                 window: 120_000,
@@ -362,7 +412,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
         },
         ScenarioSpec {
             name: "dynamic_update_heavy",
-            description: "live DynamicGraph, 10 updates : 1 query (write-dominated stream)",
+            description: "overlay-backed store, 10 updates : 1 query (write-dominated stream)",
             graph: GraphSource::SlidingWindow {
                 n: 20_000,
                 window: 120_000,
@@ -377,7 +427,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
         },
         ScenarioSpec {
             name: "dynamic_read_heavy",
-            description: "live DynamicGraph, 1 update : 8 queries (read-dominated stream)",
+            description: "overlay-backed store, 1 update : 8 queries (read-dominated stream)",
             graph: GraphSource::SlidingWindow {
                 n: 20_000,
                 window: 120_000,
@@ -388,6 +438,43 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             },
             epsilon: 0.1,
             queries: 24,
+            fuse_probes: true,
+        },
+        // Concurrent serving scenarios: 1 writer thread racing snapshot
+        // readers over a GraphStore. Latencies are gated per role
+        // (query_latency = readers, update_latency = writer); total_work
+        // is reported but not gated — which snapshot version a reader
+        // sees is timing-dependent.
+        ScenarioSpec {
+            name: "store_concurrent_balanced",
+            description: "GraphStore: 1 writer vs 4 snapshot readers, 1 update : 1 query",
+            graph: GraphSource::SlidingWindow {
+                n: 20_000,
+                window: 120_000,
+            },
+            kind: ScenarioKind::StoreConcurrent {
+                readers: 4,
+                updates_per_round: 1,
+                queries_per_round: 1,
+            },
+            epsilon: 0.1,
+            queries: 32,
+            fuse_probes: true,
+        },
+        ScenarioSpec {
+            name: "store_concurrent_read_heavy",
+            description: "GraphStore: 1 writer vs 4 snapshot readers, 1 update : 8 queries",
+            graph: GraphSource::SlidingWindow {
+                n: 20_000,
+                window: 120_000,
+            },
+            kind: ScenarioKind::StoreConcurrent {
+                readers: 4,
+                updates_per_round: 1,
+                queries_per_round: 8,
+            },
+            epsilon: 0.1,
+            queries: 48,
             fuse_probes: true,
         },
         // Fused-vs-legacy probe contrast pairs: identical workloads, only
@@ -492,6 +579,19 @@ pub fn run_scenario(spec: &ScenarioSpec, scale: Scale, seed: u64) -> ScenarioRes
             updates_per_round,
             queries_per_round,
         ),
+        ScenarioKind::StoreConcurrent {
+            readers,
+            updates_per_round,
+            queries_per_round,
+        } => run_store_concurrent(
+            spec,
+            scale,
+            seed,
+            &engine,
+            readers,
+            updates_per_round,
+            queries_per_round,
+        ),
         _ => run_static(spec, scale, seed, &engine),
     }
 }
@@ -582,7 +682,9 @@ fn run_static(spec: &ScenarioSpec, scale: Scale, seed: u64, engine: &ProbeSim) -
                 }
             }
         }
-        ScenarioKind::DynamicInterleaved { .. } => unreachable!("handled by run_dynamic"),
+        ScenarioKind::DynamicInterleaved { .. } | ScenarioKind::StoreConcurrent { .. } => {
+            unreachable!("handled by run_dynamic / run_store_concurrent")
+        }
     }
 
     ScenarioResult {
@@ -598,15 +700,17 @@ fn run_static(spec: &ScenarioSpec, scale: Scale, seed: u64, engine: &ProbeSim) -
         update_latency: None,
         query_stats,
         final_state_hash: None,
+        work_deterministic: spec.work_deterministic(),
+        versions_observed: None,
     }
 }
 
-/// Order-sensitive FxHash of a live graph's edge list, streamed through
-/// the non-allocating [`DynamicGraph::edges_iter`].
-fn graph_state_hash(graph: &DynamicGraph) -> u64 {
+/// Order-sensitive FxHash of a graph's sorted edge list, streamed
+/// through a non-allocating `edges_iter`.
+fn graph_state_hash(num_nodes: usize, edges: impl Iterator<Item = Edge>) -> u64 {
     let mut hasher = FxHasher::default();
-    hasher.write_u64(graph.num_nodes() as u64);
-    for (u, v) in graph.edges_iter() {
+    hasher.write_u64(num_nodes as u64);
+    for (u, v) in edges {
         hasher.write_u32(u);
         hasher.write_u32(v);
     }
@@ -631,9 +735,15 @@ fn run_dynamic(
     let window = scaled(scale, window);
     let rounds = spec.queries.div_ceil(queries_per_round.max(1));
     let total_updates = rounds * updates_per_round;
-    let (mut graph, updates) = sliding_window_workload(n, window, total_updates, seed ^ 0x5EED);
-    let start_edges = graph.num_edges();
-    let query_nodes = sample_query_nodes(&graph, spec.queries.max(queries_per_round), seed);
+    let (graph, updates) = sliding_window_workload(n, window, total_updates, seed ^ 0x5EED);
+    // The overlay-backed store is the serving path: updates mutate the
+    // copy-on-write overlay, every query binds a fresh published
+    // snapshot. Identical edge sets mean identical estimates and work
+    // counters to the old direct-DynamicGraph path, bit for bit.
+    let mut store = GraphStore::from_view(&graph);
+    drop(graph);
+    let start_edges = store.num_edges();
+    let query_nodes = sample_query_nodes(&store, spec.queries.max(queries_per_round), seed);
 
     let mut query_latency = Latencies::new();
     let mut update_latency = Latencies::new();
@@ -643,16 +753,20 @@ fn run_dynamic(
 
     for _ in 0..rounds {
         for update in update_iter.by_ref().take(updates_per_round) {
-            update_latency.time(|| graph.apply(update));
+            update_latency.time(|| store.apply(update));
         }
         for _ in 0..queries_per_round {
             let u = query_nodes[next_query % query_nodes.len()];
             next_query += 1;
             // Index-free means the query needs nothing but the current
-            // graph: scratch is re-bound to the just-mutated graph inside
-            // the timed region, exactly what a live service pays.
+            // graph: snapshot publication and scratch binding both happen
+            // inside the timed region, exactly what a live service pays.
             let output = query_latency
-                .time(|| engine.session(&graph).run(Query::SingleSource { node: u }))
+                .time(|| {
+                    engine
+                        .session(store.snapshot())
+                        .run(Query::SingleSource { node: u })
+                })
                 .expect("query nodes stay valid under edge churn");
             query_stats.merge(&output.stats);
         }
@@ -670,7 +784,176 @@ fn run_dynamic(
         query_latency,
         update_latency: Some(update_latency),
         query_stats,
-        final_state_hash: Some(graph_state_hash(&graph)),
+        final_state_hash: Some(graph_state_hash(n, store.edges_iter())),
+        work_deterministic: spec.work_deterministic(),
+        versions_observed: None,
+    }
+}
+
+/// The 1-writer / N-reader concurrent serving benchmark.
+///
+/// The writer owns the [`GraphStore`], applies the seeded update stream
+/// (paced against the readers' aggregate progress so the configured
+/// update:query ratio holds across the whole run) and publishes a
+/// snapshot after every update. Readers share only a mutex-guarded slot
+/// holding the latest snapshot: each query clones it (one `Arc` bump),
+/// then runs on an owned session — the writer is never blocked by a
+/// query, and a query never waits for a writer.
+///
+/// Consistency recording: every reader keeps the versions it observed
+/// and panics if they ever go backwards (snapshot publication must be
+/// monotonic); the run reports how many distinct versions were served.
+fn run_store_concurrent(
+    spec: &ScenarioSpec,
+    scale: Scale,
+    seed: u64,
+    engine: &ProbeSim,
+    readers: usize,
+    updates_per_round: usize,
+    queries_per_round: usize,
+) -> ScenarioResult {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let GraphSource::SlidingWindow { n, window } = spec.graph else {
+        panic!(
+            "scenario {}: concurrent kinds require a SlidingWindow graph source",
+            spec.name
+        );
+    };
+    let n = scaled(scale, n);
+    let window = scaled(scale, window);
+    let readers = readers.max(1);
+    let total_queries = spec.queries.max(readers);
+    let total_updates = (total_queries * updates_per_round).div_ceil(queries_per_round.max(1));
+    let (graph, updates) = sliding_window_workload(n, window, total_updates, seed ^ 0x5EED);
+    // Aggressive compaction so the run also exercises folds while
+    // readers are live (the default policy would rarely trigger at CI
+    // scale).
+    let mut store = GraphStore::from_view(&graph).with_policy(CompactionPolicy {
+        max_touched_fraction: 0.02,
+        min_touched_lists: 32,
+    });
+    drop(graph);
+    let start_edges = store.num_edges();
+    let query_nodes = sample_query_nodes(&store, total_queries, seed);
+
+    let slot = Mutex::new(store.snapshot());
+    let completed = AtomicUsize::new(0);
+    // Set when a reader unwinds, so the writer's pacing loop cannot wait
+    // forever on progress that will never come — the scenario then fails
+    // with the reader's panic instead of hanging.
+    let reader_panicked = std::sync::atomic::AtomicBool::new(false);
+    struct PanicFlag<'a>(&'a std::sync::atomic::AtomicBool);
+    impl Drop for PanicFlag<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.store(true, Ordering::Release);
+            }
+        }
+    }
+    let (update_latency, reader_results) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut update_latency = Latencies::new();
+            for (j, update) in updates.iter().copied().enumerate() {
+                // Pace the stream: update j waits for the readers to have
+                // answered their share at the configured ratio.
+                let target = (j * queries_per_round / updates_per_round.max(1))
+                    .min(total_queries.saturating_sub(1));
+                // A short sleep, not a yield spin: on small machines a
+                // busy writer would steal cycles from the readers it is
+                // waiting for. Pacing precision is irrelevant here.
+                while completed.load(Ordering::Acquire) < target {
+                    if reader_panicked.load(Ordering::Acquire) {
+                        return update_latency;
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                // The writer's role cost is apply + publish: the
+                // O(touched) freeze and the slot swap are what a serving
+                // writer pays per update, so they belong in the sample.
+                update_latency.time(|| {
+                    store.apply(update);
+                    *slot.lock().expect("snapshot slot poisoned") = store.snapshot();
+                });
+            }
+            update_latency
+        });
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let slot = &slot;
+                let completed = &completed;
+                let query_nodes = &query_nodes;
+                let reader_panicked = &reader_panicked;
+                scope.spawn(move || {
+                    let _unblock_writer = PanicFlag(reader_panicked);
+                    let mut latencies = Latencies::new();
+                    let mut stats = QueryStats::default();
+                    let mut versions: Vec<u64> = Vec::new();
+                    for i in (r..total_queries).step_by(readers) {
+                        let snapshot = slot.lock().expect("snapshot slot poisoned").clone();
+                        if let Some(&last) = versions.last() {
+                            assert!(
+                                snapshot.version() >= last,
+                                "snapshot versions went backwards: {} after {last}",
+                                snapshot.version()
+                            );
+                        }
+                        versions.push(snapshot.version());
+                        let u = query_nodes[i % query_nodes.len()];
+                        let output = latencies
+                            .time(|| {
+                                engine
+                                    .session(snapshot)
+                                    .run(Query::SingleSource { node: u })
+                            })
+                            .expect("query nodes stay valid under edge churn");
+                        stats.merge(&output.stats);
+                        completed.fetch_add(1, Ordering::Release);
+                    }
+                    (latencies, stats, versions)
+                })
+            })
+            .collect();
+        let update_latency = writer.join().expect("writer thread panicked");
+        let reader_results: Vec<_> = reader_handles
+            .into_iter()
+            .map(|handle| handle.join().expect("reader thread panicked"))
+            .collect();
+        (update_latency, reader_results)
+    });
+
+    let mut query_latency = Latencies::new();
+    let mut query_stats = QueryStats::default();
+    let mut distinct_versions: Vec<u64> = Vec::new();
+    let mut queries_executed = 0usize;
+    for (latencies, stats, versions) in reader_results {
+        queries_executed += latencies.count();
+        for &sample in latencies.samples() {
+            query_latency.push(sample);
+        }
+        query_stats.merge(&stats);
+        distinct_versions.extend(versions);
+    }
+    distinct_versions.sort_unstable();
+    distinct_versions.dedup();
+    let final_hash = graph_state_hash(n, store.edges_iter());
+
+    ScenarioResult {
+        spec: *spec,
+        seed,
+        scale_name: scale_name(scale),
+        dataset: format!("sliding_window(n={n}, window={window}) x {readers} readers"),
+        nodes: n,
+        edges: start_edges,
+        epsilon: spec.epsilon,
+        queries_executed,
+        query_latency,
+        update_latency: Some(update_latency),
+        query_stats,
+        final_state_hash: Some(final_hash),
+        work_deterministic: spec.work_deterministic(),
+        versions_observed: Some(distinct_versions.len() as u64),
     }
 }
 
@@ -819,6 +1102,55 @@ mod tests {
         assert_ne!(a.final_state_hash, c.final_state_hash);
         let s = run_scenario(&find("static_single_source").unwrap(), Scale::Ci, 11);
         assert!(s.final_state_hash.is_none());
+    }
+
+    #[test]
+    fn store_concurrent_scenario_runs_with_per_role_latencies() {
+        let spec = find("store_concurrent_balanced").unwrap();
+        assert!(spec.is_dynamic());
+        assert_eq!(spec.kind_name(), "concurrent");
+        assert!(!spec.work_deterministic());
+        let result = run_scenario(&spec, Scale::Ci, 7);
+        // Per-role latencies: one query sample per reader query, one
+        // update sample per writer update.
+        assert_eq!(result.query_latency.count(), spec.queries);
+        assert_eq!(result.queries_executed, spec.queries);
+        let updates = result.update_latency.as_ref().unwrap().count();
+        assert_eq!(
+            updates, spec.queries,
+            "1:1 ratio applies one update per query"
+        );
+        assert!(result.query_stats.walks > 0);
+        assert!(!result.work_deterministic);
+        // Readers observed at least one published version; the writer
+        // published one snapshot per update, so at most updates + 1.
+        let versions = result.versions_observed.unwrap();
+        assert!(
+            (1..=updates as u64 + 1).contains(&versions),
+            "versions_observed = {versions}"
+        );
+        // The final graph state is scheduling-independent: the writer
+        // applies the whole seeded stream no matter how readers race it.
+        let again = run_scenario(&spec, Scale::Ci, 7);
+        assert_eq!(result.final_state_hash, again.final_state_hash);
+    }
+
+    #[test]
+    fn store_concurrent_ratios_shape_the_update_stream() {
+        let spec = find("store_concurrent_read_heavy").unwrap();
+        let ScenarioKind::StoreConcurrent {
+            readers,
+            updates_per_round,
+            queries_per_round,
+        } = spec.kind
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!((readers, updates_per_round, queries_per_round), (4, 1, 8));
+        let result = run_scenario(&spec, Scale::Ci, 11);
+        let updates = result.update_latency.as_ref().unwrap().count();
+        assert_eq!(updates, spec.queries.div_ceil(8), "1:8 update:query ratio");
+        assert_eq!(result.queries_executed, spec.queries);
     }
 
     #[test]

@@ -114,6 +114,11 @@ pub enum QueryError {
     /// lifetimes being juggled by a wrapper type) can grow `n` past that
     /// size; executing anyway would index out of bounds. Rebuild the
     /// session against the resized graph instead.
+    ///
+    /// Structurally impossible for graphs with
+    /// [`GraphView::STABLE_NODE_COUNT`] — a session bound to a
+    /// `CsrGraph` or an owned `GraphSnapshot` skips the guard at compile
+    /// time and can never return this variant.
     GraphResized {
         /// Node count the session's scratch was sized for.
         session_nodes: usize,
@@ -409,6 +414,14 @@ pub struct BatchOutput {
 /// scratch; every later query resets it with a version-stamp bump —
 /// no reallocation, no `O(n)` clearing.
 ///
+/// The session holds its graph **by value**: `engine.session(&graph)`
+/// binds a borrow (the classic mode), while
+/// `engine.session(store.snapshot())` binds an *owned*
+/// `GraphSnapshot` — an `'static` session that can move to another
+/// thread and outlive the store that published it. Because a snapshot's
+/// node count is fixed ([`GraphView::STABLE_NODE_COUNT`]), the
+/// [`QueryError::GraphResized`] guard compiles away on that path.
+///
 /// ```
 /// use probesim_core::{ProbeSim, ProbeSimConfig, Query};
 /// use probesim_graph::toy::{toy_graph, A, D, TOY_DECAY};
@@ -424,11 +437,12 @@ pub struct BatchOutput {
 /// assert!(again.scores.len() < graph.num_nodes());
 /// # Ok::<(), probesim_core::QueryError>(())
 /// ```
-pub struct QuerySession<'g, G: GraphView> {
+pub struct QuerySession<G: GraphView> {
     engine: ProbeSim,
-    graph: &'g G,
+    graph: G,
     /// Node count the scratch slabs were sized for; re-checked against the
-    /// graph on every `run` (see [`QueryError::GraphResized`]).
+    /// graph on every `run` (see [`QueryError::GraphResized`]) unless the
+    /// graph type guarantees a stable count.
     session_nodes: usize,
     ws: ProbeWorkspace,
     acc: SparseAccumulator,
@@ -439,13 +453,14 @@ pub struct QuerySession<'g, G: GraphView> {
     last_touched: usize,
 }
 
-impl<'g, G: GraphView> QuerySession<'g, G> {
-    /// Binds `engine`'s configuration to `graph`. Scratch buffers are
-    /// sized for the graph's current node count; if the graph's `n` grows
+impl<G: GraphView> QuerySession<G> {
+    /// Binds `engine`'s configuration to `graph` (a borrow or an owned
+    /// view — see [`ProbeSim::session`]). Scratch buffers are sized for
+    /// the graph's current node count; if the graph's `n` grows
     /// afterwards (e.g. `DynamicGraph::add_nodes` reached through a
     /// wrapper with interior mutability), `run` reports
     /// [`QueryError::GraphResized`] instead of indexing out of bounds.
-    pub fn new(engine: &ProbeSim, graph: &'g G) -> Self {
+    pub fn new(engine: &ProbeSim, graph: G) -> Self {
         let n = graph.num_nodes();
         QuerySession {
             engine: engine.clone(),
@@ -460,8 +475,8 @@ impl<'g, G: GraphView> QuerySession<'g, G> {
     }
 
     /// The graph this session queries.
-    pub fn graph(&self) -> &'g G {
-        self.graph
+    pub fn graph(&self) -> &G {
+        &self.graph
     }
 
     /// The engine configuration this session runs with.
@@ -486,7 +501,7 @@ impl<'g, G: GraphView> QuerySession<'g, G> {
     /// never changes an answer.
     pub fn run(&mut self, query: Query) -> Result<QueryOutput, QueryError> {
         self.check_unresized()?;
-        validate(self.graph, &query)?;
+        validate(&self.graph, &query)?;
         Ok(self.run_validated(query))
     }
 
@@ -498,7 +513,7 @@ impl<'g, G: GraphView> QuerySession<'g, G> {
         rng: &mut R,
     ) -> Result<QueryOutput, QueryError> {
         self.check_unresized()?;
-        validate(self.graph, &query)?;
+        validate(&self.graph, &query)?;
         Ok(self.execute(query, rng))
     }
 
@@ -508,7 +523,7 @@ impl<'g, G: GraphView> QuerySession<'g, G> {
     pub fn run_batch(&mut self, queries: &[Query]) -> Result<BatchOutput, QueryError> {
         self.check_unresized()?;
         for query in queries {
-            validate(self.graph, query)?;
+            validate(&self.graph, query)?;
         }
         Ok(self.run_batch_validated(queries))
     }
@@ -521,7 +536,21 @@ impl<'g, G: GraphView> QuerySession<'g, G> {
     /// validation uses the *current* count — but a changed count in either
     /// direction means the session no longer matches the graph, so both
     /// directions are rejected for predictability.
+    ///
+    /// For graph types that declare [`GraphView::STABLE_NODE_COUNT`]
+    /// (immutable `CsrGraph`, owned `GraphSnapshot`) the branch below is
+    /// resolved at compile time: the guard costs nothing and
+    /// [`QueryError::GraphResized`] is unreachable — witnessed by a
+    /// `debug_assert` instead of a per-run runtime check.
     fn check_unresized(&self) -> Result<(), QueryError> {
+        if G::STABLE_NODE_COUNT {
+            debug_assert_eq!(
+                self.graph.num_nodes(),
+                self.session_nodes,
+                "a STABLE_NODE_COUNT graph changed its node count"
+            );
+            return Ok(());
+        }
         let graph_nodes = self.graph.num_nodes();
         if graph_nodes != self.session_nodes {
             return Err(QueryError::GraphResized {
@@ -565,7 +594,7 @@ impl<'g, G: GraphView> QuerySession<'g, G> {
         let mut stats = QueryStats::default();
         if config.optimizations.batch_walks {
             self.engine.run_batched(
-                self.graph,
+                &self.graph,
                 u,
                 nr,
                 &params,
@@ -577,7 +606,7 @@ impl<'g, G: GraphView> QuerySession<'g, G> {
             );
         } else {
             self.engine.run_unbatched(
-                self.graph,
+                &self.graph,
                 u,
                 nr,
                 &params,
@@ -608,7 +637,7 @@ impl<'g, G: GraphView> QuerySession<'g, G> {
     }
 }
 
-impl<G: GraphView> std::fmt::Debug for QuerySession<'_, G> {
+impl<G: GraphView> std::fmt::Debug for QuerySession<G> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QuerySession")
             .field("config", self.engine.config())
@@ -620,7 +649,17 @@ impl<G: GraphView> std::fmt::Debug for QuerySession<'_, G> {
 
 impl ProbeSim {
     /// Creates a reusable [`QuerySession`] bound to `graph`.
-    pub fn session<'g, G: GraphView>(&self, graph: &'g G) -> QuerySession<'g, G> {
+    ///
+    /// `graph` is held by value, so both modes work through the one
+    /// entry point:
+    ///
+    /// * `engine.session(&graph)` — borrow a `CsrGraph` /
+    ///   `DynamicGraph` (the classic mode; the borrow checker keeps the
+    ///   graph alive and un-mutated for the session's lifetime);
+    /// * `engine.session(store.snapshot())` — own a
+    ///   `GraphSnapshot`: the session is `'static`, can move across
+    ///   threads, and can never observe [`QueryError::GraphResized`].
+    pub fn session<G: GraphView>(&self, graph: G) -> QuerySession<G> {
         QuerySession::new(self, graph)
     }
 
@@ -633,6 +672,30 @@ impl ProbeSim {
     /// RNG derivation makes the answers identical to sequential
     /// execution.
     pub fn par_batch<G: GraphView + Sync>(
+        &self,
+        graph: &G,
+        queries: &[Query],
+        threads: usize,
+    ) -> Result<BatchOutput, QueryError> {
+        // A `&G` is itself a Clone + Send GraphView, so the shared-borrow
+        // mode is the owned mode instantiated with a borrow: each worker
+        // "clones" the reference and pools a session around it.
+        self.par_batch_owned(&graph, queries, threads)
+    }
+
+    /// [`ProbeSim::par_batch`] in **snapshot-per-thread** mode: every
+    /// worker binds its session to its *own clone* of `graph` instead of
+    /// a shared borrow.
+    ///
+    /// Designed for `probesim_graph::GraphSnapshot`, where a clone is
+    /// one `Arc` bump: each worker holds an owned, version-pinned view,
+    /// so the whole batch answers against one consistent graph version
+    /// even while a writer keeps updating the store that published it —
+    /// and the per-worker sessions can never return
+    /// [`QueryError::GraphResized`]. Answers are bit-for-bit identical
+    /// to [`ProbeSim::par_batch`] and to sequential execution (per-query
+    /// RNG derivation).
+    pub fn par_batch_owned<G: GraphView + Clone + Send + Sync>(
         &self,
         graph: &G,
         queries: &[Query],
@@ -654,7 +717,7 @@ impl ProbeSim {
         let outputs = crate::par::ordered_map_with(
             queries.len(),
             threads,
-            || self.session(graph),
+            || self.session(graph.clone()),
             |session, i| session.run_validated(queries[i]),
         );
         let mut stats = QueryStats::default();
@@ -902,6 +965,82 @@ mod tests {
         assert!(rebound.run(Query::SingleSource { node: A }).is_ok());
         let out = rebound.run(Query::SingleSource { node: 11 }).unwrap();
         assert!(out.scores.is_empty(), "isolated node touches nothing");
+    }
+
+    #[test]
+    fn owned_snapshot_session_matches_borrowed_and_survives_writer_churn() {
+        use probesim_graph::{GraphStore, GraphUpdate};
+        let g = toy_graph();
+        let mut store = GraphStore::from_view(&g);
+        let e = engine(0.05);
+
+        // Owned snapshot session == borrowed CsrGraph session, bit for bit.
+        let snap = store.snapshot();
+        let owned = e
+            .session(snap)
+            .run(Query::SingleSource { node: A })
+            .unwrap();
+        let borrowed = e.session(&g).run(Query::SingleSource { node: A }).unwrap();
+        assert_eq!(owned.scores, borrowed.scores);
+        assert_eq!(owned.stats, borrowed.stats);
+
+        // A long-lived owned session keeps answering its pinned version
+        // while the writer mutates and compacts underneath.
+        let mut pinned = e.session(store.snapshot());
+        let before = pinned.run(Query::SingleSource { node: A }).unwrap();
+        store.apply_all((0..8u32).map(|v| GraphUpdate::Remove {
+            u: v,
+            v: (v + 1) % 8,
+        }));
+        store.compact();
+        let after = pinned.run(Query::SingleSource { node: A }).unwrap();
+        assert_eq!(before.scores, after.scores, "snapshot isolation broken");
+        assert_eq!(pinned.queries_run(), 2);
+    }
+
+    #[test]
+    fn stable_node_count_compiles_the_resize_guard_away() {
+        use probesim_graph::GraphStore;
+        // The type-level witness: CsrGraph and GraphSnapshot promise a
+        // stable count, the Cell-backed growable wrapper cannot. Const
+        // blocks: these are compile-time facts, not runtime checks.
+        const {
+            assert!(<CsrGraph as GraphView>::STABLE_NODE_COUNT);
+            assert!(<&CsrGraph as GraphView>::STABLE_NODE_COUNT);
+            assert!(<probesim_graph::GraphSnapshot as GraphView>::STABLE_NODE_COUNT);
+            assert!(!<probesim_graph::DynamicGraph as GraphView>::STABLE_NODE_COUNT);
+            assert!(!<GrowableGraph as GraphView>::STABLE_NODE_COUNT);
+        }
+
+        // And the behavioral consequence: a session over an owned
+        // snapshot runs thousands of queries without ever consulting the
+        // resize guard (it cannot fail — no GraphResized is observable).
+        let store = GraphStore::from_view(&toy_graph());
+        let mut session = engine(0.1).session(store.snapshot());
+        for _ in 0..64 {
+            assert!(session.run(Query::SingleSource { node: A }).is_ok());
+        }
+    }
+
+    #[test]
+    fn par_batch_owned_matches_sequential_on_snapshots() {
+        use probesim_graph::GraphStore;
+        let g = toy_graph();
+        let store = GraphStore::from_view(&g);
+        let snap = store.snapshot();
+        let e = engine(0.08);
+        let queries: Vec<Query> = (0..8).map(|v| Query::SingleSource { node: v }).collect();
+        let sequential = e.session(&g).run_batch(&queries).unwrap();
+        for threads in [0, 1, 2, 4] {
+            let parallel = e.par_batch_owned(&snap, &queries, threads).unwrap();
+            assert_eq!(parallel.outputs, sequential.outputs, "threads = {threads}");
+            assert_eq!(parallel.stats, sequential.stats);
+        }
+        // Validation still runs up front.
+        let err = e
+            .par_batch_owned(&snap, &[Query::TopK { node: A, k: 0 }], 2)
+            .unwrap_err();
+        assert_eq!(err, QueryError::InvalidK { k: 0 });
     }
 
     #[test]

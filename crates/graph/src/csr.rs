@@ -144,6 +144,10 @@ impl CsrGraph {
 }
 
 impl GraphView for CsrGraph {
+    /// A CSR graph is immutable after construction: its node count can
+    /// never change while any borrow of it is alive.
+    const STABLE_NODE_COUNT: bool = true;
+
     #[inline]
     fn num_nodes(&self) -> usize {
         self.num_nodes

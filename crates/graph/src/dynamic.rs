@@ -8,6 +8,13 @@
 //!
 //! [`DynamicGraph::snapshot`] produces an immutable [`CsrGraph`] when a
 //! read-optimized copy is preferred (e.g. for long benchmark runs).
+//!
+//! `DynamicGraph` is the **non-concurrent convenience tier**: updates and
+//! queries must alternate on one thread (`insert_edge` takes `&mut
+//! self`). A service that answers queries *while* updates stream in
+//! should use [`crate::GraphStore`], whose published
+//! [`crate::GraphSnapshot`]s let reader threads proceed without ever
+//! blocking on the writer.
 
 use crate::view::GraphView;
 use crate::{CsrGraph, Edge, NodeId};
@@ -167,6 +174,11 @@ impl DynamicGraph {
 
     /// The current edge list in `(source, target)` order, sorted — the
     /// input [`CsrGraph::from_edges`] expects for a from-scratch rebuild.
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates a full Vec<Edge>; stream through edges_iter() instead \
+                (CsrGraph::from_edge_iter consumes it directly)"
+    )]
     pub fn edges(&self) -> Vec<Edge> {
         self.edges_iter().collect()
     }
@@ -309,7 +321,7 @@ mod tests {
         by_hand.insert_edge(0, 1);
         by_hand.insert_edge(2, 1);
         by_hand.remove_edge(2, 1);
-        assert_eq!(by_apply.edges(), by_hand.edges());
+        assert!(by_apply.edges_iter().eq(by_hand.edges_iter()));
         assert_eq!(by_apply.num_edges(), 1);
     }
 
@@ -321,7 +333,11 @@ mod tests {
         }
         g.remove_edge(1, 3);
         let collected: Vec<Edge> = g.edges_iter().collect();
-        assert_eq!(collected, g.edges());
+        // The deprecated allocating accessor must stay equivalent for as
+        // long as it exists.
+        #[allow(deprecated)]
+        let allocated = g.edges();
+        assert_eq!(collected, allocated);
         assert_eq!(collected.len(), g.num_edges());
         // The iterator is Clone (CsrGraph::from_edge_iter walks it twice).
         let twice: Vec<Edge> = g.edges_iter().clone().collect();
@@ -335,8 +351,8 @@ mod tests {
         for (u, v) in [(4, 0), (1, 3), (0, 2), (1, 0)] {
             g.insert_edge(u, v);
         }
-        let rebuilt = DynamicGraph::from_edges(5, &g.edges());
-        assert_eq!(rebuilt.edges(), g.edges());
+        let rebuilt = DynamicGraph::from_edges(5, &g.edges_iter().collect::<Vec<_>>());
+        assert!(rebuilt.edges_iter().eq(g.edges_iter()));
         let update = GraphUpdate::Remove { u: 1, v: 3 };
         assert_eq!(update.edge(), (1, 3));
         assert!(!update.is_insert());

@@ -12,6 +12,11 @@
 //!   insertion and deletion. ProbeSim is index-free, so queries can run
 //!   directly against a live [`DynamicGraph`]; a [`CsrGraph`] snapshot can be
 //!   taken at any time for maximum query throughput.
+//! * [`GraphStore`] — the versioned store: an immutable CSR base plus a
+//!   per-node copy-on-write [`OverlayGraph`], publishing `Arc`-cheap
+//!   [`GraphSnapshot`]s that reader threads query while the single
+//!   writer keeps applying updates, with threshold-driven compaction
+//!   back into a fresh CSR.
 //! * [`GraphView`] — the trait both implement; every algorithm in the
 //!   workspace is generic over it.
 //! * [`GraphBuilder`] — edge-list ingestion with de-duplication, self-loop
@@ -24,6 +29,24 @@
 //!   (integer-keyed hash maps are on every hot path; SipHash would dominate
 //!   the profile).
 //!
+//! ## Storage tiers
+//!
+//! Three representations cover the read/write spectrum; all implement
+//! [`GraphView`], so every algorithm runs on any of them unchanged and
+//! returns bit-for-bit identical estimates for identical edge sets:
+//!
+//! | Tier | Mutability | Concurrency | Use when |
+//! |---|---|---|---|
+//! | [`CsrGraph`] | immutable | share `&` freely | static workloads, maximum query throughput |
+//! | [`DynamicGraph`] | `&mut` insert/remove | single thread, alternate updates and queries | simple scripts, growing node sets (`add_nodes`) |
+//! | [`GraphStore`] | single writer | readers hold [`GraphSnapshot`]s, never block | serving queries *while* updates stream in |
+//!
+//! The store's overlay keeps untouched nodes on the base's CSR slices
+//! (cold path: one emptiness check), materializes a touched node's
+//! adjacency as its own sorted vec, and folds back into a fresh CSR when
+//! the touched fraction crosses the [`CompactionPolicy`] threshold —
+//! without invalidating any published snapshot.
+//!
 //! ## Conventions
 //!
 //! Nodes are dense `u32` identifiers in `0..n`. An edge `(u, v)` is directed
@@ -35,7 +58,9 @@ pub mod dynamic;
 pub mod error;
 pub mod hash;
 pub mod io;
+pub mod overlay;
 pub mod stats;
+pub mod store;
 pub mod toy;
 pub mod view;
 
@@ -44,7 +69,9 @@ pub use csr::CsrGraph;
 pub use dynamic::{DynamicGraph, GraphUpdate};
 pub use error::GraphError;
 pub use hash::{FxHashMap, FxHashSet};
+pub use overlay::OverlayGraph;
 pub use stats::DegreeStats;
+pub use store::{CompactionPolicy, GraphSnapshot, GraphStore};
 pub use view::GraphView;
 
 /// Dense node identifier. Graphs in this workspace address nodes as

@@ -1,0 +1,651 @@
+//! The versioned graph store: single-writer updates, lock-free
+//! multi-reader snapshots, background compaction.
+//!
+//! ProbeSim's serving story — index-free queries racing a stream of edge
+//! updates — needs a storage engine where **readers never block on
+//! writers**. [`crate::DynamicGraph`] cannot provide that: `insert_edge`
+//! takes `&mut self`, so a service must strictly alternate updates and
+//! queries on one thread. [`GraphStore`] splits the two roles:
+//!
+//! * the **writer** owns the store (`&mut self` for
+//!   [`GraphStore::apply`] / [`GraphStore::apply_all`]) and mutates a
+//!   per-node copy-on-write [`OverlayGraph`] over an immutable
+//!   `Arc<CsrGraph>` base;
+//! * **readers** hold [`GraphSnapshot`]s — immutable, versioned,
+//!   `Arc`-cheap to clone, `Send + Sync`, implementing [`GraphView`] —
+//!   published by [`GraphStore::snapshot`] and valid forever, no matter
+//!   what the writer does next;
+//! * when the touched fraction of the overlay crosses the
+//!   [`CompactionPolicy`] threshold, [`GraphStore::compact`] folds the
+//!   overlay into a fresh CSR base through the
+//!   [`CsrGraph::from_edge_iter`] streaming path. Compaction changes the
+//!   representation, never the logical graph: published snapshots keep
+//!   their old `Arc`s and the store's [version](GraphStore::version) is
+//!   unchanged, so a reader cannot tell a compaction happened.
+//!
+//! The version is bumped on every *effective* mutation (an insert of a
+//! present edge or a removal of an absent one is a no-op), so two
+//! snapshots with equal versions carry identical edge sets — the
+//! invariant the snapshot-isolation tests pin down bit-for-bit.
+
+use std::sync::Arc;
+
+use crate::dynamic::GraphUpdate;
+use crate::overlay::{resolve, FrozenAdj, OverlayGraph};
+use crate::view::GraphView;
+use crate::{CsrGraph, Edge, NodeId};
+
+/// When [`GraphStore`] folds its overlay back into a fresh CSR base.
+///
+/// The overlay's per-query overhead grows with the number of
+/// materialized adjacency lists (hash probes on the hot neighbor lookup,
+/// O(touched) snapshot publication), so a long-running writer should
+/// periodically pay one O(n + m) rebuild to return the cold path to pure
+/// CSR. Compaction triggers after an effective update when **both**
+/// bounds are exceeded:
+///
+/// * `touched_lists >= min_touched_lists` — tiny overlays are cheap no
+///   matter the fraction; don't rebuild a 1M-node graph because 10 of
+///   its lists were touched, and
+/// * `touched_lists > max_touched_fraction * 2n` — the fraction of the
+///   `2n` adjacency lists (out + in) that have been materialized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Fraction of the `2n` adjacency lists allowed to be materialized
+    /// before a rebuild (default 0.25).
+    pub max_touched_fraction: f64,
+    /// Overlays smaller than this never trigger a rebuild (default 256
+    /// lists).
+    pub min_touched_lists: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            max_touched_fraction: 0.25,
+            min_touched_lists: 256,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// A policy that never auto-compacts (explicit
+    /// [`GraphStore::compact`] still works).
+    pub fn disabled() -> Self {
+        CompactionPolicy {
+            max_touched_fraction: f64::INFINITY,
+            min_touched_lists: usize::MAX,
+        }
+    }
+
+    /// True when an overlay with `touched` materialized lists over an
+    /// `n`-node base should be folded down.
+    pub fn should_compact(&self, touched: usize, n: usize) -> bool {
+        touched >= self.min_touched_lists
+            && (touched as f64) > self.max_touched_fraction * (2 * n.max(1)) as f64
+    }
+}
+
+/// A directed graph under single-writer edge updates, publishing
+/// immutable versioned [`GraphSnapshot`]s that any number of reader
+/// threads query concurrently.
+///
+/// # Example
+///
+/// ```
+/// use probesim_graph::{GraphStore, GraphUpdate, GraphView};
+///
+/// let mut store = GraphStore::new(4);
+/// store.apply_all([
+///     GraphUpdate::Insert { u: 0, v: 1 },
+///     GraphUpdate::Insert { u: 2, v: 1 },
+/// ]);
+/// let before = store.snapshot();
+///
+/// // The writer keeps going; `before` is frozen at its version.
+/// store.apply(GraphUpdate::Remove { u: 0, v: 1 });
+/// let after = store.snapshot();
+///
+/// assert_eq!(before.in_neighbors(1), &[0, 2]);
+/// assert_eq!(after.in_neighbors(1), &[2]);
+/// assert!(before.version() < after.version());
+/// ```
+#[derive(Debug)]
+pub struct GraphStore {
+    overlay: OverlayGraph,
+    version: u64,
+    policy: CompactionPolicy,
+    compactions: u64,
+    /// The last published snapshot, handed back verbatim while no
+    /// mutation or compaction intervenes: a version-unchanged
+    /// `snapshot()` is one `Arc` bump instead of two map freezes (the
+    /// read-heavy serving pattern publishes far more often than it
+    /// writes). Behind a `Mutex` only so `snapshot(&self)` stays shared
+    /// and the store stays `Sync`; the writer clears it with
+    /// `get_mut` (no locking) before touching the overlay, which also
+    /// releases the cache's `Arc`s so COW sees only real snapshot
+    /// holders.
+    published: std::sync::Mutex<Option<GraphSnapshot>>,
+}
+
+impl Clone for GraphStore {
+    fn clone(&self) -> Self {
+        GraphStore {
+            overlay: self.overlay.clone(),
+            version: self.version,
+            policy: self.policy,
+            compactions: self.compactions,
+            // The clone republishes lazily.
+            published: std::sync::Mutex::new(None),
+        }
+    }
+}
+
+impl GraphStore {
+    /// An empty store with `n` nodes and the default
+    /// [`CompactionPolicy`].
+    pub fn new(n: usize) -> Self {
+        Self::from_csr(CsrGraph::from_edges(n, &[]))
+    }
+
+    /// A store whose initial base is `base` (version 0).
+    pub fn from_csr(base: CsrGraph) -> Self {
+        Self::from_arc(Arc::new(base))
+    }
+
+    /// A store sharing an already-`Arc`ed base.
+    pub fn from_arc(base: Arc<CsrGraph>) -> Self {
+        GraphStore {
+            overlay: OverlayGraph::new(base),
+            version: 0,
+            policy: CompactionPolicy::default(),
+            compactions: 0,
+            published: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// Builds the initial base from an edge list (taken as-is, like
+    /// [`CsrGraph::from_edges`]).
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        Self::from_csr(CsrGraph::from_edges(n, edges))
+    }
+
+    /// Promotes any [`GraphView`] (a live [`crate::DynamicGraph`], a
+    /// [`CsrGraph`], …) to a store by streaming its adjacency into a
+    /// fresh CSR base — no intermediate edge `Vec`.
+    pub fn from_view<G: GraphView>(graph: &G) -> Self {
+        Self::from_csr(CsrGraph::from_edge_iter(
+            graph.num_nodes(),
+            graph.edges_iter(),
+        ))
+    }
+
+    /// Replaces the compaction policy.
+    pub fn with_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active compaction policy.
+    pub fn policy(&self) -> CompactionPolicy {
+        self.policy
+    }
+
+    /// The current version: the number of effective mutations applied
+    /// since construction. Compaction does not change it.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// How many compactions have folded the overlay so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Materialized adjacency lists in the live overlay (see
+    /// [`OverlayGraph::touched_lists`]).
+    pub fn touched_lists(&self) -> usize {
+        self.overlay.touched_lists()
+    }
+
+    /// Fraction of the `2n` adjacency lists materialized in the overlay.
+    pub fn touched_fraction(&self) -> f64 {
+        self.overlay.touched_fraction()
+    }
+
+    /// The current base CSR (changes identity on compaction — tests use
+    /// this to observe that a fold happened).
+    pub fn base(&self) -> &Arc<CsrGraph> {
+        self.overlay.base()
+    }
+
+    /// Inserts the directed edge `u -> v`; `false` if already present.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.mutate(GraphUpdate::Insert { u, v })
+    }
+
+    /// Removes the directed edge `u -> v`; `false` if absent.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.mutate(GraphUpdate::Remove { u, v })
+    }
+
+    /// Applies one update event, bumping the version when it changed the
+    /// graph and auto-compacting per the policy. Returns `true` when the
+    /// event was effective.
+    pub fn apply(&mut self, update: GraphUpdate) -> bool {
+        self.mutate(update)
+    }
+
+    /// Applies a sequence of updates, returning how many were effective.
+    pub fn apply_all<I: IntoIterator<Item = GraphUpdate>>(&mut self, updates: I) -> usize {
+        updates
+            .into_iter()
+            .filter(|&update| self.apply(update))
+            .count()
+    }
+
+    fn mutate(&mut self, update: GraphUpdate) -> bool {
+        let (u, v) = update.edge();
+        let n = self.num_nodes();
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of bounds for n = {n}"
+        );
+        // Decide effectiveness first: a no-op event (duplicate insert,
+        // absent remove) must neither touch the overlay nor invalidate
+        // the cached publication.
+        if self.overlay.has_edge(u, v) == update.is_insert() {
+            return false;
+        }
+        // Fully drop the cached publication *before* the overlay edit:
+        // its `Arc` references would otherwise force `Arc::make_mut` to
+        // copy lists no external snapshot holds.
+        *self.published.get_mut().expect("snapshot cache poisoned") = None;
+        let changed = match update {
+            GraphUpdate::Insert { u, v } => self.overlay.insert_edge(u, v),
+            GraphUpdate::Remove { u, v } => self.overlay.remove_edge(u, v),
+        };
+        debug_assert!(changed, "effectiveness was just established");
+        self.version += 1;
+        if self
+            .policy
+            .should_compact(self.overlay.touched_lists(), self.num_nodes())
+        {
+            self.compact();
+        }
+        changed
+    }
+
+    /// Folds the overlay into a fresh CSR base via the streaming
+    /// [`CsrGraph::from_edge_iter`] path. The logical graph and the
+    /// version are unchanged; published snapshots keep their old `Arc`s
+    /// and are never stalled. Returns `false` (and does nothing) when
+    /// the overlay is already empty.
+    pub fn compact(&mut self) -> bool {
+        if self.overlay.touched_lists() == 0 {
+            return false;
+        }
+        // The cached publication points at the pre-fold representation;
+        // republish from the fresh base so old overlay Arcs can drop.
+        *self.published.get_mut().expect("snapshot cache poisoned") = None;
+        let folded = CsrGraph::from_edge_iter(self.num_nodes(), self.overlay.edges_iter());
+        debug_assert_eq!(folded.num_edges(), self.num_edges());
+        self.overlay = OverlayGraph::new(Arc::new(folded));
+        self.compactions += 1;
+        true
+    }
+
+    /// Publishes the current state as an immutable [`GraphSnapshot`].
+    ///
+    /// O(touched) `Arc` clones — no adjacency data is copied — and only
+    /// when something changed since the last publish: repeated
+    /// `snapshot()` calls between mutations return the same cached
+    /// publication for one `Arc` bump (the read-heavy serving pattern).
+    /// The snapshot stays valid and bit-identical no matter how many
+    /// updates or compactions follow.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        let mut published = self.published.lock().expect("snapshot cache poisoned");
+        if let Some(snapshot) = &*published {
+            return snapshot.clone();
+        }
+        let (out, inn) = self.overlay.freeze();
+        let snapshot = GraphSnapshot {
+            inner: Arc::new(SnapshotState {
+                version: self.version,
+                base: Arc::clone(self.overlay.base()),
+                out,
+                inn,
+                num_edges: self.num_edges(),
+            }),
+        };
+        *published = Some(snapshot.clone());
+        snapshot
+    }
+
+    /// True when the directed edge exists in the current live state.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.overlay.has_edge(u, v)
+    }
+
+    /// Iterates the live edges in `(source, target)` order, sorted,
+    /// without allocating.
+    pub fn edges_iter(&self) -> impl Iterator<Item = Edge> + Clone + '_ {
+        self.overlay.edges_iter()
+    }
+}
+
+/// The writer-side live view: querying a `GraphStore` directly reads the
+/// overlay (single-threaded convenience; concurrent readers use
+/// [`GraphSnapshot`]s).
+impl GraphView for GraphStore {
+    /// A store's node count is pinned to its base's `n` — edges mutate,
+    /// the vertex set never does (growth stays on `DynamicGraph`).
+    const STABLE_NODE_COUNT: bool = true;
+
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.overlay.num_nodes()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.overlay.num_edges()
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.overlay.in_neighbors(v)
+    }
+
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.overlay.out_neighbors(v)
+    }
+}
+
+struct SnapshotState {
+    version: u64,
+    base: Arc<CsrGraph>,
+    out: FrozenAdj,
+    inn: FrozenAdj,
+    num_edges: usize,
+}
+
+/// An immutable, versioned view of a [`GraphStore`] at one publish
+/// point.
+///
+/// Cloning is one `Arc` bump, so a snapshot can be handed to any number
+/// of reader threads (`Send + Sync`); each reads exactly the edge set
+/// that existed at [`GraphSnapshot::version`], no matter what the writer
+/// does afterwards. The node count is fixed at construction, so
+/// [`GraphView::STABLE_NODE_COUNT`] is `true` and a
+/// `probesim_core::QuerySession` bound to an owned snapshot can never
+/// observe a resize.
+#[derive(Clone)]
+pub struct GraphSnapshot {
+    inner: Arc<SnapshotState>,
+}
+
+impl GraphSnapshot {
+    /// The store version this snapshot was published at.
+    pub fn version(&self) -> u64 {
+        self.inner.version
+    }
+
+    /// True when the directed edge exists in this snapshot.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Materializes this snapshot as a standalone [`CsrGraph`] (the
+    /// scratch-rebuild the isolation tests compare against).
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from_edge_iter(self.num_nodes(), self.edges_iter())
+    }
+}
+
+impl std::fmt::Debug for GraphSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphSnapshot")
+            .field("version", &self.inner.version)
+            .field("num_nodes", &self.num_nodes())
+            .field("num_edges", &self.inner.num_edges)
+            .field(
+                "touched_lists",
+                &(self.inner.out.len() + self.inner.inn.len()),
+            )
+            .finish()
+    }
+}
+
+impl GraphView for GraphSnapshot {
+    /// A snapshot's node count is fixed at publication — sessions bound
+    /// to an owned snapshot skip the resize guard at compile time.
+    const STABLE_NODE_COUNT: bool = true;
+
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.inner.base.num_nodes()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.inner.num_edges
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let state = &*self.inner;
+        resolve(&state.inn, v, state.base.in_neighbors(v))
+    }
+
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let state = &*self.inner;
+        resolve(&state.out, v, state.base.out_neighbors(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DynamicGraph;
+
+    fn assert_same_graph<A: GraphView, B: GraphView>(a: &A, b: &B) {
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in a.nodes() {
+            assert_eq!(a.out_neighbors(v), b.out_neighbors(v), "out({v})");
+            assert_eq!(a.in_neighbors(v), b.in_neighbors(v), "in({v})");
+        }
+    }
+
+    #[test]
+    fn snapshots_are_send_sync_and_cheap_to_clone() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<GraphSnapshot>();
+        let store = GraphStore::from_edges(3, &[(0, 1), (1, 2)]);
+        let snap = store.snapshot();
+        let clone = snap.clone();
+        assert!(Arc::ptr_eq(&snap.inner, &clone.inner));
+    }
+
+    #[test]
+    fn unchanged_snapshots_are_republished_from_the_cache() {
+        let mut store = GraphStore::from_edges(4, &[(0, 1), (1, 2)]);
+        let a = store.snapshot();
+        let b = store.snapshot();
+        assert!(
+            Arc::ptr_eq(&a.inner, &b.inner),
+            "no mutation between publishes => same publication"
+        );
+        // A no-op event keeps the cached publication valid.
+        store.insert_edge(0, 1);
+        let still = store.snapshot();
+        assert!(Arc::ptr_eq(&b.inner, &still.inner), "no-op kept the cache");
+        store.insert_edge(2, 3);
+        let c = store.snapshot();
+        assert!(!Arc::ptr_eq(&b.inner, &c.inner));
+        assert_eq!(c.num_edges(), 3);
+        // Compaction republishes too (fresh base), same logical graph.
+        store.compact();
+        let d = store.snapshot();
+        assert!(!Arc::ptr_eq(&c.inner, &d.inner));
+        assert_eq!(d.version(), c.version());
+        assert_same_graph(&c, &d);
+        // The cache's own Arcs must not defeat COW: with every external
+        // snapshot dropped, mutating a touched node twice between
+        // publishes edits in place (observable only as correctness here).
+        drop((a, b, c, d));
+        store.insert_edge(0, 2);
+        store.insert_edge(0, 3);
+        assert_eq!(store.out_neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn version_counts_effective_mutations_only() {
+        let mut store = GraphStore::new(3);
+        assert_eq!(store.version(), 0);
+        assert!(store.insert_edge(0, 1));
+        assert!(!store.insert_edge(0, 1)); // duplicate: no version bump
+        assert!(!store.remove_edge(1, 2)); // absent: no version bump
+        assert!(store.remove_edge(0, 1));
+        assert_eq!(store.version(), 2);
+    }
+
+    #[test]
+    fn snapshot_isolation_under_continued_writes() {
+        let mut store = GraphStore::from_edges(4, &[(0, 1), (1, 2)]);
+        let v0 = store.snapshot();
+        store.insert_edge(2, 3);
+        let v1 = store.snapshot();
+        store.remove_edge(0, 1);
+        store.insert_edge(3, 0);
+        let v2 = store.snapshot();
+
+        assert_eq!(v0.num_edges(), 2);
+        assert_eq!(v1.num_edges(), 3);
+        assert_eq!(v2.num_edges(), 3);
+        assert!(v0.version() < v1.version() && v1.version() < v2.version());
+        assert!(v0.has_edge(0, 1) && v1.has_edge(0, 1) && !v2.has_edge(0, 1));
+        assert!(!v0.has_edge(2, 3) && v1.has_edge(2, 3) && v2.has_edge(2, 3));
+        // Each snapshot equals a scratch CSR of its own edge set.
+        for snap in [&v0, &v1, &v2] {
+            assert_same_graph(snap, &snap.to_csr());
+        }
+        // And the live store equals the latest snapshot.
+        assert_same_graph(&store, &v2);
+    }
+
+    #[test]
+    fn compaction_preserves_the_graph_and_snapshots() {
+        let mut store = GraphStore::new(6).with_policy(CompactionPolicy::disabled());
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)] {
+            store.insert_edge(u, v);
+        }
+        let before = store.snapshot();
+        let version = store.version();
+        let old_base = Arc::clone(store.base());
+        assert!(store.touched_lists() > 0);
+
+        assert!(store.compact());
+        assert_eq!(store.compactions(), 1);
+        assert_eq!(store.version(), version, "compaction is not a mutation");
+        assert_eq!(store.touched_lists(), 0, "overlay folded");
+        assert!(
+            !Arc::ptr_eq(store.base(), &old_base),
+            "base must be a fresh CSR"
+        );
+        // Logical graph unchanged; old snapshot still reads its version.
+        assert_same_graph(&store, &before);
+        let after = store.snapshot();
+        assert_eq!(after.version(), before.version());
+        assert_same_graph(&after, &before);
+        // An empty overlay declines to compact again.
+        assert!(!store.compact());
+        assert_eq!(store.compactions(), 1);
+    }
+
+    #[test]
+    fn auto_compaction_respects_the_policy() {
+        let policy = CompactionPolicy {
+            max_touched_fraction: 0.2,
+            min_touched_lists: 4,
+        };
+        assert!(!policy.should_compact(3, 4)); // below min_touched_lists
+        assert!(policy.should_compact(4, 4)); // 4 > 0.2 * 8
+        assert!(!policy.should_compact(4, 100)); // 4 <= 0.2 * 200
+
+        let mut store = GraphStore::new(8).with_policy(policy);
+        let mut compacted_at = None;
+        for i in 0..7u32 {
+            store.insert_edge(i, i + 1);
+            if store.compactions() > 0 && compacted_at.is_none() {
+                compacted_at = Some(i);
+            }
+        }
+        assert!(
+            store.compactions() > 0,
+            "policy should have auto-compacted (touched {} of 16 lists)",
+            store.touched_lists()
+        );
+        // Still the right graph afterwards.
+        let expect = DynamicGraph::from_edges(8, &(0..7).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        assert_same_graph(&store, &expect);
+    }
+
+    #[test]
+    fn store_matches_dynamic_graph_under_a_shared_update_stream() {
+        let mut store =
+            GraphStore::from_edges(5, &[(0, 1), (3, 4)]).with_policy(CompactionPolicy {
+                max_touched_fraction: 0.1,
+                min_touched_lists: 2,
+            });
+        let mut dynamic = DynamicGraph::from_edges(5, &[(0, 1), (3, 4)]);
+        let updates = [
+            GraphUpdate::Insert { u: 1, v: 2 },
+            GraphUpdate::Insert { u: 0, v: 1 }, // no-op
+            GraphUpdate::Remove { u: 3, v: 4 },
+            GraphUpdate::Insert { u: 4, v: 0 },
+            GraphUpdate::Remove { u: 2, v: 2 }, // no-op
+            GraphUpdate::Insert { u: 2, v: 3 },
+        ];
+        let a = store.apply_all(updates);
+        let b = dynamic.apply_all(updates);
+        assert_eq!(a, b);
+        assert_eq!(store.version(), a as u64);
+        assert_same_graph(&store, &dynamic);
+        assert!(store.edges_iter().eq(dynamic.edges_iter()));
+        assert!(store.compactions() > 0, "aggressive policy must compact");
+    }
+
+    #[test]
+    fn snapshot_taken_before_compaction_stays_bit_stable() {
+        let mut store = GraphStore::new(5).with_policy(CompactionPolicy::disabled());
+        store.apply_all((0..4).map(|i| GraphUpdate::Insert { u: i, v: i + 1 }));
+        let snap = store.snapshot();
+        let edges_before: Vec<Edge> = snap.edges_iter().collect();
+        store.compact();
+        store.apply_all((0..4).map(|i| GraphUpdate::Remove { u: i, v: i + 1 }));
+        store.compact();
+        assert_eq!(store.num_edges(), 0);
+        let edges_after: Vec<Edge> = snap.edges_iter().collect();
+        assert_eq!(edges_before, edges_after);
+        assert_same_graph(&snap, &snap.to_csr());
+    }
+
+    #[test]
+    fn empty_store_smoke() {
+        let store = GraphStore::new(0);
+        assert_eq!(store.num_nodes(), 0);
+        assert_eq!(store.snapshot().num_edges(), 0);
+        assert_eq!(store.touched_fraction(), 0.0);
+        let store = GraphStore::new(3);
+        let snap = store.snapshot();
+        assert_eq!(snap.version(), 0);
+        assert_eq!(snap.in_neighbors(2), &[] as &[NodeId]);
+        assert_eq!(snap.edges_iter().count(), 0);
+    }
+}

@@ -5,7 +5,7 @@
 //! [`crate::DynamicGraph`] implement it, which is what lets ProbeSim answer
 //! queries on a live, updating graph with zero preprocessing.
 
-use crate::NodeId;
+use crate::{Edge, NodeId};
 
 /// Read-only access to a directed graph with dense node ids `0..n`.
 ///
@@ -14,6 +14,19 @@ use crate::NodeId;
 /// `v` (`O(v)`). Both are returned as slices so hot loops can iterate without
 /// allocation or virtual dispatch (callers are generic, not trait objects).
 pub trait GraphView {
+    /// Whether `num_nodes` is guaranteed constant for the entire
+    /// lifetime of a value of this type (no `&mut` growth paths, no
+    /// interior mutability).
+    ///
+    /// `probesim_core::QuerySession` sizes its scratch slabs for the
+    /// node count at construction; for graphs that set this to `true`
+    /// (immutable types like [`crate::CsrGraph`] and
+    /// [`crate::GraphSnapshot`]) the per-run resize guard compiles away
+    /// and `QueryError::GraphResized` becomes structurally impossible.
+    /// Leave it `false` (the default) for any view whose node count
+    /// could change behind a shared borrow.
+    const STABLE_NODE_COUNT: bool = false;
+
     /// Number of nodes `n`. Valid ids are `0..n`.
     fn num_nodes(&self) -> usize;
 
@@ -51,9 +64,26 @@ pub trait GraphView {
     fn nodes(&self) -> std::ops::Range<NodeId> {
         0..self.num_nodes() as NodeId
     }
+
+    /// Iterates all edges in `(source, target)` order, sorted by source
+    /// then target (adjacency lists are sorted by contract), without
+    /// allocating. Re-iterable (`Clone`), so it feeds
+    /// [`crate::CsrGraph::from_edge_iter`]'s two passes directly — the
+    /// one edge-streaming path shared by compaction, snapshot rebuilds
+    /// and the workload fingerprints. (Concrete graph types may shadow
+    /// this with an equivalent inherent method; the contract is the
+    /// same.)
+    fn edges_iter(&self) -> impl Iterator<Item = Edge> + Clone + '_ {
+        (0..self.num_nodes() as NodeId)
+            .flat_map(|u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
 }
 
 impl<G: GraphView + ?Sized> GraphView for &G {
+    // A shared borrow cannot make an unstable count stable, nor the
+    // reverse: forward the referent's guarantee.
+    const STABLE_NODE_COUNT: bool = G::STABLE_NODE_COUNT;
+
     #[inline]
     fn num_nodes(&self) -> usize {
         (**self).num_nodes()

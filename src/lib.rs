@@ -85,6 +85,7 @@ pub mod prelude {
     pub use probesim_datasets::{Dataset, Scale};
     pub use probesim_eval::{GroundTruth, Pool, SimRankAlgorithm};
     pub use probesim_graph::{
-        CsrGraph, DynamicGraph, GraphBuilder, GraphUpdate, GraphView, NodeId,
+        CompactionPolicy, CsrGraph, DynamicGraph, GraphBuilder, GraphSnapshot, GraphStore,
+        GraphUpdate, GraphView, NodeId,
     };
 }

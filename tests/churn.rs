@@ -104,6 +104,112 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The store path under snapshot isolation: apply a random
+    /// `GraphUpdate` stream to a `GraphStore`, retaining a snapshot
+    /// every few updates and forcing a compaction partway through. At
+    /// the end, every retained snapshot must answer all three query
+    /// kinds **bit-for-bit** identically to a `CsrGraph` rebuilt from
+    /// the edge set that existed at that snapshot's version — proving
+    /// that later updates and the compaction boundary leaked nothing
+    /// into earlier versions.
+    #[test]
+    fn retained_snapshots_answer_like_scratch_rebuilds_across_compaction(
+        n in 4usize..=24,
+        ops in 8usize..=96,
+        graph_seed in any::<u64>(),
+        engine_seed in any::<u64>(),
+    ) {
+        let mut store = GraphStore::new(n);
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let mut retained: Vec<(GraphSnapshot, CsrGraph)> = Vec::new();
+        let compact_at = ops / 2;
+        for i in 0..ops {
+            let u = rng.gen_range(0..n) as NodeId;
+            let v = rng.gen_range(0..n) as NodeId;
+            if u != v {
+                let update = if rng.gen_range(0u32..4) < 3 {
+                    GraphUpdate::Insert { u, v }
+                } else {
+                    GraphUpdate::Remove { u, v }
+                };
+                store.apply(update);
+            }
+            if i % 7 == 0 {
+                let snapshot = store.snapshot();
+                // Record the version's edge set *now*, before any later
+                // update can touch it.
+                let scratch = snapshot.to_csr();
+                retained.push((snapshot, scratch));
+            }
+            if i == compact_at {
+                // Guarantee the overlay is non-empty so the compaction
+                // boundary always exists (every edge lives in the overlay
+                // until the first fold).
+                store.apply(GraphUpdate::Insert { u: 0, v: 1 });
+                prop_assert!(store.compact());
+            }
+        }
+        prop_assert!(store.compactions() >= 1);
+        retained.push((store.snapshot(), CsrGraph::from_edge_iter(n, store.edges_iter())));
+
+        let engine = ProbeSim::new(ProbeSimConfig::new(0.6, 0.1, 0.01).with_seed(engine_seed));
+        for (snapshot, scratch) in retained {
+            prop_assert_eq!(snapshot.num_edges(), scratch.num_edges());
+            let mut snap_session = engine.session(snapshot);
+            let mut scratch_session = engine.session(&scratch);
+            for node in 0..n as NodeId {
+                let queries = [
+                    Query::SingleSource { node },
+                    Query::TopK { node, k: 5 },
+                    Query::Threshold { node, tau: 0.05 },
+                ];
+                for query in queries {
+                    let a = snap_session.run(query).expect("valid query");
+                    let b = scratch_session.run(query).expect("valid query");
+                    assert_bit_identical(&a.scores, &b.scores);
+                    prop_assert_eq!(a.stats, b.stats, "work counters diverged");
+                    prop_assert_eq!(a.ranking(), b.ranking());
+                }
+            }
+        }
+    }
+
+    /// The store replaying the sliding-window stream (the workload the
+    /// concurrent bench scenarios serve) agrees with a `DynamicGraph`
+    /// replaying the same events, and its snapshot with a scratch CSR.
+    #[test]
+    fn store_and_dynamic_graph_agree_on_the_stream(
+        seed in any::<u64>(),
+        events in 1usize..=160,
+    ) {
+        let n = 24;
+        let mut dynamic = DynamicGraph::new(n);
+        let mut warm = SlidingWindowStream::new(n, 40, seed);
+        for update in warm.by_ref().take(40) {
+            dynamic.apply(update);
+        }
+        let mut store = GraphStore::from_view(&dynamic)
+            .with_policy(CompactionPolicy { max_touched_fraction: 0.05, min_touched_lists: 8 });
+        for update in warm.take(events) {
+            prop_assert_eq!(store.apply(update), dynamic.apply(update));
+        }
+        prop_assert_eq!(store.num_edges(), dynamic.num_edges());
+        prop_assert!(store.edges_iter().eq(dynamic.edges_iter()));
+        let snapshot = store.snapshot();
+        let engine = ProbeSim::new(ProbeSimConfig::new(0.6, 0.1, 0.01).with_seed(seed ^ 0xC0FFEE));
+        let mut live_session = engine.session(&dynamic);
+        let mut snap_session = engine.session(snapshot);
+        for node in 0..n as NodeId {
+            let a = live_session.run(Query::SingleSource { node }).expect("valid");
+            let b = snap_session.run(Query::SingleSource { node }).expect("valid");
+            assert_bit_identical(&a.scores, &b.scores);
+        }
+    }
+}
+
 /// Non-proptest regression: a long stream with interleaved verification
 /// points (rebuild + compare after every block of updates), mirroring how
 /// the dynamic benchmark scenarios interleave updates and queries.
