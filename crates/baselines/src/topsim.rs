@@ -205,7 +205,8 @@ impl TopSim {
                     &mut ws,
                     &mut acc,
                     &mut stats,
-                );
+                )
+                .expect("a fresh workspace carries an unlimited budget");
             }
             frontier = next;
             if frontier.is_empty() {

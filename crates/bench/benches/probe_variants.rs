@@ -68,7 +68,8 @@ fn bench_probes(c: &mut Criterion) {
                             &mut ws,
                             &mut acc,
                             &mut stats,
-                        );
+                        )
+                        .unwrap();
                     }
                 });
             },
@@ -90,7 +91,8 @@ fn bench_probes(c: &mut Criterion) {
                     &mut acc,
                     &mut stats,
                     &mut rng,
-                );
+                )
+                .unwrap();
             }
         });
     });
@@ -112,7 +114,8 @@ fn bench_probes(c: &mut Criterion) {
                     &mut acc,
                     &mut stats,
                     &mut rng,
-                );
+                )
+                .unwrap();
             }
         });
     });

@@ -9,9 +9,10 @@
 //! ## The scenario engine
 //!
 //! * [`scenario`] — named, seeded, self-describing workloads covering
-//!   static queries, batch execution, session reuse, and
-//!   update-interleaved dynamic streams on a live `DynamicGraph`; shared
-//!   timing primitives ([`scenario::Latencies`],
+//!   static queries, batch execution, session reuse, update-interleaved
+//!   and concurrent streams on the versioned `GraphStore`, and the
+//!   `QueryService` serving facade (mixed-priority deadline mix, result
+//!   cache repeats); shared timing primitives ([`scenario::Latencies`],
 //!   [`scenario::time_per_item`]) used by every binary in this crate.
 //! * [`report`] — dependency-free JSON serialization of scenario results
 //!   (`BENCH_<scenario>.json`), baseline files, and the regression

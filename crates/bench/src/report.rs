@@ -509,6 +509,17 @@ pub struct ScenarioReport {
     /// Distinct snapshot versions served to readers (concurrent store
     /// scenarios only).
     pub versions_observed: Option<u64>,
+    /// Responses served from the result cache (service scenarios only;
+    /// informational).
+    pub cache_hits: Option<u64>,
+    /// Cache hit rate over the stream. Present only when deterministic
+    /// given the seed (the sequential cache-repeat scenario) — the
+    /// comparator then gates it tightly: a current rate below the
+    /// baseline fails.
+    pub cache_hit_rate: Option<f64>,
+    /// Requests aborted by their deadline (service scenarios only;
+    /// informational — wall-clock dependent).
+    pub deadline_exceeded: Option<u64>,
 }
 
 /// The five-number latency summary serialized per scenario.
@@ -595,6 +606,9 @@ impl ScenarioReport {
             total_work: result.query_stats.total_work(),
             work_deterministic: result.work_deterministic,
             versions_observed: result.versions_observed,
+            cache_hits: result.cache_hits,
+            cache_hit_rate: result.cache_hit_rate,
+            deadline_exceeded: result.deadline_exceeded,
         }
     }
 
@@ -630,6 +644,15 @@ impl ScenarioReport {
                 ];
                 if let Some(versions) = self.versions_observed {
                     workload.push(("versions_observed", Json::UInt(versions)));
+                }
+                if let Some(hits) = self.cache_hits {
+                    workload.push(("cache_hits", Json::UInt(hits)));
+                }
+                if let Some(rate) = self.cache_hit_rate {
+                    workload.push(("cache_hit_rate", Json::Num(rate)));
+                }
+                if let Some(missed) = self.deadline_exceeded {
+                    workload.push(("deadline_exceeded", Json::UInt(missed)));
                 }
                 Json::obj(workload)
             }),
@@ -733,6 +756,9 @@ impl ScenarioReport {
                 .and_then(Json::as_bool)
                 .unwrap_or(true),
             versions_observed: workload.get("versions_observed").and_then(Json::as_u64),
+            cache_hits: workload.get("cache_hits").and_then(Json::as_u64),
+            cache_hit_rate: workload.get("cache_hit_rate").and_then(Json::as_f64),
+            deadline_exceeded: workload.get("deadline_exceeded").and_then(Json::as_u64),
         })
     }
 
@@ -844,6 +870,20 @@ pub enum Verdict {
         /// Scenario name.
         scenario: String,
     },
+    /// The result-cache hit rate fell below the committed baseline (or
+    /// the current run stopped reporting it against a gating baseline).
+    /// The rate is deterministic given the seed on the scenarios that
+    /// report it, so any decrease is a real caching regression — gated
+    /// exactly, no threshold.
+    CacheHitRate {
+        /// Scenario name.
+        scenario: String,
+        /// Baseline hit rate.
+        baseline: f64,
+        /// Current hit rate; `None` when the current run stopped
+        /// emitting one (itself a regression of the cache gate).
+        current: Option<f64>,
+    },
     /// The scenario exists on only one side; informational, never fails
     /// the gate (new scenarios must be able to land before their baseline
     /// does).
@@ -864,6 +904,7 @@ impl Verdict {
             Verdict::Regression { .. }
                 | Verdict::FingerprintMismatch { .. }
                 | Verdict::WorkGateDisarmed { .. }
+                | Verdict::CacheHitRate { .. }
         )
     }
 }
@@ -907,6 +948,23 @@ impl fmt::Display for Verdict {
                  against a baseline that gates on it — the total-work check would be \
                  silently disarmed; regenerate the baseline if this is intentional"
             ),
+            Verdict::CacheHitRate {
+                scenario,
+                baseline,
+                current,
+            } => match current {
+                Some(current) => write!(
+                    f,
+                    "REGRESSION {scenario}: cache hit rate {current:.4} below baseline \
+                     {baseline:.4} — the rate is seed-deterministic, so this is a real \
+                     caching regression"
+                ),
+                None => write!(
+                    f,
+                    "REGRESSION {scenario}: cache hit rate missing from the current run \
+                     (baseline has {baseline:.4}) — the cache gate stopped being emitted"
+                ),
+            },
             Verdict::Missing { scenario, side } => {
                 write!(f, "SKIP       {scenario}: not present in {side}")
             }
@@ -1021,6 +1079,25 @@ pub fn compare(
                 current: work_cur,
                 threshold: work_threshold,
             });
+        }
+        // Cache hit rate: reported only where deterministic, so it is
+        // gated exactly — any decrease (or the field vanishing against a
+        // gating baseline, mirroring the fingerprint/work asymmetry) is
+        // a real caching regression. A small epsilon absorbs f64
+        // round-trip noise through the JSON writer, nothing more.
+        if let Some(base_rate) = base.cache_hit_rate {
+            let failing = match cur.cache_hit_rate {
+                Some(cur_rate) => cur_rate + 1e-9 < base_rate,
+                None => true,
+            };
+            if failing {
+                regressed = true;
+                verdicts.push(Verdict::CacheHitRate {
+                    scenario: cur.scenario.clone(),
+                    baseline: base_rate,
+                    current: cur.cache_hit_rate,
+                });
+            }
         }
         if !regressed {
             verdicts.push(Verdict::Pass {
@@ -1163,6 +1240,9 @@ mod tests {
             total_work: work,
             work_deterministic: true,
             versions_observed: None,
+            cache_hits: None,
+            cache_hit_rate: None,
+            deadline_exceeded: None,
         }
     }
 
@@ -1370,6 +1450,77 @@ mod tests {
                 .any(|v| matches!(v, Verdict::WorkGateDisarmed { .. }) && v.is_regression()),
             "{verdicts:?}"
         );
+    }
+
+    #[test]
+    fn service_report_fields_round_trip_and_default_for_old_baselines() {
+        let mut original = report("service_cache_repeat", 0.002, 9000);
+        original.kind = "service".to_string();
+        original.cache_hits = Some(30);
+        original.cache_hit_rate = Some(0.75);
+        original.deadline_exceeded = Some(2);
+        original.query_stats = probesim_core::QueryStats::FIELD_NAMES
+            .into_iter()
+            .map(|n| (n, 0))
+            .collect();
+        let text = original.to_json().to_string();
+        assert!(text.contains("\"cache_hits\": 30"));
+        assert!(text.contains("\"cache_hit_rate\": 0.75"));
+        assert!(text.contains("\"deadline_exceeded\": 2"));
+        let parsed = ScenarioReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, original);
+        // Old baselines without the fields parse as None — no gate armed.
+        let legacy = report("a", 0.001, 100).to_json().to_string();
+        assert!(!legacy.contains("cache_hit_rate"));
+        let parsed = ScenarioReport::from_json(&Json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(parsed.cache_hit_rate, None);
+        assert_eq!(parsed.cache_hits, None);
+        assert_eq!(parsed.deadline_exceeded, None);
+    }
+
+    #[test]
+    fn cache_hit_rate_gate_is_exact_and_asymmetric() {
+        let mut baseline = report("service_cache_repeat", 0.001, 1000);
+        baseline.cache_hit_rate = Some(0.75);
+        // Equal or better passes.
+        for better in [0.75, 0.80, 1.0] {
+            let mut current = baseline.clone();
+            current.cache_hit_rate = Some(better);
+            let verdicts = compare(
+                &[baseline.clone()],
+                &[current],
+                CompareThresholds::default(),
+            );
+            assert!(verdicts.iter().all(|v| !v.is_regression()), "{better}");
+        }
+        // Any decrease fails exactly (no threshold).
+        let mut worse = baseline.clone();
+        worse.cache_hit_rate = Some(0.70);
+        let verdicts = compare(&[baseline.clone()], &[worse], CompareThresholds::default());
+        let regression = verdicts
+            .iter()
+            .find(|v| matches!(v, Verdict::CacheHitRate { .. }))
+            .expect("hit-rate regression");
+        assert!(regression.is_regression());
+        assert!(regression.to_string().contains("0.7000"), "{regression}");
+        // The field vanishing against a gating baseline fails loudly.
+        let mut vanished = baseline.clone();
+        vanished.cache_hit_rate = None;
+        let verdicts = compare(
+            &[baseline.clone()],
+            &[vanished],
+            CompareThresholds::default(),
+        );
+        let gone = verdicts
+            .iter()
+            .find(|v| v.is_regression())
+            .expect("missing-rate regression");
+        assert!(gone.to_string().contains("missing from the current run"));
+        // A baseline without the field never arms the gate.
+        let mut old_baseline = baseline.clone();
+        old_baseline.cache_hit_rate = None;
+        let verdicts = compare(&[old_baseline], &[baseline], CompareThresholds::default());
+        assert!(verdicts.iter().all(|v| !v.is_regression()));
     }
 
     #[test]

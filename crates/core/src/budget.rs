@@ -1,0 +1,239 @@
+//! Cooperative cancellation: per-query deadlines and work caps.
+//!
+//! ProbeSim is index-free, so a query's cost is decided *while it runs* —
+//! the walk set and probe frontiers depend on the graph region around the
+//! query node. A serving tier (see the `probesim-service` crate) therefore
+//! cannot bound tail latency by admission control alone: a query that
+//! looked cheap can hit a dense region and blow its latency budget
+//! mid-probe. [`ProbeBudget`] is the cancellation primitive that fixes
+//! this: a cheap check threaded into the level-expansion sites of both
+//! probe engines (the legacy per-prefix paths in [`crate::probe`] and the
+//! fused sweep in [`crate::frontier`]) plus the walk-sampling loops, so a
+//! query whose **deadline** passes or whose **work cap** (in
+//! [`QueryStats::total_work`] units) is exhausted aborts between
+//! expansions — never mid-expansion, never by panicking, and always
+//! leaving the pooled session scratch reusable (the session drains the
+//! workspace and accumulator back to their clean invariant on abort; see
+//! `QuerySession::run_with_budget`).
+//!
+//! Work-cap aborts are **deterministic** given `(graph, config, seed)`:
+//! the counters the cap is compared against are pure functions of the
+//! execution, so the same query aborts at the same expansion everywhere.
+//! Deadline aborts are wall-clock and therefore not reproducible — but
+//! abort *safety* (session reusable, next answer bit-identical to a fresh
+//! session) holds for both, which is what the property tests pin down.
+//!
+//! The deadline check amortizes its `Instant::now()` call: the clock is
+//! only consulted every [`TIME_CHECK_STRIDE`] work units, so arming a
+//! deadline costs a counter comparison per expansion, not a syscall.
+
+use std::time::{Duration, Instant};
+
+use crate::result::QueryStats;
+
+/// How many [`QueryStats::total_work`] units may elapse between two
+/// wall-clock reads when a deadline is armed. At typical expansion rates
+/// (tens of nanoseconds per work unit) this bounds deadline overshoot to
+/// well under a millisecond while keeping `Instant::now()` off the hot
+/// path.
+pub const TIME_CHECK_STRIDE: u64 = 4096;
+
+/// Why a budgeted query was aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The work cap was exhausted.
+    Work,
+}
+
+/// A per-query execution budget: an optional wall-clock deadline and an
+/// optional cap on [`QueryStats::total_work`].
+///
+/// The default ([`ProbeBudget::unlimited`]) never aborts and its check
+/// compiles down to two `None` tests, so unbudgeted queries pay nothing
+/// measurable for the cancellation plumbing.
+///
+/// ```
+/// use std::time::Duration;
+/// use probesim_core::{ProbeBudget, ProbeSim, ProbeSimConfig, Query, QueryError};
+/// use probesim_graph::toy::{toy_graph, A, TOY_DECAY};
+///
+/// let graph = toy_graph();
+/// let engine = ProbeSim::new(ProbeSimConfig::new(TOY_DECAY, 0.05, 0.01).with_seed(7));
+/// let mut session = engine.session(&graph);
+///
+/// // A pre-expired deadline aborts cooperatively with partial stats…
+/// let err = session
+///     .run_with_budget(
+///         Query::SingleSource { node: A },
+///         ProbeBudget::unlimited().with_deadline(Duration::ZERO),
+///     )
+///     .unwrap_err();
+/// assert!(matches!(err, QueryError::DeadlineExceeded { .. }));
+///
+/// // …and the session stays fully reusable afterwards.
+/// let ok = session.run(Query::SingleSource { node: A })?;
+/// assert_eq!(ok.scores.score(A), 1.0);
+/// # Ok::<(), probesim_core::QueryError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeBudget {
+    deadline: Option<Instant>,
+    work_cap: Option<u64>,
+    /// Work level at which the clock is next consulted (deadline only).
+    next_time_check: u64,
+}
+
+impl Default for ProbeBudget {
+    fn default() -> Self {
+        ProbeBudget::unlimited()
+    }
+}
+
+impl ProbeBudget {
+    /// A budget that never aborts.
+    pub fn unlimited() -> Self {
+        ProbeBudget {
+            deadline: None,
+            work_cap: None,
+            next_time_check: 0,
+        }
+    }
+
+    /// Arms a wall-clock deadline `timeout` from now.
+    pub fn with_deadline(self, timeout: Duration) -> Self {
+        self.with_deadline_at(Instant::now() + timeout)
+    }
+
+    /// Arms a wall-clock deadline at an absolute instant (what a service
+    /// uses so queue wait counts against the caller's deadline).
+    pub fn with_deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self.next_time_check = 0;
+        self
+    }
+
+    /// Arms a cap on [`QueryStats::total_work`]. Deterministic given
+    /// `(graph, config, seed)`.
+    pub fn with_work_cap(mut self, cap: u64) -> Self {
+        self.work_cap = Some(cap);
+        self
+    }
+
+    /// True when neither a deadline nor a work cap is armed.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.work_cap.is_none()
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The armed work cap, if any.
+    pub fn work_cap(&self) -> Option<u64> {
+        self.work_cap
+    }
+
+    /// The cooperative cancellation point: called by the probe engines
+    /// between expansions with the query's live counters.
+    ///
+    /// Cheap by construction — a work-cap comparison, and a clock read at
+    /// most once per [`TIME_CHECK_STRIDE`] work units.
+    #[inline]
+    pub fn check(&mut self, stats: &QueryStats) -> Result<(), BudgetExceeded> {
+        let work = stats.total_work() as u64;
+        if let Some(cap) = self.work_cap {
+            if work > cap {
+                return Err(BudgetExceeded::Work);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if work >= self.next_time_check {
+                self.next_time_check = work + TIME_CHECK_STRIDE;
+                if Instant::now() >= deadline {
+                    return Err(BudgetExceeded::Deadline);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with_work(work: usize) -> QueryStats {
+        QueryStats {
+            walk_nodes: work,
+            ..QueryStats::default()
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_never_aborts() {
+        let mut budget = ProbeBudget::unlimited();
+        assert!(budget.is_unlimited());
+        for work in [0, 1, usize::MAX / 2] {
+            assert_eq!(budget.check(&stats_with_work(work)), Ok(()));
+        }
+    }
+
+    #[test]
+    fn work_cap_trips_deterministically() {
+        let mut budget = ProbeBudget::unlimited().with_work_cap(100);
+        assert!(!budget.is_unlimited());
+        assert_eq!(budget.work_cap(), Some(100));
+        assert_eq!(budget.check(&stats_with_work(100)), Ok(()));
+        assert_eq!(
+            budget.check(&stats_with_work(101)),
+            Err(BudgetExceeded::Work)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_trips_immediately() {
+        let mut budget = ProbeBudget::unlimited().with_deadline(Duration::ZERO);
+        assert_eq!(
+            budget.check(&stats_with_work(0)),
+            Err(BudgetExceeded::Deadline)
+        );
+    }
+
+    #[test]
+    fn distant_deadline_passes_and_amortizes_clock_reads() {
+        let mut budget = ProbeBudget::unlimited().with_deadline(Duration::from_secs(3600));
+        // First check consults the clock and schedules the next read a
+        // stride away; intermediate work levels pass without a read.
+        assert_eq!(budget.check(&stats_with_work(0)), Ok(()));
+        assert_eq!(budget.next_time_check, TIME_CHECK_STRIDE);
+        assert_eq!(budget.check(&stats_with_work(10)), Ok(()));
+        assert_eq!(budget.next_time_check, TIME_CHECK_STRIDE);
+        let big = TIME_CHECK_STRIDE as usize + 1;
+        assert_eq!(budget.check(&stats_with_work(big)), Ok(()));
+        assert!(budget.next_time_check > TIME_CHECK_STRIDE);
+    }
+
+    #[test]
+    fn deadline_at_respects_absolute_instants() {
+        let past = Instant::now() - Duration::from_millis(1);
+        let mut budget = ProbeBudget::unlimited().with_deadline_at(past);
+        assert_eq!(budget.deadline(), Some(past));
+        assert_eq!(
+            budget.check(&QueryStats::default()),
+            Err(BudgetExceeded::Deadline)
+        );
+    }
+
+    #[test]
+    fn both_limits_work_cap_checked_first() {
+        // With both armed and both exceeded, the deterministic signal
+        // (work) wins — services prefer reproducible error causes.
+        let mut budget = ProbeBudget::unlimited()
+            .with_work_cap(5)
+            .with_deadline(Duration::ZERO);
+        assert_eq!(budget.check(&stats_with_work(6)), Err(BudgetExceeded::Work));
+    }
+}

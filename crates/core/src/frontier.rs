@@ -71,6 +71,7 @@ use probesim_graph::GraphView;
 use rand::Rng;
 
 use crate::accum::ScoreSink;
+use crate::budget::BudgetExceeded;
 use crate::config::ProbeStrategy;
 use crate::probe::{self, ProbeParams};
 use crate::result::QueryStats;
@@ -102,6 +103,11 @@ fn draw_budget(group_walks: u64, frontier_mass: f64, nr: usize) -> u32 {
 /// weight `w/nr` (see the module docs for the per-strategy guarantees);
 /// the work is bounded by distinct touched `(node, trie position)` pairs
 /// instead of touched nodes *per prefix*.
+///
+/// Cooperative cancellation: `ws.budget` is checked before every group
+/// expansion; an exceeded budget aborts between groups with
+/// [`BudgetExceeded`], restoring the arena's BFS scratch buffers so the
+/// workspace stays pooled and reusable after the abort.
 #[allow(clippy::too_many_arguments)]
 pub fn run_fused<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     graph: &G,
@@ -114,9 +120,9 @@ pub fn run_fused<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     acc: &mut A,
     stats: &mut QueryStats,
     rng: &mut R,
-) {
+) -> Result<(), BudgetExceeded> {
     if trie.is_empty() {
-        return;
+        return Ok(());
     }
     // Take the BFS scratch buffers out of the arena so the level slices
     // can be borrowed while the arena stores new spans.
@@ -126,6 +132,44 @@ pub fn run_fused<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     ws.frontier.begin_query(trie.len());
     stats.trie_prefixes += order.len();
 
+    let result = fused_sweep(
+        graph,
+        trie,
+        nr,
+        params,
+        strategy,
+        c0,
+        ws,
+        acc,
+        stats,
+        rng,
+        &order,
+        &level_starts,
+    );
+    // Hand the scratch buffers back on every exit path (success or
+    // budget abort) so the pooled-capacity contract survives cancellation.
+    ws.frontier.order = order;
+    ws.frontier.level_starts = level_starts;
+    result
+}
+
+/// The sweep body of [`run_fused`], split out so the taken BFS buffers
+/// are restored on the abort path too.
+#[allow(clippy::too_many_arguments)]
+fn fused_sweep<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
+    graph: &G,
+    trie: &WalkTrie,
+    nr: usize,
+    params: &ProbeParams,
+    strategy: ProbeStrategy,
+    c0: f64,
+    ws: &mut ProbeWorkspace,
+    acc: &mut A,
+    stats: &mut QueryStats,
+    rng: &mut R,
+    order: &[(u32, u32)],
+    level_starts: &[usize],
+) -> Result<(), BudgetExceeded> {
     let inv_nr = 1.0 / nr as f64;
     let n = graph.num_nodes();
     let depth_count = level_starts.len() - 1;
@@ -154,7 +198,9 @@ pub fn run_fused<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
                 current,
                 next,
                 frontier,
+                budget,
             } = ws;
+            budget.check(stats)?;
             // Merge phase: every sibling's arrival frontier plus each
             // sibling's own probe start (H_0 = {vertex}, weight w/nr)
             // lands in one deduplicated weighted frontier.
@@ -254,8 +300,7 @@ pub fn run_fused<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
             }
         }
     }
-    ws.frontier.order = order;
-    ws.frontier.level_starts = level_starts;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -286,7 +331,8 @@ mod tests {
             &mut acc,
             &mut stats,
             &mut rng,
-        );
+        )
+        .unwrap();
         acc
     }
 
@@ -308,7 +354,8 @@ mod tests {
                 &mut ws,
                 &mut acc,
                 &mut stats,
-            );
+            )
+            .unwrap();
         });
         acc
     }
@@ -365,7 +412,8 @@ mod tests {
             &mut acc,
             &mut stats,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(stats.levels_expanded, 2);
         assert_eq!(stats.trie_prefixes, 4);
         assert_eq!(

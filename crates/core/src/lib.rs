@@ -54,6 +54,19 @@
 //! [`SingleSourceResult`] — the paper-reproduction benches keep using
 //! them.
 //!
+//! ## Cooperative cancellation
+//!
+//! Index-free queries decide their cost *while running*, so a serving
+//! tier needs a way to bound one: [`session::QuerySession::run_with_budget`]
+//! executes under a [`ProbeBudget`] — a wall-clock deadline and/or a
+//! deterministic work cap — checked between level expansions in both
+//! probe engines. An exceeded budget aborts cooperatively as
+//! [`QueryError::DeadlineExceeded`] / [`QueryError::WorkBudgetExceeded`]
+//! carrying the partial counters, and the session stays fully reusable:
+//! the next query is bit-identical to one on a fresh session (the
+//! abort-safety property tests pin this down for every engine tier and
+//! backend).
+//!
 //! ## How it works
 //!
 //! SimRank equals the meeting probability of two √c-walks (random walks
@@ -105,6 +118,7 @@
 //! `edges_expanded`/`total_work`.
 
 pub mod accum;
+pub mod budget;
 pub mod config;
 pub mod frontier;
 pub mod par;
@@ -118,6 +132,7 @@ pub mod walk;
 pub mod workspace;
 
 pub use accum::ScoreSink;
+pub use budget::{BudgetExceeded, ProbeBudget};
 pub use config::{ErrorBudget, Optimizations, ProbeSimConfig, ProbeStrategy};
 pub use result::{QueryStats, SingleSourceResult};
 pub use session::{BatchOutput, Query, QueryError, QueryOutput, QuerySession, SparseScores};

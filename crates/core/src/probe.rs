@@ -23,6 +23,7 @@ use probesim_graph::{GraphView, NodeId};
 use rand::Rng;
 
 use crate::accum::ScoreSink;
+use crate::budget::BudgetExceeded;
 use crate::result::QueryStats;
 use crate::workspace::{LevelBuf, ProbeWorkspace};
 
@@ -41,6 +42,11 @@ pub struct ProbeParams {
 ///
 /// `path.len()` must be ≥ 2 (a probe of a length-1 walk has no meeting
 /// step).
+///
+/// Cooperative cancellation: `ws.budget` is checked before every level
+/// expansion; an exceeded budget aborts between levels with
+/// [`BudgetExceeded`] (never mid-expansion — partial level output stays
+/// confined to the workspace, which the session resets on abort).
 pub fn deterministic<G: GraphView, A: ScoreSink + ?Sized>(
     graph: &G,
     path: &[NodeId],
@@ -49,7 +55,7 @@ pub fn deterministic<G: GraphView, A: ScoreSink + ?Sized>(
     ws: &mut ProbeWorkspace,
     acc: &mut A,
     stats: &mut QueryStats,
-) {
+) -> Result<(), BudgetExceeded> {
     let i = path.len();
     debug_assert!(i >= 2, "probe needs a path of at least 2 nodes");
     stats.probes += 1;
@@ -57,6 +63,7 @@ pub fn deterministic<G: GraphView, A: ScoreSink + ?Sized>(
     // H_0 = {(u_i, 1)}.
     ws.current.add(path[i - 1], 1.0);
     for j in 0..(i - 1) {
+        ws.budget.check(stats)?;
         // Remaining levels after this expansion: (i-1) - (j+1); the score
         // of any node in H_j can grow by at most √c per remaining level, so
         // entries below εp / (√c)^{(i-1)-j} can never contribute more than
@@ -66,7 +73,7 @@ pub fn deterministic<G: GraphView, A: ScoreSink + ?Sized>(
             ws.current.retain(|_, s| s * bound > params.epsilon_p);
         }
         if ws.current.is_empty() {
-            return;
+            return Ok(());
         }
         // The walk from v must avoid u_{i-j-1} at this position
         // (1-based u_{i-j-1} = 0-based path[i-j-2]).
@@ -84,6 +91,7 @@ pub fn deterministic<G: GraphView, A: ScoreSink + ?Sized>(
     for &v in ws.current.nodes() {
         acc.add(v, weight * ws.current.get(v));
     }
+    Ok(())
 }
 
 /// One deterministic frontier expansion: `H_{j+1}[v] += √c/|I(v)| · H_j[x]`
@@ -142,7 +150,7 @@ pub fn randomized<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     acc: &mut A,
     stats: &mut QueryStats,
     rng: &mut R,
-) {
+) -> Result<(), BudgetExceeded> {
     let i = path.len();
     debug_assert!(i >= 2);
     stats.probes += 1;
@@ -150,8 +158,9 @@ pub fn randomized<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     ws.reset();
     ws.current.add(path[i - 1], 1.0);
     for j in 0..(i - 1) {
+        ws.budget.check(stats)?;
         if ws.current.is_empty() {
-            return;
+            return Ok(());
         }
         let avoid = path[i - j - 2];
         expand_level_randomized(
@@ -169,6 +178,7 @@ pub fn randomized<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     for &v in ws.current.nodes() {
         acc.add(v, weight);
     }
+    Ok(())
 }
 
 /// One randomized frontier expansion (the loop body of Algorithm 4).
@@ -298,7 +308,7 @@ pub fn hybrid<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     acc: &mut A,
     stats: &mut QueryStats,
     rng: &mut R,
-) {
+) -> Result<(), BudgetExceeded> {
     let i = path.len();
     debug_assert!(i >= 2);
     debug_assert!(walk_count >= 1);
@@ -308,20 +318,20 @@ pub fn hybrid<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     let n = graph.num_nodes();
     let switch_threshold = (c0 * walk_count as f64 * n as f64).max(1.0);
     for j in 0..(i - 1) {
+        ws.budget.check(stats)?;
         if params.epsilon_p > 0.0 {
             let bound = params.sqrt_c.powi((i - 1 - j) as i32);
             ws.current.retain(|_, s| s * bound > params.epsilon_p);
         }
         if ws.current.is_empty() {
-            return;
+            return Ok(());
         }
         let out_sum = frontier_out_degree_sum(graph, &ws.current);
         if out_sum as f64 > switch_threshold {
             stats.hybrid_switches += 1;
-            randomized_continuations(
+            return randomized_continuations(
                 graph, path, params, weight, walk_count, j, ws, acc, stats, rng,
             );
-            return;
         }
         let avoid = path[i - j - 2];
         expand_level_deterministic(
@@ -337,6 +347,7 @@ pub fn hybrid<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     for &v in ws.current.nodes() {
         acc.add(v, weight * ws.current.get(v));
     }
+    Ok(())
 }
 
 /// Finishes a hybrid probe: `walk_count` independent randomized runs of the
@@ -355,7 +366,7 @@ fn randomized_continuations<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized
     acc: &mut A,
     stats: &mut QueryStats,
     rng: &mut R,
-) {
+) -> Result<(), BudgetExceeded> {
     let i = path.len();
     // Snapshot the exact frontier (scores ∈ [0, 1]).
     let seed_frontier: Vec<(NodeId, f64)> = ws
@@ -367,6 +378,7 @@ fn randomized_continuations<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized
         .collect();
     let per_run_weight = weight / walk_count as f64;
     for _ in 0..walk_count {
+        ws.budget.check(stats)?;
         stats.randomized_probes += 1;
         ws.reset();
         for &(v, s) in &seed_frontier {
@@ -378,6 +390,7 @@ fn randomized_continuations<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized
         let mut alive = !ws.current.is_empty();
         if alive {
             for j in start_level..(i - 1) {
+                ws.budget.check(stats)?;
                 let avoid = path[i - j - 2];
                 expand_level_randomized(
                     graph,
@@ -402,6 +415,7 @@ fn randomized_continuations<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -421,7 +435,7 @@ mod tests {
         let mut ws = ProbeWorkspace::new(8);
         let mut acc = vec![0.0; 8];
         let mut stats = QueryStats::default();
-        deterministic(&g, path, &params, 1.0, &mut ws, &mut acc, &mut stats);
+        deterministic(&g, path, &params, 1.0, &mut ws, &mut acc, &mut stats).unwrap();
         acc
     }
 
@@ -510,7 +524,7 @@ mod tests {
         let mut ws = ProbeWorkspace::new(8);
         let mut acc = vec![0.0; 8];
         let mut stats = QueryStats::default();
-        deterministic(&g, &[A, B], &params, 0.25, &mut ws, &mut acc, &mut stats);
+        deterministic(&g, &[A, B], &params, 0.25, &mut ws, &mut acc, &mut stats).unwrap();
         assert!((acc[D as usize] - 0.125).abs() < 1e-12);
     }
 
@@ -537,7 +551,8 @@ mod tests {
                 &mut acc,
                 &mut stats,
                 &mut rng,
-            );
+            )
+            .unwrap();
         }
         for v in 0..8 {
             assert!(
@@ -570,7 +585,8 @@ mod tests {
                 &mut acc,
                 &mut stats,
                 &mut rng,
-            );
+            )
+            .unwrap();
             assert_eq!(acc[A as usize], 0.0, "avoided node a was emitted");
         }
     }
@@ -598,7 +614,8 @@ mod tests {
             &mut acc,
             &mut stats,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(stats.hybrid_switches, 0);
         for v in 0..8 {
             assert!((acc[v] - exact[v]).abs() < 1e-12);
@@ -631,7 +648,8 @@ mod tests {
                 &mut acc,
                 &mut stats,
                 &mut rng,
-            );
+            )
+            .unwrap();
         }
         assert!(stats.hybrid_switches > 0);
         for v in 0..8 {
@@ -663,7 +681,7 @@ mod tests {
         let mut ws = ProbeWorkspace::new(n as usize);
         let mut exact = vec![0.0; n as usize];
         let mut stats = QueryStats::default();
-        deterministic(&g, &path, &params, 1.0, &mut ws, &mut exact, &mut stats);
+        deterministic(&g, &path, &params, 1.0, &mut ws, &mut exact, &mut stats).unwrap();
         let mut acc = vec![0.0; n as usize];
         let mut rng = StdRng::seed_from_u64(5);
         let trials = 40_000;
@@ -677,7 +695,8 @@ mod tests {
                 &mut acc,
                 &mut stats,
                 &mut rng,
-            );
+            )
+            .unwrap();
         }
         for v in 0..n as usize {
             assert!(

@@ -35,6 +35,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::accum::SparseAccumulator;
+use crate::budget::{BudgetExceeded, ProbeBudget};
 use crate::probe::ProbeParams;
 use crate::result::{QueryStats, SingleSourceResult};
 use crate::single_source::ProbeSim;
@@ -84,7 +85,8 @@ impl Query {
     }
 }
 
-/// Why a query was rejected before execution.
+/// Why a query was rejected before execution — or aborted cooperatively
+/// mid-execution by an armed [`ProbeBudget`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum QueryError {
     /// The query node is not a valid id for this graph.
@@ -125,6 +127,31 @@ pub enum QueryError {
         /// The graph's node count now.
         graph_nodes: usize,
     },
+    /// The query's wall-clock deadline passed mid-execution
+    /// ([`QuerySession::run_with_budget`] with an armed deadline).
+    ///
+    /// The abort is cooperative: the probe engines stop between level
+    /// expansions, the session drains its pooled scratch back to the
+    /// clean invariant, and the next query on the same session is
+    /// bit-identical to one on a fresh session (property-tested). No
+    /// partial scores are returned — a truncated estimate has no error
+    /// guarantee — but the counters accumulated up to the abort are.
+    DeadlineExceeded {
+        /// Work counters at the abort point.
+        partial: QueryStats,
+    },
+    /// The query's work cap ([`ProbeBudget::with_work_cap`], in
+    /// [`QueryStats::total_work`] units) was exhausted mid-execution.
+    ///
+    /// Unlike [`QueryError::DeadlineExceeded`] this abort is
+    /// **deterministic** given `(graph, config, seed)` — the same query
+    /// aborts at the same expansion on every machine. Same abort-safety
+    /// contract: the session stays reusable, `partial` carries the work
+    /// done.
+    WorkBudgetExceeded {
+        /// Work counters at the abort point.
+        partial: QueryStats,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -151,6 +178,26 @@ impl std::fmt::Display for QueryError {
                     f,
                     "graph grew from {session_nodes} to {graph_nodes} nodes after the \
                      session was created; create a new session for the resized graph"
+                )
+            }
+            QueryError::DeadlineExceeded { partial } => {
+                write!(
+                    f,
+                    "query aborted: deadline exceeded after {} work units \
+                     ({} walks, {} probes)",
+                    partial.total_work(),
+                    partial.walks,
+                    partial.probes
+                )
+            }
+            QueryError::WorkBudgetExceeded { partial } => {
+                write!(
+                    f,
+                    "query aborted: work budget exhausted at {} work units \
+                     ({} walks, {} probes)",
+                    partial.total_work(),
+                    partial.walks,
+                    partial.probes
                 )
             }
         }
@@ -517,6 +564,64 @@ impl<G: GraphView> QuerySession<G> {
         Ok(self.execute(query, rng))
     }
 
+    /// [`QuerySession::run`] under a cooperative [`ProbeBudget`]: the
+    /// probe engines check the budget between level expansions, and an
+    /// exceeded deadline or work cap surfaces as
+    /// [`QueryError::DeadlineExceeded`] /
+    /// [`QueryError::WorkBudgetExceeded`] carrying the partial counters.
+    ///
+    /// **Abort safety:** an aborted query leaves the session fully
+    /// reusable — the pooled workspace and accumulator are drained back
+    /// to their clean invariant before the error returns, so the next
+    /// query on this session is bit-identical to one on a fresh session
+    /// (the per-query RNG derivation never depended on session history).
+    pub fn run_with_budget(
+        &mut self,
+        query: Query,
+        budget: ProbeBudget,
+    ) -> Result<QueryOutput, QueryError> {
+        self.check_unresized()?;
+        validate(&self.graph, &query)?;
+        let mut rng = query_rng(self.engine.config().seed, query.node());
+        self.execute_budgeted(query, &mut rng, budget)
+    }
+
+    /// Rebinds this session to another graph, **keeping the pooled
+    /// scratch** when the node counts match (the serving fast path: a
+    /// worker hopping between `GraphSnapshot` versions of one store pays
+    /// zero reallocation, because a store's `n` is pinned to its base).
+    /// A different node count re-allocates the slabs for the new size.
+    ///
+    /// Cumulative counters ([`QuerySession::total_stats`],
+    /// [`QuerySession::queries_run`]) carry over — they describe the
+    /// session, not the graph.
+    pub fn rebind<H: GraphView>(self, graph: H) -> QuerySession<H> {
+        let n = graph.num_nodes();
+        if n == self.session_nodes {
+            QuerySession {
+                engine: self.engine,
+                graph,
+                session_nodes: n,
+                ws: self.ws,
+                acc: self.acc,
+                total_stats: self.total_stats,
+                queries_run: self.queries_run,
+                last_touched: self.last_touched,
+            }
+        } else {
+            QuerySession {
+                engine: self.engine,
+                graph,
+                session_nodes: n,
+                ws: ProbeWorkspace::new(n),
+                acc: SparseAccumulator::new(n),
+                total_stats: self.total_stats,
+                queries_run: self.queries_run,
+                last_touched: 0,
+            }
+        }
+    }
+
     /// Executes a batch sequentially on this session, reusing scratch
     /// across all queries. The whole batch is validated up front, so a
     /// bad query is reported before any work runs.
@@ -582,6 +687,21 @@ impl<G: GraphView> QuerySession<G> {
 
     /// The core execution path: pooled workspace + sparse accumulator.
     fn execute<R: Rng>(&mut self, query: Query, rng: &mut R) -> QueryOutput {
+        self.execute_budgeted(query, rng, ProbeBudget::unlimited())
+            .expect("an unlimited budget cannot abort")
+    }
+
+    /// [`QuerySession::execute`] under a cancellation budget. On abort,
+    /// the **drain-to-clean invariant survives**: the partial
+    /// contributions the aborted probes left in the pooled accumulator
+    /// and workspace are discarded in O(touched), restoring exactly the
+    /// state a fresh query expects.
+    fn execute_budgeted<R: Rng>(
+        &mut self,
+        query: Query,
+        rng: &mut R,
+        probe_budget: ProbeBudget,
+    ) -> Result<QueryOutput, QueryError> {
         let u = query.node();
         let n = self.graph.num_nodes();
         let config = self.engine.config();
@@ -592,7 +712,10 @@ impl<G: GraphView> QuerySession<G> {
             epsilon_p: budget.pruning,
         };
         let mut stats = QueryStats::default();
-        if config.optimizations.batch_walks {
+        // Arm the budget for this query only; the workspace reverts to
+        // unlimited below so a later plain `run` is never throttled.
+        self.ws.budget = probe_budget;
+        let run = if config.optimizations.batch_walks {
             self.engine.run_batched(
                 &self.graph,
                 u,
@@ -603,7 +726,7 @@ impl<G: GraphView> QuerySession<G> {
                 &mut self.acc,
                 &mut stats,
                 rng,
-            );
+            )
         } else {
             self.engine.run_unbatched(
                 &self.graph,
@@ -615,7 +738,21 @@ impl<G: GraphView> QuerySession<G> {
                 &mut self.acc,
                 &mut stats,
                 rng,
-            );
+            )
+        };
+        self.ws.budget = ProbeBudget::unlimited();
+        if let Err(exceeded) = run {
+            // Abort cleanup: level buffers are version-stamp cleared and
+            // the accumulator's partial scores drained away, restoring
+            // the clean-slab invariant the next query relies on. Totals
+            // still count the aborted work — it was really spent.
+            self.ws.reset();
+            self.acc.reset();
+            self.total_stats.merge(&stats);
+            return Err(match exceeded {
+                BudgetExceeded::Deadline => QueryError::DeadlineExceeded { partial: stats },
+                BudgetExceeded::Work => QueryError::WorkBudgetExceeded { partial: stats },
+            });
         }
         let baseline = if config.optimizations.truncation_compensation && budget.truncation > 0.0 {
             budget.truncation / 2.0
@@ -629,11 +766,11 @@ impl<G: GraphView> QuerySession<G> {
         self.last_touched = entries.len();
         self.total_stats.merge(&stats);
         self.queries_run += 1;
-        QueryOutput {
+        Ok(QueryOutput {
             query,
             scores: SparseScores::new(u, n, baseline, entries),
             stats,
-        }
+        })
     }
 }
 

@@ -11,6 +11,7 @@ use probesim_graph::{GraphView, NodeId};
 use rand::Rng;
 
 use crate::accum::ScoreSink;
+use crate::budget::BudgetExceeded;
 use crate::config::{ProbeSimConfig, ProbeStrategy};
 use crate::probe::{self, ProbeParams};
 use crate::result::{QueryStats, SingleSourceResult};
@@ -139,7 +140,7 @@ impl ProbeSim {
         let mut stats = QueryStats::default();
         let mut acc = vec![0.0f64; n];
         let mut ws = ProbeWorkspace::new(n);
-        if self.config.optimizations.batch_walks {
+        let run = if self.config.optimizations.batch_walks {
             self.run_batched(
                 graph,
                 u,
@@ -150,7 +151,7 @@ impl ProbeSim {
                 &mut acc,
                 &mut stats,
                 &mut rng,
-            );
+            )
         } else {
             self.run_unbatched(
                 graph,
@@ -162,8 +163,9 @@ impl ProbeSim {
                 &mut acc,
                 &mut stats,
                 &mut rng,
-            );
-        }
+            )
+        };
+        run.expect("a fresh workspace carries an unlimited budget");
         if self.config.optimizations.truncation_compensation && budget.truncation > 0.0 {
             let half = budget.truncation / 2.0;
             for (v, s) in acc.iter_mut().enumerate() {
@@ -181,6 +183,11 @@ impl ProbeSim {
     }
 
     /// Algorithm 1: probe every prefix of every walk independently.
+    ///
+    /// Returns [`BudgetExceeded`] when the workspace's armed
+    /// [`crate::ProbeBudget`] trips between expansions (the caller — the
+    /// session — resets the scratch and surfaces a typed
+    /// [`QueryError`](crate::QueryError) with partial stats).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_unbatched<G: GraphView, A: ScoreSink + ?Sized, R: Rng>(
         &self,
@@ -193,13 +200,14 @@ impl ProbeSim {
         acc: &mut A,
         stats: &mut QueryStats,
         rng: &mut R,
-    ) {
+    ) -> Result<(), BudgetExceeded> {
         let weight = 1.0 / nr as f64;
         let sqrt_c = self.config.sqrt_decay();
         let strategy = self.config.optimizations.strategy;
         let c0 = self.config.optimizations.hybrid_c0;
         let mut walk_buf: Vec<NodeId> = Vec::with_capacity(8);
         for _ in 0..nr {
+            ws.budget.check(stats)?;
             walk_buf.clear();
             walk_buf.push(u);
             walk::extend_walk(graph, &mut walk_buf, sqrt_c, walk_cap, rng);
@@ -212,17 +220,18 @@ impl ProbeSim {
                 let path = &walk_buf[..i];
                 match strategy {
                     ProbeStrategy::Deterministic => {
-                        probe::deterministic(graph, path, params, weight, ws, acc, stats);
+                        probe::deterministic(graph, path, params, weight, ws, acc, stats)?;
                     }
                     ProbeStrategy::Randomized => {
-                        probe::randomized(graph, path, params, weight, ws, acc, stats, rng);
+                        probe::randomized(graph, path, params, weight, ws, acc, stats, rng)?;
                     }
                     ProbeStrategy::Hybrid => {
-                        probe::hybrid(graph, path, params, weight, 1, c0, ws, acc, stats, rng);
+                        probe::hybrid(graph, path, params, weight, 1, c0, ws, acc, stats, rng)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Algorithm 3: insert all walks into the reverse-reachability trie,
@@ -249,13 +258,14 @@ impl ProbeSim {
         acc: &mut A,
         stats: &mut QueryStats,
         rng: &mut R,
-    ) {
+    ) -> Result<(), BudgetExceeded> {
         let sqrt_c = self.config.sqrt_decay();
         let strategy = self.config.optimizations.strategy;
         let c0 = self.config.optimizations.hybrid_c0;
         let mut trie = WalkTrie::new(u);
         let mut walk_buf: Vec<NodeId> = Vec::with_capacity(8);
         for _ in 0..nr {
+            ws.budget.check(stats)?;
             walk_buf.clear();
             walk_buf.push(u);
             walk::extend_walk(graph, &mut walk_buf, sqrt_c, walk_cap, rng);
@@ -267,31 +277,33 @@ impl ProbeSim {
             trie.insert(&walk_buf);
         }
         if self.config.optimizations.fuse_probes {
-            crate::frontier::run_fused(graph, &trie, nr, params, strategy, c0, ws, acc, stats, rng);
-            return;
+            return crate::frontier::run_fused(
+                graph, &trie, nr, params, strategy, c0, ws, acc, stats, rng,
+            );
         }
         let inv_nr = 1.0 / nr as f64;
-        trie.for_each_prefix(|path, w| {
+        trie.try_for_each_prefix(|path, w| {
             stats.trie_prefixes += 1;
             let weight = w as f64 * inv_nr;
             match strategy {
                 ProbeStrategy::Deterministic => {
-                    probe::deterministic(graph, path, params, weight, ws, acc, stats);
+                    probe::deterministic(graph, path, params, weight, ws, acc, stats)?;
                 }
                 ProbeStrategy::Randomized => {
                     // w independent probes, each carrying weight/w.
                     let per = weight / w as f64;
                     for _ in 0..w {
-                        probe::randomized(graph, path, params, per, ws, acc, stats, rng);
+                        probe::randomized(graph, path, params, per, ws, acc, stats, rng)?;
                     }
                 }
                 ProbeStrategy::Hybrid => {
                     probe::hybrid(
                         graph, path, params, weight, w as usize, c0, ws, acc, stats, rng,
-                    );
+                    )?;
                 }
             }
-        });
+            Ok(())
+        })
     }
 }
 

@@ -176,6 +176,21 @@ impl WalkTrie {
     /// Uses an explicit DFS stack; the `path` buffer is reused across
     /// calls, so callers must not retain it.
     pub fn for_each_prefix<F: FnMut(&[NodeId], u32)>(&self, mut visit: F) {
+        let infallible: Result<(), std::convert::Infallible> =
+            self.try_for_each_prefix(|path, weight| {
+                visit(path, weight);
+                Ok(())
+            });
+        infallible.unwrap();
+    }
+
+    /// Fallible [`WalkTrie::for_each_prefix`]: stops the enumeration at
+    /// the first `Err` and propagates it — the early-exit path the
+    /// budgeted (cancellable) legacy probe driver needs.
+    pub fn try_for_each_prefix<E, F: FnMut(&[NodeId], u32) -> Result<(), E>>(
+        &self,
+        mut visit: F,
+    ) -> Result<(), E> {
         let mut path: Vec<NodeId> = vec![self.nodes[0].vertex];
         // Stack entries: (node index, depth in path when entered).
         let mut stack: Vec<(TrieIndex, usize)> = Vec::new();
@@ -188,13 +203,14 @@ impl WalkTrie {
             path.truncate(depth);
             let node = &self.nodes[idx as usize];
             path.push(node.vertex);
-            visit(&path, node.weight);
+            visit(&path, node.weight)?;
             let mut child = node.first_child;
             while let Some(c) = child {
                 stack.push((c, depth + 1));
                 child = self.nodes[c as usize].next_sibling;
             }
         }
+        Ok(())
     }
 
     /// The level-order (BFS) cursor: fills `order` with `(node, parent)`

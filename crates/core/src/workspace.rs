@@ -10,6 +10,8 @@
 
 use probesim_graph::NodeId;
 
+use crate::budget::ProbeBudget;
+
 /// One frontier level: a sparse set of nodes with f64 scores backed by
 /// dense arrays.
 #[derive(Debug, Clone)]
@@ -189,6 +191,11 @@ pub struct ProbeWorkspace {
     /// Per-trie-node frontier slabs for the fused probe engine; empty
     /// (and allocation-free) while only the per-prefix paths run.
     pub frontier: FrontierArena,
+    /// The active query's cancellation budget, checked by the probe
+    /// engines between expansions. Unlimited unless the caller armed one
+    /// (`QuerySession::run_with_budget`); carrying it here keeps the
+    /// probe signatures free of an extra threading parameter.
+    pub budget: ProbeBudget,
 }
 
 impl ProbeWorkspace {
@@ -198,6 +205,7 @@ impl ProbeWorkspace {
             current: LevelBuf::new(n),
             next: LevelBuf::new(n),
             frontier: FrontierArena::new(),
+            budget: ProbeBudget::unlimited(),
         }
     }
 

@@ -31,5 +31,5 @@ pub use algorithms::{
 pub use groundtruth::GroundTruth;
 pub use parallel::{run_queries, run_queries_owned};
 pub use pooling::Pool;
-pub use queries::sample_query_nodes;
+pub use queries::{sample_query_nodes, ZipfRanks};
 pub use runner::{human_bytes, human_secs, timed, Aggregate};

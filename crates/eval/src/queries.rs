@@ -29,6 +29,49 @@ pub fn sample_query_nodes<G: GraphView>(graph: &G, count: usize, seed: u64) -> V
     pool
 }
 
+/// A Zipf-ish rank sampler over `0..distinct`: rank `r` is drawn with
+/// probability proportional to `1/(r+1)` by inverse CDF over the
+/// harmonic weights.
+///
+/// Repeat-heavy query streams (result-cache benchmarks, the
+/// `serve-bench` CLI) share this so the skew definition cannot drift
+/// between call sites. The draw source is a plain uniform `f64` in
+/// `[0, 1)`, so callers bring their own RNG — the seeded `StdRng` shim
+/// or a dependency-free bit mixer alike.
+#[derive(Debug, Clone)]
+pub struct ZipfRanks {
+    /// Cumulative (unnormalized) harmonic weights; the last entry is the
+    /// total mass.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfRanks {
+    /// A sampler over ranks `0..distinct` (`distinct` is clamped to at
+    /// least 1).
+    pub fn new(distinct: usize) -> ZipfRanks {
+        let mut acc = 0.0;
+        let cumulative = (0..distinct.max(1))
+            .map(|r| {
+                acc += 1.0 / (r + 1) as f64;
+                acc
+            })
+            .collect();
+        ZipfRanks { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn distinct(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Maps a uniform draw `unit ∈ [0, 1)` to a rank.
+    pub fn rank(&self, unit: f64) -> usize {
+        let total = *self.cumulative.last().expect("at least one rank");
+        let draw = unit * total;
+        self.cumulative.iter().position(|&c| draw <= c).unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +120,31 @@ mod tests {
         let draws: std::collections::HashSet<Vec<u32>> =
             (0..20).map(|s| sample_query_nodes(&g, 3, s)).collect();
         assert!(draws.len() > 1);
+    }
+
+    #[test]
+    fn zipf_ranks_follow_the_harmonic_skew() {
+        let zipf = ZipfRanks::new(4);
+        assert_eq!(zipf.distinct(), 4);
+        // Harmonic CDF over 1, 1/2, 1/3, 1/4 (total 25/12): unit just
+        // below each boundary maps to that rank.
+        let total = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+        assert_eq!(zipf.rank(0.0), 0);
+        assert_eq!(zipf.rank(0.9 / total), 0);
+        assert_eq!(zipf.rank(1.1 / total), 1);
+        assert_eq!(zipf.rank(1.6 / total), 2);
+        assert_eq!(zipf.rank(1.9 / total), 3);
+        // Empirically, rank 0 dominates a uniform sweep.
+        let counts =
+            (0..1000)
+                .map(|i| zipf.rank(i as f64 / 1000.0))
+                .fold([0usize; 4], |mut acc, r| {
+                    acc[r] += 1;
+                    acc
+                });
+        assert!(counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3]);
+        // Degenerate sizes stay usable.
+        assert_eq!(ZipfRanks::new(0).distinct(), 1);
+        assert_eq!(ZipfRanks::new(1).rank(0.999), 0);
     }
 }

@@ -172,17 +172,6 @@ impl DynamicGraph {
             .count()
     }
 
-    /// The current edge list in `(source, target)` order, sorted — the
-    /// input [`CsrGraph::from_edges`] expects for a from-scratch rebuild.
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates a full Vec<Edge>; stream through edges_iter() instead \
-                (CsrGraph::from_edge_iter consumes it directly)"
-    )]
-    pub fn edges(&self) -> Vec<Edge> {
-        self.edges_iter().collect()
-    }
-
     /// Iterates the current edges in `(source, target)` order, sorted,
     /// without allocating. [`DynamicGraph::snapshot`], the churn tests and
     /// the benchmark scenario engine rebuild CSR views through this
@@ -326,18 +315,14 @@ mod tests {
     }
 
     #[test]
-    fn edges_iter_matches_edges_without_allocating() {
+    fn edges_iter_streams_sorted_without_allocating() {
         let mut g = DynamicGraph::new(5);
         for (u, v) in [(4, 0), (1, 3), (0, 2), (1, 0), (3, 3)] {
             g.insert_edge(u, v);
         }
         g.remove_edge(1, 3);
         let collected: Vec<Edge> = g.edges_iter().collect();
-        // The deprecated allocating accessor must stay equivalent for as
-        // long as it exists.
-        #[allow(deprecated)]
-        let allocated = g.edges();
-        assert_eq!(collected, allocated);
+        assert_eq!(collected, vec![(0, 2), (1, 0), (3, 3), (4, 0)]);
         assert_eq!(collected.len(), g.num_edges());
         // The iterator is Clone (CsrGraph::from_edge_iter walks it twice).
         let twice: Vec<Edge> = g.edges_iter().clone().collect();

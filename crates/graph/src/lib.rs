@@ -71,7 +71,7 @@ pub use error::GraphError;
 pub use hash::{FxHashMap, FxHashSet};
 pub use overlay::OverlayGraph;
 pub use stats::DegreeStats;
-pub use store::{CompactionPolicy, GraphSnapshot, GraphStore};
+pub use store::{CompactionPolicy, GraphSnapshot, GraphStore, MutationObserver};
 pub use view::GraphView;
 
 /// Dense node identifier. Graphs in this workspace address nodes as

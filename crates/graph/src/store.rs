@@ -110,7 +110,6 @@ impl CompactionPolicy {
 /// assert_eq!(after.in_neighbors(1), &[2]);
 /// assert!(before.version() < after.version());
 /// ```
-#[derive(Debug)]
 pub struct GraphStore {
     overlay: OverlayGraph,
     version: u64,
@@ -126,6 +125,30 @@ pub struct GraphStore {
     /// releases the cache's `Arc`s so COW sees only real snapshot
     /// holders.
     published: std::sync::Mutex<Option<GraphSnapshot>>,
+    /// Writer-side mutation hook: called with the new version after
+    /// every *effective* mutation (see
+    /// [`GraphStore::set_mutation_observer`]). The serving tier wires
+    /// its version-keyed result cache's invalidation in here, so a cache
+    /// can never outlive the edge set it was keyed on by mistake — the
+    /// callback runs on the writer thread, inside the mutation, before
+    /// any reader can observe the new version via a fresh snapshot.
+    observer: Option<MutationObserver>,
+}
+
+/// The callback type [`GraphStore::set_mutation_observer`] installs:
+/// invoked with the store's new version after each effective mutation.
+pub type MutationObserver = std::sync::Arc<dyn Fn(u64) + Send + Sync>;
+
+impl std::fmt::Debug for GraphStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphStore")
+            .field("overlay", &self.overlay)
+            .field("version", &self.version)
+            .field("policy", &self.policy)
+            .field("compactions", &self.compactions)
+            .field("observer", &self.observer.as_ref().map(|_| "Fn(u64)"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Clone for GraphStore {
@@ -137,6 +160,10 @@ impl Clone for GraphStore {
             compactions: self.compactions,
             // The clone republishes lazily.
             published: std::sync::Mutex::new(None),
+            // Shared on purpose: over-notifying an observer is always
+            // safe (invalidation is conservative), silently dropping it
+            // on clone would not be.
+            observer: self.observer.clone(),
         }
     }
 }
@@ -161,6 +188,7 @@ impl GraphStore {
             policy: CompactionPolicy::default(),
             compactions: 0,
             published: std::sync::Mutex::new(None),
+            observer: None,
         }
     }
 
@@ -184,6 +212,24 @@ impl GraphStore {
     pub fn with_policy(mut self, policy: CompactionPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Installs a writer-side mutation observer: `f(new_version)` runs
+    /// after every **effective** mutation (no-op events never fire it),
+    /// on the writer thread, before the new version is observable
+    /// through a fresh snapshot.
+    ///
+    /// This is the invalidation hook for version-keyed derived state —
+    /// the serving tier's result cache drops entries for versions that
+    /// fell out of its retention window here. At most one observer is
+    /// installed; a second call replaces the first.
+    pub fn set_mutation_observer(&mut self, f: impl Fn(u64) + Send + Sync + 'static) {
+        self.observer = Some(Arc::new(f));
+    }
+
+    /// Removes the mutation observer, if any.
+    pub fn clear_mutation_observer(&mut self) {
+        self.observer = None;
     }
 
     /// The active compaction policy.
@@ -272,6 +318,9 @@ impl GraphStore {
             .should_compact(self.overlay.touched_lists(), self.num_nodes())
         {
             self.compact();
+        }
+        if let Some(observer) = &self.observer {
+            observer(self.version);
         }
         changed
     }
@@ -634,6 +683,38 @@ mod tests {
         let edges_after: Vec<Edge> = snap.edges_iter().collect();
         assert_eq!(edges_before, edges_after);
         assert_same_graph(&snap, &snap.to_csr());
+    }
+
+    #[test]
+    fn mutation_observer_fires_on_effective_mutations_only() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let seen = Arc::new(AtomicU64::new(0));
+        let fired = Arc::new(AtomicU64::new(0));
+        let mut store = GraphStore::new(4);
+        store.set_mutation_observer({
+            let seen = Arc::clone(&seen);
+            let fired = Arc::clone(&fired);
+            move |version| {
+                seen.store(version, Ordering::SeqCst);
+                fired.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(store.insert_edge(0, 1));
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+        assert!(!store.insert_edge(0, 1), "duplicate insert is a no-op");
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "no-op must not fire");
+        assert!(store.remove_edge(0, 1));
+        assert_eq!(seen.load(Ordering::SeqCst), 2);
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        // Compaction is not a mutation and never fires the observer.
+        store.insert_edge(1, 2);
+        store.compact();
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
+        // Clearing stops notifications; mutations still work.
+        store.clear_mutation_observer();
+        assert!(store.insert_edge(2, 3));
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
+        assert_eq!(store.version(), 4);
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! `probesim` — command-line SimRank queries over edge-list graphs.
 //!
 //! ```text
-//! probesim generate <dataset> [--scale ci|laptop] [--out graph.psim]
-//! probesim stats    <graph-file>
-//! probesim query    <graph-file> --node N [--top K | --tau T] [--eps E] [--delta D]
-//!                   [--decay C] [--seed S] [--probe-path fused|legacy] [--store]
-//!                   [--output text|json]
-//! probesim batch    <graph-file> --nodes A,B,C [--top K] [--threads T] [--store]
-//!                   [--readers N] [--output text|json]
-//! probesim pair     <graph-file> --u A --v B [--walks R] [--decay C]
+//! probesim generate   <dataset> [--scale ci|laptop] [--out graph.psim]
+//! probesim stats      <graph-file>
+//! probesim query      <graph-file> --node N [--top K | --tau T] [--eps E] [--delta D]
+//!                     [--decay C] [--seed S] [--probe-path fused|legacy] [--store]
+//!                     [--output text|json]
+//! probesim batch      <graph-file> --nodes A,B,C [--top K] [--threads T] [--store]
+//!                     [--readers N] [--output text|json]
+//! probesim serve-bench <graph-file> [--queries N] [--distinct D] [--workers W]
+//!                     [--deadline-ms MS] [--work-cap W] [--cache-capacity C]
+//!                     [--consistency latest|pinned|at-least] [--update-every K]
+//!                     [--eps E] [--seed S]
+//! probesim pair       <graph-file> --u A --v B [--walks R] [--decay C]
 //! ```
 //!
 //! Graph files are either the text edge-list format (`u v` per line, `#`
@@ -28,6 +32,11 @@
 //! path. `batch --store --readers N` shards the batch across `N` reader
 //! threads, each holding its own snapshot clone
 //! (`ProbeSim::par_batch_owned`).
+//!
+//! `serve-bench` drives the full serving facade
+//! (`probesim_service::QueryService`): a Zipf-repeated query stream with
+//! deadlines, a consistency level and the version-keyed result cache,
+//! printing the queue/exec/cache breakdown as one JSON object.
 
 use std::process::ExitCode;
 
@@ -54,12 +63,24 @@ const USAGE: &str = "usage:
   probesim stats    <graph-file>
   probesim query    <graph-file> --node N [--top K | --tau T] [--eps E] [--delta D] [--decay C] [--seed S] [--probe-path fused|legacy] [--store] [--output text|json]
   probesim batch    <graph-file> --nodes A,B,C [--top K] [--threads T] [--eps E] [--seed S] [--probe-path fused|legacy] [--store] [--readers N] [--output text|json]
+  probesim serve-bench <graph-file> [--queries N] [--distinct D] [--workers W] [--deadline-ms MS] [--work-cap W] [--cache-capacity C] [--consistency latest|pinned|at-least] [--update-every K] [--eps E] [--seed S]
   probesim pair     <graph-file> --u A --v B [--walks R] [--decay C] [--seed S]
 
   --store      route the graph through the versioned GraphStore and query an
                owned snapshot (identical answers; the serving configuration)
   --readers N  with --store: shard the batch over N snapshot-holding reader
                threads (default: --threads)
+
+serve-bench (drives the QueryService facade, prints one JSON object):
+  --queries N          stream length (default 64)
+  --distinct D         distinct query nodes behind the Zipf repeats (default 16)
+  --workers W          service worker threads (default 0 = auto)
+  --deadline-ms MS     per-request deadline in milliseconds (default: none)
+  --work-cap W         per-request deterministic work cap (default: none)
+  --cache-capacity C   result-cache entries, 0 disables (default 1024)
+  --consistency X      latest | pinned (pin at stream-start version) |
+                       at-least (AtLeastVersion(stream-start version))
+  --update-every K     apply one random edge update every K queries (default 0)
 
 datasets: Wiki-Vote HepTh AS HepPh LiveJournal IT-2004 Twitter Friendster";
 
@@ -71,6 +92,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => stats(rest),
         "query" => query(rest),
         "batch" => batch(rest),
+        "serve-bench" => serve_bench(rest),
         "pair" => pair(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -347,6 +369,163 @@ fn batch(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// `splitmix64` — a tiny deterministic PRNG so the Zipf-repeated query
+/// stream needs no RNG dependency in the binary.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Nearest-rank quantile of an unsorted sample set (local helper — the
+/// binary does not depend on the bench crate).
+fn quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+fn latency_json(samples: &[f64]) -> String {
+    format!(
+        "{{\"count\": {}, \"median\": {}, \"p95\": {}, \"max\": {}}}",
+        samples.len(),
+        json_f64(quantile(samples, 0.5)),
+        json_f64(quantile(samples, 0.95)),
+        json_f64(samples.iter().copied().fold(0.0, f64::max)),
+    )
+}
+
+/// Drives the full serving facade over a Zipf-repeated query stream and
+/// prints the queue/exec/cache breakdown as one JSON object.
+fn serve_bench(args: &[String]) -> Result<(), String> {
+    use probesim::prelude::{Consistency, Request, ServiceBuilder};
+    use probesim_graph::GraphUpdate;
+
+    let path = args.first().ok_or("serve-bench: missing graph file")?;
+    let graph = load_graph(path)?;
+    let queries: usize = flag(args, "--queries", 64)?;
+    let distinct: usize = flag(args, "--distinct", 16)?;
+    let workers: usize = flag(args, "--workers", 0)?;
+    let cache_capacity: usize = flag(args, "--cache-capacity", 1024)?;
+    let update_every: usize = flag(args, "--update-every", 0)?;
+    let seed: u64 = flag(args, "--seed", 2017)?;
+    let deadline_ms: Option<u64> = flag_str(args, "--deadline-ms")
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| "cannot parse value for --deadline-ms".to_string())
+        })
+        .transpose()?;
+    let work_cap: Option<u64> = flag_str(args, "--work-cap")
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| "cannot parse value for --work-cap".to_string())
+        })
+        .transpose()?;
+    let consistency_name = flag_str(args, "--consistency").unwrap_or("latest");
+    let engine = engine_from_flags(args)?;
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Err("serve-bench: graph has no nodes".into());
+    }
+
+    let query_nodes = probesim_eval::sample_query_nodes(&graph, distinct.max(1), seed);
+    let mut builder = ServiceBuilder::new(engine.config().clone())
+        .workers(workers)
+        .cache_capacity(cache_capacity);
+    if let Some(ms) = deadline_ms {
+        builder = builder.default_deadline(std::time::Duration::from_millis(ms));
+    }
+    let service = builder.build(probesim_graph::GraphStore::from_csr(graph));
+    let pinned_version = service.version();
+    let consistency = match consistency_name {
+        "latest" => Consistency::Latest,
+        "pinned" => Consistency::Pinned(pinned_version),
+        "at-least" => Consistency::AtLeastVersion(pinned_version),
+        other => {
+            return Err(format!(
+                "--consistency expects latest|pinned|at-least, got {other:?}"
+            ))
+        }
+    };
+
+    // Zipf-ish repetition, deterministic in seed (the shared sampler
+    // the cache-repeat bench scenario uses; the draws come from the
+    // dependency-free splitmix64 above).
+    let zipf = probesim_eval::ZipfRanks::new(query_nodes.len());
+    let mut prng = seed ^ 0x5EED;
+    let mut queue_secs = Vec::with_capacity(queries);
+    let mut exec_secs = Vec::with_capacity(queries);
+    let mut hits = 0u64;
+    let mut errors = 0u64;
+    let wall = std::time::Instant::now();
+    for i in 0..queries {
+        if update_every > 0 && i > 0 && i % update_every == 0 {
+            // A random structural update: insert or remove a random edge
+            // (whichever is effective first keeps the stream simple).
+            let u = (splitmix64(&mut prng) % n as u64) as NodeId;
+            let v = (splitmix64(&mut prng) % n as u64) as NodeId;
+            if u != v && !service.apply(GraphUpdate::Insert { u, v }) {
+                service.apply(GraphUpdate::Remove { u, v });
+            }
+        }
+        let rank = zipf.rank(splitmix64(&mut prng) as f64 / u64::MAX as f64);
+        let mut request = Request::new(Query::SingleSource {
+            node: query_nodes[rank],
+        })
+        .with_consistency(consistency);
+        if let Some(cap) = work_cap {
+            request = request.with_work_cap(cap);
+        }
+        match service.call(request) {
+            Ok(response) => {
+                queue_secs.push(response.queue_wait.as_secs_f64());
+                exec_secs.push(response.exec_time.as_secs_f64());
+                if response.cache_hit {
+                    hits += 1;
+                }
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+    let stats = service.stats();
+    let answered = queries as u64 - errors;
+    println!(
+        "{{\"queries\": {queries}, \"distinct\": {}, \"workers\": {}, \
+         \"consistency\": \"{consistency_name}\", \"deadline_ms\": {}, \"work_cap\": {}, \
+         \"version\": {}, \"elapsed_secs\": {}, \
+         \"cache\": {{\"capacity\": {cache_capacity}, \"hits\": {hits}, \
+         \"misses\": {}, \"hit_rate\": {}, \"entries\": {}}}, \
+         \"deadline_exceeded\": {}, \"work_budget_exceeded\": {}, \"errors\": {errors}, \
+         \"executed_work\": {}, \
+         \"queue_secs\": {}, \"exec_secs\": {}}}",
+        query_nodes.len(),
+        service.workers(),
+        deadline_ms.map_or("null".to_string(), |ms| ms.to_string()),
+        work_cap.map_or("null".to_string(), |w| w.to_string()),
+        service.version(),
+        json_f64(elapsed),
+        answered - hits,
+        json_f64(if answered > 0 {
+            hits as f64 / answered as f64
+        } else {
+            0.0
+        }),
+        stats.cache_entries,
+        stats.deadline_exceeded,
+        stats.work_budget_exceeded,
+        stats.executed_work,
+        latency_json(&queue_secs),
+        latency_json(&exec_secs),
+    );
     Ok(())
 }
 

@@ -15,6 +15,9 @@
 //! * [`baselines`] — Power Method, Monte Carlo, TSF, TopSim family
 //!   ([`probesim_baselines`])
 //! * [`eval`] — metrics, ground truth, pooling ([`probesim_eval`])
+//! * [`service`] — the serving facade: `QueryService` with deadlines,
+//!   consistency levels and a version-keyed result cache
+//!   ([`probesim_service`])
 //!
 //! ## Quick start
 //!
@@ -72,6 +75,7 @@ pub use probesim_core as core;
 pub use probesim_datasets as datasets;
 pub use probesim_eval as eval;
 pub use probesim_graph as graph;
+pub use probesim_service as service;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -79,13 +83,16 @@ pub mod prelude {
         MonteCarlo, PowerMethod, TopSim, TopSimConfig, TopSimVariant, Tsf, TsfConfig,
     };
     pub use probesim_core::{
-        BatchOutput, Optimizations, ProbeSim, ProbeSimConfig, ProbeStrategy, Query, QueryError,
-        QueryOutput, QuerySession, QueryStats, SingleSourceResult, SparseScores,
+        BatchOutput, Optimizations, ProbeBudget, ProbeSim, ProbeSimConfig, ProbeStrategy, Query,
+        QueryError, QueryOutput, QuerySession, QueryStats, SingleSourceResult, SparseScores,
     };
     pub use probesim_datasets::{Dataset, Scale};
     pub use probesim_eval::{GroundTruth, Pool, SimRankAlgorithm};
     pub use probesim_graph::{
         CompactionPolicy, CsrGraph, DynamicGraph, GraphBuilder, GraphSnapshot, GraphStore,
         GraphUpdate, GraphView, NodeId,
+    };
+    pub use probesim_service::{
+        Consistency, Priority, Request, Response, ServiceBuilder, ServiceError, ServiceStats,
     };
 }

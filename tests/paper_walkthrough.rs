@@ -39,7 +39,7 @@ fn walkthrough_estimates_for_walk_abab() {
     let mut stats = QueryStats::default();
     let walk = [A, B, A, B];
     for i in 2..=walk.len() {
-        probe::deterministic(&g, &walk[..i], &params, 1.0, &mut ws, &mut acc, &mut stats);
+        probe::deterministic(&g, &walk[..i], &params, 1.0, &mut ws, &mut acc, &mut stats).unwrap();
     }
     // Paper: s̃(a,c) = 0.167 + 0.033 = 0.2 and s̃(a,d) = 0.5 exactly.
     assert!((acc[C as usize] - 0.2).abs() < 1e-3);
@@ -82,7 +82,8 @@ fn pruning_example() {
         &mut ws,
         &mut pruned,
         &mut stats,
-    );
+    )
+    .unwrap();
     let mut exact = vec![0.0f64; 8];
     let exact_params = ProbeParams {
         sqrt_c: 0.5,
@@ -96,7 +97,8 @@ fn pruning_example() {
         &mut ws,
         &mut exact,
         &mut stats,
-    );
+    )
+    .unwrap();
     for v in 0..8usize {
         let loss = exact[v] - pruned[v];
         assert!(loss >= -1e-15, "pruning must be one-sided at node {v}");

@@ -64,7 +64,7 @@ proptest! {
         let mut acc = vec![0.0f64; n];
         let mut stats = QueryStats::default();
         let params = ProbeParams { sqrt_c: 0.6f64.sqrt(), epsilon_p: 0.0 };
-        probe::deterministic(&g, &walk, &params, 1.0, &mut ws, &mut acc, &mut stats);
+        probe::deterministic(&g, &walk, &params, 1.0, &mut ws, &mut acc, &mut stats).unwrap();
         for (v, &s) in acc.iter().enumerate() {
             prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "score[{v}] = {s}");
         }
@@ -95,9 +95,9 @@ proptest! {
         let mut stats = QueryStats::default();
         let sqrt_c = 0.6f64.sqrt();
         let mut exact = vec![0.0f64; n];
-        probe::deterministic(&g, &walk, &ProbeParams { sqrt_c, epsilon_p: 0.0 }, 1.0, &mut ws, &mut exact, &mut stats);
+        probe::deterministic(&g, &walk, &ProbeParams { sqrt_c, epsilon_p: 0.0 }, 1.0, &mut ws, &mut exact, &mut stats).unwrap();
         let mut pruned = vec![0.0f64; n];
-        probe::deterministic(&g, &walk, &ProbeParams { sqrt_c, epsilon_p: eps_p }, 1.0, &mut ws, &mut pruned, &mut stats);
+        probe::deterministic(&g, &walk, &ProbeParams { sqrt_c, epsilon_p: eps_p }, 1.0, &mut ws, &mut pruned, &mut stats).unwrap();
         let per_probe_bound = (walk.len() - 1) as f64 * eps_p;
         for v in 0..n {
             prop_assert!(pruned[v] <= exact[v] + 1e-12);
