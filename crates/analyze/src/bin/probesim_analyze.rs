@@ -1,0 +1,16 @@
+//! Thin binary wrapper around [`probesim_analyze::cli::run`], mapping
+//! the library's results onto process exit codes: 0 clean, 1
+//! regression, 2 usage/I/O error.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match probesim_analyze::cli::run(&args) {
+        Ok(code) => ExitCode::from(u8::try_from(code).unwrap_or(1)),
+        Err(msg) => {
+            eprintln!("probesim-analyze: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

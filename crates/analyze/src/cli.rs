@@ -1,0 +1,226 @@
+// A command-line driver: printing the report IS the interface, so the
+// workspace-wide print_stdout lint is wrong for this module.
+#![allow(clippy::print_stdout)]
+
+//! The `probesim-analyze` command-line interface.
+//!
+//! Mirrors `probesim-bench`'s contract: [`run`] returns `Ok(0)` for a
+//! clean pass, `Ok(1)` when `--compare` finds a regression against the
+//! baseline, and `Err` for usage or I/O errors. The binary maps these
+//! onto process exit codes.
+
+use std::path::PathBuf;
+
+use crate::report::{compare, parse_baseline, Report};
+use crate::workspace::Workspace;
+
+/// Usage text shown for `--help` and flag errors.
+pub const USAGE: &str = "\
+probesim-analyze: static analysis for the probesim workspace
+
+USAGE:
+    probesim-analyze [OPTIONS]
+
+OPTIONS:
+    --root <DIR>              workspace root to analyze [default: .]
+    --out <FILE>              write the machine-readable JSON report
+    --write-baseline <FILE>   record current (rule, file) counts as the baseline
+    --compare <FILE>          ratchet against a baseline: exit 1 if any
+                              (rule, file) count exceeds its allowance
+    --quiet                   suppress per-finding diagnostics
+    --help                    show this help
+
+EXIT CODES:
+    0  clean (or improvements only)
+    1  regression against the baseline
+    2  usage or I/O error (via the binary wrapper)
+";
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Workspace root to analyze.
+    pub root: PathBuf,
+    /// Where to write the JSON report, if anywhere.
+    pub out: Option<PathBuf>,
+    /// Write the baseline here and exit clean.
+    pub write_baseline: Option<PathBuf>,
+    /// Compare against this baseline and gate.
+    pub compare: Option<PathBuf>,
+    /// Suppress per-finding output.
+    pub quiet: bool,
+    /// `--help` was requested.
+    pub help: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            root: PathBuf::from("."),
+            out: None,
+            write_baseline: None,
+            compare: None,
+            quiet: false,
+            help: false,
+        }
+    }
+}
+
+impl Options {
+    /// Parses command-line arguments (without the program name).
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut path_arg = |name: &str| {
+                it.next()
+                    .map(PathBuf::from)
+                    .ok_or_else(|| format!("{name} requires a value\n\n{USAGE}"))
+            };
+            match arg.as_str() {
+                "--root" => opts.root = path_arg("--root")?,
+                "--out" => opts.out = Some(path_arg("--out")?),
+                "--write-baseline" => opts.write_baseline = Some(path_arg("--write-baseline")?),
+                "--compare" => opts.compare = Some(path_arg("--compare")?),
+                "--quiet" => opts.quiet = true,
+                "--help" | "-h" => opts.help = true,
+                other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
+            }
+        }
+        if opts.write_baseline.is_some() && opts.compare.is_some() {
+            return Err(format!(
+                "--write-baseline and --compare are mutually exclusive\n\n{USAGE}"
+            ));
+        }
+        Ok(opts)
+    }
+}
+
+/// Runs the analyzer end to end. Returns the process exit code, or
+/// `Err` for usage and I/O errors.
+pub fn run(args: &[String]) -> Result<i32, String> {
+    let opts = Options::parse(args)?;
+    if opts.help {
+        println!("{USAGE}");
+        return Ok(0);
+    }
+
+    let ws = Workspace::load(&opts.root)?;
+    let report = crate::run_analyses(&ws);
+
+    if let Some(out) = &opts.out {
+        std::fs::write(out, report.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    }
+
+    if !opts.quiet {
+        print_diagnostics(&report);
+    }
+
+    if let Some(path) = &opts.write_baseline {
+        std::fs::write(path, report.baseline_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!(
+            "baseline: recorded {} finding(s) across {} (rule, file) pair(s) to {}",
+            report.findings.len(),
+            report.counts_by_rule_file().len(),
+            path.display()
+        );
+        return Ok(0);
+    }
+
+    if let Some(path) = &opts.compare {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        let baseline = parse_baseline(&text)
+            .map_err(|e| format!("invalid baseline {}: {e}", path.display()))?;
+        let verdicts = compare(&baseline, &report);
+        for v in &verdicts {
+            println!("{v}");
+        }
+        let regressions = verdicts.iter().filter(|v| v.is_regression()).count();
+        if regressions > 0 {
+            println!(
+                "analyze: FAIL — {regressions} (rule, file) pair(s) regressed past the baseline"
+            );
+            return Ok(1);
+        }
+        println!(
+            "analyze: OK — {} finding(s), no (rule, file) pair above baseline",
+            report.findings.len()
+        );
+        return Ok(0);
+    }
+
+    println!(
+        "analyze: {} finding(s) across {} file(s)",
+        report.findings.len(),
+        report.files_scanned
+    );
+    Ok(0)
+}
+
+fn print_diagnostics(report: &Report) {
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    if !report.lock_order.edges.is_empty() {
+        println!(
+            "lock order: intended {}",
+            report.lock_order.intended.join(" -> ")
+        );
+        for e in &report.lock_order.edges {
+            println!(
+                "lock edge: {} -> {} at {}:{}{}",
+                e.from,
+                e.to,
+                e.file,
+                e.line,
+                if e.via.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (via {})", e.via)
+                }
+            );
+        }
+    }
+    for (rule, n) in report.counts_by_rule() {
+        println!("count: {rule} = {n}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o = Options::parse(&argv(&["--root", "/tmp/x", "--quiet", "--out", "r.json"])).unwrap();
+        assert_eq!(o.root, PathBuf::from("/tmp/x"));
+        assert!(o.quiet);
+        assert_eq!(o.out, Some(PathBuf::from("r.json")));
+        assert!(Options::parse(&argv(&["--frobnicate"])).is_err());
+        assert!(Options::parse(&argv(&["--root"])).is_err(), "missing value");
+        assert!(
+            Options::parse(&argv(&["--write-baseline", "a", "--compare", "b"])).is_err(),
+            "mutually exclusive"
+        );
+        assert!(Options::parse(&argv(&["--help"])).unwrap().help);
+    }
+
+    #[test]
+    fn run_reports_usage_errors_as_err() {
+        assert!(run(&argv(&["--no-such-flag"])).is_err());
+        assert!(run(&argv(&["--root", "/no/such/dir/probesim"])).is_err());
+        assert!(run(&argv(&["--compare"])).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(run(&argv(&["--help"])).unwrap(), 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Determinism lints: wall-clock reads and hash-order iteration.
+//!
+//! The workspace's reproducibility story (seeded RNG shims, byte-stable
+//! reports, the bench harness's regression gate) only holds if library
+//! code neither consults the wall clock nor lets `HashMap` iteration
+//! order leak into results.
+//!
+//! * `det-clock` — `Instant::now` / `SystemTime::now` / `thread::sleep`
+//!   in library code outside the explicit allowlist
+//!   ([`CLOCK_ALLOWLIST`]): the few modules whose *job* is timing
+//!   (budget enforcement, bench timing, the eval runner, service
+//!   latency accounting).
+//! * `det-hash-iter` — iterating a value declared as a hash container
+//!   (`HashMap`/`HashSet`/`FxHashMap`/`FxHashSet`) without an
+//!   order-insensitive sink (`sort*`, `min*`, `max*`, `count`, `len`,
+//!   `is_empty`, `all`, `any`) nearby. Hash iteration order is
+//!   arbitrary; anything it feeds ordered output through becomes
+//!   run-dependent.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::workspace::{SourceFile, Workspace};
+
+/// Library files allowed to read the clock, as workspace-relative path
+/// suffixes. Each entry names a module whose purpose is timing.
+pub const CLOCK_ALLOWLIST: [&str; 5] = [
+    "crates/core/src/budget.rs", // wall-clock probe budgets are the feature
+    "crates/bench/src/lib.rs",   // bench timing harness
+    "crates/bench/src/scenario.rs", // scenario engine measures latencies
+    "crates/eval/src/runner.rs", // evaluation runner times algorithms
+    "crates/service/src/service.rs", // serving deadlines + latency accounting
+];
+
+/// How many tokens past an iteration site to look for an
+/// order-insensitive sink before flagging. Sixty-four tokens is a few
+/// statements — enough to see `stale.sort_unstable()` after a collect
+/// loop, short enough not to credit unrelated code.
+const ESCAPE_WINDOW: usize = 64;
+
+const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+
+/// Runs both determinism lints over the workspace's library files.
+pub fn analyze(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in ws.lib_files() {
+        let clock_allowed = CLOCK_ALLOWLIST
+            .iter()
+            .any(|suffix| file.rel_path.ends_with(suffix));
+        if !clock_allowed {
+            clock_lint(file, &mut findings);
+        }
+        hash_iter_lint(file, &mut findings);
+    }
+    findings.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
+    findings
+}
+
+fn clock_lint(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.scan.tokens;
+    for i in 0..toks.len() {
+        if file.scan.excluded.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &toks[i];
+        // `Instant::now()` / `SystemTime::now()`.
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|a| a.is_ident("now"))
+        {
+            findings.push(Finding::new(
+                "det-clock",
+                &file.rel_path,
+                t.line,
+                format!(
+                    "{}::now() in library code off the clock allowlist — results become wall-clock dependent",
+                    t.text
+                ),
+            ));
+        }
+        // `thread::sleep(…)` (any path spelling).
+        if t.is_ident("sleep")
+            && toks.get(i + 1).is_some_and(|a| a.is_punct('('))
+            && i >= 2
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+        {
+            findings.push(Finding::new(
+                "det-clock",
+                &file.rel_path,
+                t.line,
+                "thread::sleep in library code off the clock allowlist — timing-dependent behaviour".to_string(),
+            ));
+        }
+    }
+}
+
+/// Names declared with a hash-container type anywhere in the file
+/// (field declarations, typed lets, `= HashMap::new()` initialisers).
+fn hash_names(file: &SourceFile) -> BTreeSet<String> {
+    let toks = &file.scan.tokens;
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name: …HashMap<…>` — type annotation on a field, param or let.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            for j in (i + 2)..(i + 14).min(toks.len()) {
+                let t = &toks[j];
+                if t.is_punct(',') || t.is_punct(';') || t.is_punct('=') || t.is_punct('{') {
+                    break;
+                }
+                if HASH_TYPES.contains(&t.text.as_str())
+                    && toks.get(j + 1).is_some_and(|n| n.is_punct('<'))
+                {
+                    names.insert(toks[i].text.clone());
+                    break;
+                }
+            }
+        }
+        // `name = HashMap::new(…)` / `with_capacity` / `default`.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| HASH_TYPES.contains(&t.text.as_str()))
+        {
+            names.insert(toks[i].text.clone());
+        }
+    }
+    names
+}
+
+fn hash_iter_lint(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let names = hash_names(file);
+    if names.is_empty() {
+        return;
+    }
+    let toks = &file.scan.tokens;
+    for i in 0..toks.len() {
+        if file.scan.excluded.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &toks[i];
+        let mut site: Option<(u32, String)> = None;
+        // `h.iter()` / `h.keys()` / … where `h` is hash-declared.
+        if t.kind == TokKind::Ident
+            && names.contains(&t.text)
+            && toks.get(i + 1).is_some_and(|a| a.is_punct('.'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|a| ITER_METHODS.contains(&a.text.as_str()))
+            && toks.get(i + 3).is_some_and(|a| a.is_punct('('))
+        {
+            site = Some((t.line, format!("{}.{}()", t.text, toks[i + 2].text)));
+        }
+        // `for … in [&][mut] path.to.h {` — the loop-over form.
+        if t.is_ident("in") {
+            let mut j = i + 1;
+            while toks
+                .get(j)
+                .is_some_and(|a| a.is_punct('&') || a.is_ident("mut"))
+            {
+                j += 1;
+            }
+            // Walk the receiver path to its last segment.
+            let mut last: Option<usize> = None;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Ident => last = Some(j),
+                    _ if toks[j].is_punct('.') => {}
+                    _ => break,
+                }
+                j += 1;
+            }
+            if let Some(l) = last {
+                if names.contains(&toks[l].text) && toks.get(j).is_some_and(|a| a.is_punct('{')) {
+                    site = Some((toks[l].line, format!("for … in {}", toks[l].text)));
+                }
+            }
+        }
+        let Some((line, what)) = site else { continue };
+        // Order-insensitive sink nearby?
+        let escaped = toks[i..(i + ESCAPE_WINDOW).min(toks.len())]
+            .iter()
+            .any(|t| {
+                t.kind == TokKind::Ident
+                    && (t.text.starts_with("sort")
+                        || t.text.starts_with("min")
+                        || t.text.starts_with("max")
+                        || matches!(
+                            t.text.as_str(),
+                            "count" | "len" | "is_empty" | "all" | "any" | "sum" | "fold"
+                        ))
+            });
+        if !escaped {
+            findings.push(Finding::new(
+                "det-hash-iter",
+                &file.rel_path,
+                line,
+                format!(
+                    "{what} iterates a hash container in arbitrary order with no order-insensitive sink nearby — results may vary across runs"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    fn lib(src: &str) -> Workspace {
+        Workspace::from_sources(&[("crates/core/src/other.rs", src)])
+    }
+
+    #[test]
+    fn clock_reads_off_allowlist_are_flagged() {
+        let ws = lib("use std::time::Instant;\n\
+             fn timed() { let t = Instant::now(); let _ = t; }\n\
+             fn sys() { let t = std::time::SystemTime::now(); let _ = t; }\n\
+             fn nap() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n");
+        let f = analyze(&ws);
+        assert_eq!(
+            f.iter().filter(|x| x.rule == "det-clock").count(),
+            3,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn the_allowlist_exempts_timing_modules() {
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/budget.rs",
+            "use std::time::Instant;\nfn timed() { let t = Instant::now(); let _ = t; }\n",
+        )]);
+        assert!(analyze(&ws).is_empty());
+    }
+
+    #[test]
+    fn clock_reads_in_tests_are_fine() {
+        let ws = lib(
+            "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { let _ = std::time::Instant::now(); }\n}\n",
+        );
+        assert!(analyze(&ws).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_without_a_sink_is_flagged() {
+        let ws = lib("use std::collections::HashMap;\n\
+             struct S { map: HashMap<u32, u32> }\n\
+             impl S {\n\
+               fn leak(&self) -> Vec<u32> {\n\
+                 let mut out = Vec::new();\n\
+                 for (k, _) in &self.map { out.push(*k); }\n\
+                 out\n\
+               }\n\
+             }\n");
+        let f = analyze(&ws);
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "det-hash-iter" && x.message.contains("map")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn sorted_or_reduced_hash_iteration_escapes() {
+        let ws = lib("use std::collections::HashMap;\n\
+             struct S { map: HashMap<u32, u32> }\n\
+             impl S {\n\
+               fn sorted(&self) -> Vec<u32> {\n\
+                 let mut out = Vec::new();\n\
+                 for (k, _) in &self.map { out.push(*k); }\n\
+                 out.sort_unstable();\n\
+                 out\n\
+               }\n\
+               fn reduced(&self) -> Option<u32> { self.map.keys().copied().min() }\n\
+               fn counted(&self) -> usize { self.map.iter().count() }\n\
+             }\n");
+        let f = analyze(&ws);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn btree_containers_are_not_flagged() {
+        let ws = lib("use std::collections::BTreeMap;\n\
+             struct S { map: BTreeMap<u32, u32> }\n\
+             impl S {\n\
+               fn fine(&self) -> Vec<u32> {\n\
+                 let mut out = Vec::new();\n\
+                 for (k, _) in &self.map { out.push(*k); }\n\
+                 out\n\
+               }\n\
+             }\n");
+        assert!(analyze(&ws).is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Hygiene: every lint suppression and every `unsafe` must say why.
+//!
+//! * `allow-justification` — an `#[allow(…)]` / `#![allow(…)]`
+//!   attribute with no adjacent non-doc comment. The comment must end
+//!   on the attribute's line (trailing) or the line above — a
+//!   suppression nobody can explain is a suppression nobody can ever
+//!   remove.
+//! * `unsafe-justification` — an `unsafe` keyword with no adjacent
+//!   non-doc comment (conventionally `// SAFETY: …` on the line
+//!   above).
+//!
+//! Unlike the library-code analyses, hygiene runs over **every**
+//! non-shim file, tests and binaries included: an unexplained `allow`
+//! in a test is just as unremovable as one in the library.
+
+use crate::report::Finding;
+use crate::workspace::Workspace;
+
+/// Runs the hygiene checks over every workspace file.
+pub fn analyze(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        for attr in &file.scan.attrs {
+            if attr.head() != "allow" {
+                continue;
+            }
+            if file.scan.adjacent_comment(attr.line).is_none() {
+                findings.push(Finding::new(
+                    "allow-justification",
+                    &file.rel_path,
+                    attr.line,
+                    format!(
+                        "#{}[allow(…)] without an adjacent justification comment — say why the lint is wrong here",
+                        if attr.inner { "!" } else { "" }
+                    ),
+                ));
+            }
+        }
+        for tok in &file.scan.tokens {
+            if tok.is_ident("unsafe") && file.scan.adjacent_comment(tok.line).is_none() {
+                findings.push(Finding::new(
+                    "unsafe-justification",
+                    &file.rel_path,
+                    tok.line,
+                    "`unsafe` without an adjacent justification comment — document the safety argument (// SAFETY: …)".to_string(),
+                ));
+            }
+        }
+    }
+    findings.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    fn check(src: &str) -> Vec<Finding> {
+        analyze(&Workspace::from_sources(&[("crates/core/src/x.rs", src)]))
+    }
+
+    #[test]
+    fn unjustified_allow_is_flagged_justified_is_not() {
+        let f = check(
+            "// the walker state is clearer flat than as a struct\n\
+             #[allow(clippy::too_many_arguments)]\n\
+             fn ok(a: u32, b: u32) {}\n\
+             #[allow(dead_code)]\n\
+             fn bad() {}\n\
+             #[allow(unused)] // trailing justification works too\n\
+             fn trailing() {}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "allow-justification");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn doc_comments_do_not_count_as_justification() {
+        let f = check(
+            "/// docs describe the item, not the suppression\n#[allow(dead_code)]\nfn f() {}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn inner_allow_at_file_top_needs_a_comment_too() {
+        let bad = check("#![allow(clippy::print_stdout)]\nfn f() {}\n");
+        assert_eq!(bad.len(), 1);
+        let good = check(
+            "// a CLI: printing is the interface\n#![allow(clippy::print_stdout)]\nfn f() {}\n",
+        );
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn unsafe_needs_a_safety_comment() {
+        let bad = check("fn f(p: *const u8) -> u8 { unsafe { *p } }\n");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "unsafe-justification");
+        let good = check(
+            "fn f(p: *const u8) -> u8 {\n\
+                 // SAFETY: caller guarantees p is valid for reads\n\
+                 unsafe { *p }\n\
+             }\n",
+        );
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn hygiene_applies_inside_test_code() {
+        let f = check("#[cfg(test)]\nmod tests {\n  #[allow(dead_code)]\n  fn helper() {}\n}\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+}

@@ -1,0 +1,492 @@
+//! A comment/string/char-literal-aware Rust tokenizer.
+//!
+//! The analyses in this crate never need full parsing — they pattern-match
+//! over token streams — but they *do* need to never mistake the contents
+//! of a string literal, a comment, or a char literal for code (a doc
+//! example calling `.unwrap()` must not count against the panic-surface
+//! ratchet). This lexer handles exactly the constructs that make naive
+//! regex scanning wrong:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * string literals with escapes, byte strings, and raw strings with an
+//!   arbitrary number of `#` guards (`r#"…"#`, `br##"…"##`),
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity (including
+//!   escaped chars like `'\''` and `'\u{1F600}'`),
+//! * numeric literals with fractional parts and signed exponents, so a
+//!   range like `0..10` still lexes as two numbers and two dots.
+//!
+//! Comments are returned out-of-band (the token stream holds only code)
+//! because the hygiene analysis needs comment *adjacency*, not comment
+//! tokens interleaved with code.
+
+/// What a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `state`, `Mutex`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`), without the quote in [`Tok::text`].
+    Lifetime,
+    /// A numeric literal, suffix included (`42`, `1.0e-9`, `7u64`).
+    Num,
+    /// A string/byte-string literal; [`Tok::text`] is the *contents*
+    /// (escapes unprocessed), not the quoted source form.
+    Str,
+    /// A char or byte-char literal; [`Tok::text`] is the raw contents.
+    Char,
+    /// A single punctuation character (`.`, `:`, `{`, …). Multi-char
+    /// operators are emitted as consecutive single-char tokens.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what each class stores).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this is an identifier with exactly the text `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// One comment, with the line range it spans and its raw text
+/// (delimiters included, so `///` doc comments are distinguishable).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based first line.
+    pub line: u32,
+    /// 1-based last line (equal to [`Comment::line`] for line comments).
+    pub end_line: u32,
+    /// Raw source text, `//`/`/*` delimiters included.
+    pub text: String,
+}
+
+impl Comment {
+    /// True for `///`, `//!`, `/**` and `/*!` doc comments — these
+    /// document an *item*, so hygiene does not accept them as the
+    /// adjacent justification for an `#[allow]` or an `unsafe` block.
+    pub fn is_doc(&self) -> bool {
+        self.text.starts_with("///")
+            || self.text.starts_with("//!")
+            || self.text.starts_with("/**")
+            || self.text.starts_with("/*!")
+    }
+}
+
+/// A lexed source file: the code token stream plus out-of-band comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Unterminated constructs (a string cut off by EOF)
+/// are closed at end of input rather than reported — the analyses run on
+/// code that already compiles, so recovery beats diagnostics here.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let (mut i, mut line) = (0usize, 1u32);
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text: src[start..i].to_string(),
+            });
+        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let (start, start_line) = (i, line);
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text: src[start..i].to_string(),
+            });
+        } else if is_raw_string_start(b, i) {
+            let skip = if c == b'b' { 2 } else { 1 };
+            i = lex_raw_string(src, i + skip, line, &mut out, &mut line);
+        } else if c == b'b' && b.get(i + 1) == Some(&b'"') {
+            i = lex_string(src, i + 1, line, &mut out, &mut line);
+        } else if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+            i = lex_char(src, i + 1, line, &mut out);
+        } else if c == b'"' {
+            i = lex_string(src, i, line, &mut out, &mut line);
+        } else if c == b'\'' {
+            i = lex_char_or_lifetime(src, i, line, &mut out);
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: src[start..i].to_string(),
+                line,
+            });
+        } else if c.is_ascii_digit() {
+            i = lex_number(src, i, line, &mut out);
+        } else {
+            out.tokens.push(Tok {
+                kind: TokKind::Punct,
+                text: (c as char).to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `r"…"`, `r#"…"#`, `br##"…"##` — a raw-string opener at `i`?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let after = match b[i] {
+        b'r' => i + 1,
+        b'b' if b.get(i + 1) == Some(&b'r') => i + 2,
+        _ => return false,
+    };
+    let mut j = after;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+/// Lexes a raw string; `i` points at the first `#` or the `"`.
+fn lex_raw_string(
+    src: &str,
+    mut i: usize,
+    start_line: u32,
+    out: &mut Lexed,
+    line: &mut u32,
+) -> usize {
+    let b = src.as_bytes();
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let start = i;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"'
+            && b[i + 1..].len() >= hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+        {
+            break;
+        } else {
+            i += 1;
+        }
+    }
+    out.tokens.push(Tok {
+        kind: TokKind::Str,
+        text: src[start..i.min(src.len())].to_string(),
+        line: start_line,
+    });
+    (i + 1 + hashes).min(b.len())
+}
+
+/// Lexes a `"…"` string with escapes; `i` points at the opening quote.
+fn lex_string(src: &str, mut i: usize, start_line: u32, out: &mut Lexed, line: &mut u32) -> usize {
+    let b = src.as_bytes();
+    i += 1;
+    let start = i;
+    while i < b.len() && b[i] != b'"' {
+        if b[i] == b'\\' {
+            i += 2;
+        } else {
+            if b[i] == b'\n' {
+                *line += 1;
+            }
+            i += 1;
+        }
+    }
+    out.tokens.push(Tok {
+        kind: TokKind::Str,
+        text: src[start..i.min(src.len())].to_string(),
+        line: start_line,
+    });
+    (i + 1).min(b.len())
+}
+
+/// Lexes a char literal; `i` points at the opening quote.
+fn lex_char(src: &str, mut i: usize, line: u32, out: &mut Lexed) -> usize {
+    let b = src.as_bytes();
+    i += 1;
+    let start = i;
+    while i < b.len() && b[i] != b'\'' {
+        if b[i] == b'\\' {
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out.tokens.push(Tok {
+        kind: TokKind::Char,
+        text: src[start..i.min(src.len())].to_string(),
+        line,
+    });
+    (i + 1).min(b.len())
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) at a `'`:
+/// ident-start + no closing quote right after means lifetime.
+fn lex_char_or_lifetime(src: &str, i: usize, line: u32, out: &mut Lexed) -> usize {
+    let b = src.as_bytes();
+    let next = b.get(i + 1).copied().unwrap_or(0);
+    if next.is_ascii_alphabetic() || next == b'_' {
+        // 'a' is a char only if the very next char closes it ('a'),
+        // otherwise it is a lifetime ('a, 'static, 'de>).
+        if b.get(i + 2) != Some(&b'\'') {
+            let start = i + 1;
+            let mut j = start;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Lifetime,
+                text: src[start..j].to_string(),
+                line,
+            });
+            return j;
+        }
+    }
+    lex_char(src, i, line, out)
+}
+
+/// Lexes a numeric literal (int, float, exponent, suffix) at `i`.
+fn lex_number(src: &str, i: usize, line: u32, out: &mut Lexed) -> usize {
+    let b = src.as_bytes();
+    let start = i;
+    let mut j = i;
+    let consume_digits = |j: &mut usize| {
+        while *j < b.len() {
+            let c = b[*j];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                *j += 1;
+                // `1e-9`: a sign directly after an exponent marker
+                // belongs to the literal (hex literals have no exponent
+                // and `e`/`E` there is just a digit — a following sign
+                // would not parse as Rust anyway).
+                if (c == b'e' || c == b'E')
+                    && !src[start..*j].starts_with("0x")
+                    && matches!(b.get(*j), Some(b'+') | Some(b'-'))
+                    && b.get(*j + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    *j += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    };
+    consume_digits(&mut j);
+    // A fractional part only if `.` is followed by a digit — keeps range
+    // expressions like `0..10` out of the literal.
+    if b.get(j) == Some(&b'.') && b.get(j + 1).is_some_and(u8::is_ascii_digit) {
+        j += 1;
+        consume_digits(&mut j);
+    }
+    out.tokens.push(Tok {
+        kind: TokKind::Num,
+        text: src[start..j].to_string(),
+        line,
+    });
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let lexed = lex("fn main() {\n    x.lock();\n}\n");
+        let lines: Vec<(String, u32)> = lexed
+            .tokens
+            .iter()
+            .map(|t| (t.text.clone(), t.line))
+            .collect();
+        assert_eq!(lines[0], ("fn".to_string(), 1));
+        assert_eq!(lines[5], ("x".to_string(), 2));
+        assert_eq!(lines[7], ("lock".to_string(), 2));
+        assert_eq!(lines.last().unwrap(), &("}".to_string(), 3));
+    }
+
+    #[test]
+    fn line_and_nested_block_comments_are_out_of_band() {
+        let lexed = lex("a // unwrap() in a comment\n/* outer /* inner */ still comment */ b");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap"));
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[1].end_line, 2);
+        assert!(!lexed.comments[0].is_doc());
+        assert!(lex("/// doc").comments[0].is_doc());
+        assert!(lex("//! inner doc").comments[0].is_doc());
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_the_token_stream() {
+        let toks = kinds(r#"call(".unwrap() not code", b"bytes\"quoted")"#);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, vec![".unwrap() not code", r#"bytes\"quoted"#]);
+        // No `.` `unwrap` ident sequence leaked out of the literal.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hash_guards_round_trip() {
+        let toks = kinds(r##"x(r#"inner "quoted" // not a comment"#, r"plain")"##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, vec![r#"inner "quoted" // not a comment"#, "plain"]);
+        let lexed = lex(r##"r#"multi
+line"# after"##);
+        assert_eq!(lexed.tokens[0].text, "multi\nline");
+        assert_eq!(lexed.tokens[1].line, 2, "lines counted inside raw strings");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let q = '\\''; let s = 'static; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec!["a", "\\'"]);
+    }
+
+    #[test]
+    fn unicode_and_escaped_char_literals() {
+        let toks = kinds(r"let c = '\u{1F600}'; let n = '\n'; let l = 'λ';");
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec![r"\u{1F600}", r"\n", "λ"]);
+    }
+
+    #[test]
+    fn numbers_ranges_and_exponents() {
+        assert_eq!(texts("0..10"), vec!["0", ".", ".", "10"]);
+        assert_eq!(
+            texts("1.5e-9 2E+4 7u64 0xFFu8 1_000"),
+            vec!["1.5e-9", "2E+4", "7u64", "0xFFu8", "1_000"]
+        );
+        assert_eq!(
+            texts("x.0.1"),
+            vec!["x", ".", "0.1"],
+            "tuple-index then float field"
+        );
+    }
+
+    #[test]
+    fn byte_char_and_byte_string() {
+        let toks = kinds(r#"(b'x', b'\'', b"raw")"#);
+        assert!(toks.contains(&(TokKind::Char, "x".to_string())));
+        assert!(toks.contains(&(TokKind::Char, "\\'".to_string())));
+        assert!(toks.contains(&(TokKind::Str, "raw".to_string())));
+    }
+
+    #[test]
+    fn tricky_round_trip_smoke() {
+        // The one-of-everything input: if any construct swallows its
+        // neighbor, the trailing marker ident disappears.
+        let src = r####"
+            // line
+            /* block /* nested */ */
+            let s = r##"raw "with" hashes"##;
+            let c = '\''; let lt: &'static str = "esc \" done";
+            MARKER
+        "####;
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("MARKER")));
+        assert_eq!(lexed.comments.len(), 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Panic-surface audit: where can library code abort the process?
+//!
+//! Serving infrastructure should fail requests, not processes. Every
+//! potential panic in library (non-test, non-binary) code is either
+//! justified in place or counted against the committed baseline — the
+//! ratchet in [`crate::report`] stops the surface growing.
+//!
+//! * `panic-unwrap` — `.unwrap()`. Never justified in library code;
+//!   spell the invariant with `.expect("invariant: …")` or return an
+//!   error.
+//! * `panic-expect` — `.expect(…)` whose message neither starts with
+//!   `invariant:` (a documented can't-happen) nor mentions `poisoned`
+//!   (the workspace's documented policy is to propagate lock poisoning
+//!   by panicking, since a poisoned lock means a worker already
+//!   panicked mid-update).
+//! * `panic-macro` — `panic!` / `todo!` / `unimplemented!`, and
+//!   `unreachable!()` without a message. A messaged `unreachable!("…")`
+//!   is a documented invariant and passes.
+//! * `panic-index` — indexing with a *computed* subscript
+//!   (`adj[off + k]`, `buf[idx(x)]`): an off-by-one away from an
+//!   abort. Single-variable subscripts (`xs[i]`) are not flagged —
+//!   they are pervasive and overwhelmingly bounds-checked by
+//!   construction in this codebase.
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::workspace::{SourceFile, Workspace};
+
+/// Runs the panic-surface audit over the workspace's library files.
+pub fn analyze(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in ws.lib_files() {
+        audit_file(file, &mut findings);
+    }
+    findings.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
+    findings
+}
+
+fn audit_file(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.scan.tokens;
+    for i in 0..toks.len() {
+        if file.scan.excluded.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &toks[i];
+
+        // `.unwrap()` — exactly `unwrap`, so `unwrap_or*` never matches.
+        if t.is_ident("unwrap")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            findings.push(Finding::new(
+                "panic-unwrap",
+                &file.rel_path,
+                t.line,
+                "`.unwrap()` in library code — return an error or spell the invariant with `.expect(\"invariant: …\")`".to_string(),
+            ));
+        }
+
+        // `.expect("…")` without a recognised justification.
+        if t.is_ident("expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            let msg = toks.get(i + 2).filter(|m| m.kind == TokKind::Str);
+            let justified = msg.is_some_and(|m| {
+                let text = m.text.trim_start_matches(['b', 'r', '#', '"']);
+                text.starts_with("invariant:") || m.text.contains("poisoned")
+            });
+            if !justified {
+                findings.push(Finding::new(
+                    "panic-expect",
+                    &file.rel_path,
+                    t.line,
+                    "`.expect(…)` message neither starts with \"invariant:\" nor documents lock poisoning — state why this cannot fail".to_string(),
+                ));
+            }
+        }
+
+        // Panic macros.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let flagged = match t.text.as_str() {
+                "panic" | "todo" | "unimplemented" => true,
+                // `unreachable!("why")` documents the invariant;
+                // bare `unreachable!()` does not.
+                "unreachable" => toks.get(i + 3).is_some_and(|n| n.is_punct(')')),
+                _ => false,
+            };
+            if flagged {
+                findings.push(Finding::new(
+                    "panic-macro",
+                    &file.rel_path,
+                    t.line,
+                    format!(
+                        "`{}!` in library code — return a typed error (or message the invariant for unreachable!)",
+                        t.text
+                    ),
+                ));
+            }
+        }
+
+        // Computed-subscript indexing.
+        if t.is_punct('[') && is_index_open(toks, i) {
+            if let Some(close) = matching_bracket(toks, i) {
+                if subscript_is_computed(toks, i, close) {
+                    findings.push(Finding::new(
+                        "panic-index",
+                        &file.rel_path,
+                        t.line,
+                        "computed slice index in an expression — a wrong offset aborts the process; prefer `.get(…)` or a named, checked index".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Is the `[` at `i` an index operation (as opposed to an array
+/// literal, slice pattern, attribute, or type)? Index positions follow
+/// a value: an identifier, a closing `)`/`]`, or a string literal.
+fn is_index_open(toks: &[crate::lexer::Tok], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let p = &toks[i - 1];
+    p.kind == TokKind::Ident && !is_keyword_before_bracket(&p.text)
+        || p.is_punct(')')
+        || p.is_punct(']')
+}
+
+fn is_keyword_before_bracket(text: &str) -> bool {
+    // `impl [T; N]`-style positions where an ident precedes a type or
+    // pattern bracket rather than a value.
+    matches!(
+        text,
+        "mut" | "ref" | "in" | "return" | "as" | "dyn" | "impl" | "box"
+    )
+}
+
+fn matching_bracket(toks: &[crate::lexer::Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// A subscript is *computed* when, at bracket depth 0, it contains
+/// arithmetic (`+ - * / %`) or a call. Plain variables (`xs[i]`),
+/// fields (`xs[self.k]`) and ranges without arithmetic (`xs[a..b]`)
+/// are not computed.
+fn subscript_is_computed(toks: &[crate::lexer::Tok], open: usize, close: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = open + 1;
+    while j < close {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_punct('+') || t.is_punct('*') || t.is_punct('/') || t.is_punct('%') {
+                return true;
+            }
+            // `-` is arithmetic only in binary position (after a value).
+            if t.is_punct('-') && j > open + 1 {
+                let p = &toks[j - 1];
+                if p.kind == TokKind::Ident
+                    || p.kind == TokKind::Num
+                    || p.is_punct(')')
+                    || p.is_punct(']')
+                {
+                    return true;
+                }
+            }
+            // A call inside the subscript: ident directly before `(`.
+            if t.kind == TokKind::Ident && toks.get(j + 1).is_some_and(|n| n.is_punct('(')) {
+                return true;
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    fn audit(src: &str) -> Vec<Finding> {
+        analyze(&Workspace::from_sources(&[("crates/core/src/x.rs", src)]))
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_is_flagged_but_unwrap_or_is_not() {
+        let f = audit(
+            "fn a(x: Option<u32>) -> u32 { x.unwrap() }\n\
+             fn b(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
+             fn c(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n\
+             fn d(x: Option<u32>) -> u32 { x.unwrap_or_default() }\n",
+        );
+        assert_eq!(rules(&f), vec!["panic-unwrap"]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn expect_justification_conventions() {
+        let f = audit(
+            "fn a(x: Option<u32>) -> u32 { x.expect(\"invariant: seeded above\") }\n\
+             fn b(x: Option<u32>) -> u32 { x.expect(\"state lock poisoned: a worker panicked\") }\n\
+             fn c(x: Option<u32>) -> u32 { x.expect(\"should work\") }\n",
+        );
+        assert_eq!(rules(&f), vec!["panic-expect"]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn panic_macros_and_messaged_unreachable() {
+        let f = audit(
+            "fn a() { panic!(\"boom\") }\n\
+             fn b() { todo!() }\n\
+             fn c() { unimplemented!() }\n\
+             fn d(x: u32) -> u32 { match x { 0 => 1, _ => unreachable!(\"x is 0 by contract\") } }\n\
+             fn e(x: u32) -> u32 { match x { 0 => 1, _ => unreachable!() } }\n",
+        );
+        assert_eq!(rules(&f), vec!["panic-macro"; 4]);
+        let lines: Vec<u32> = f.iter().map(|x| x.line).collect();
+        assert_eq!(
+            lines,
+            vec![1, 2, 3, 5],
+            "messaged unreachable on line 4 passes"
+        );
+    }
+
+    #[test]
+    fn computed_indexes_only() {
+        let f = audit(
+            "fn a(xs: &[u32], i: usize) -> u32 { xs[i] }\n\
+             fn b(xs: &[u32], i: usize) -> u32 { xs[i + 1] }\n\
+             fn c(xs: &[u32], s: &S) -> u32 { xs[s.k] }\n\
+             fn d(xs: &[u32], i: usize) -> u32 { xs[idx(i)] }\n\
+             fn e(xs: &[u32], a: usize, b: usize) -> &[u32] { &xs[a..b] }\n\
+             fn g(xs: &[u32], i: usize) -> u32 { xs[i - 1] }\n\
+             fn h() -> [u32; 3] { [1, 2, 3] }\n",
+        );
+        let lines: Vec<u32> = f.iter().map(|x| x.line).collect();
+        assert_eq!(rules(&f), vec!["panic-index"; 3], "{f:?}");
+        assert_eq!(lines, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn nested_single_token_subscripts_are_fine() {
+        let f = audit("fn a(m: &[Vec<u32>], i: usize, j: usize) -> u32 { m[i][j] }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = audit(
+            "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { Some(1).unwrap(); panic!(\"x\"); }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,632 @@
+//! Findings, the stable JSON report, the committed baseline format, and
+//! the ratchet comparator.
+//!
+//! ## The ratchet
+//!
+//! The baseline maps `(rule, file)` to an allowed violation count.
+//! [`compare`] fails a run when any `(rule, file)` pair exceeds its
+//! allowance — new violations can never land, anywhere, under any rule.
+//! Counts are keyed without line numbers so unrelated edits (or a
+//! function moving within its file) cannot trip CI, and a pair absent
+//! from the baseline has allowance **zero**, so a brand-new file starts
+//! clean by construction. Fixing a finding makes the run *better* than
+//! the baseline; the comparator reports the improvement and CI stays
+//! green, but regenerating via `--write-baseline` locks the better count
+//! in — that is the ratchet's one-way direction.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One violation, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id (`panic-unwrap`, `det-clock`, …).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human diagnostic.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding.
+    pub fn new(rule: &'static str, file: &str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+/// One observed lock-order edge: `from` was held while `to` was
+/// acquired (directly, or transitively through `via`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// The lock already held, as `crate::field`.
+    pub from: String,
+    /// The lock acquired under it.
+    pub to: String,
+    /// Evidence location.
+    pub file: String,
+    /// Evidence line.
+    pub line: u32,
+    /// The callee carrying the acquisition for call-graph edges; empty
+    /// for direct intraprocedural edges.
+    pub via: String,
+}
+
+/// The structured lock-order section of the report: the documented
+/// intended order plus every observed acquisition edge.
+#[derive(Debug, Clone, Default)]
+pub struct LockOrderSection {
+    /// The workspace's documented intended acquisition order.
+    pub intended: Vec<String>,
+    /// Every lock discovered (declared `Mutex`/`RwLock` fields and
+    /// bindings), as `crate::name`.
+    pub locks: Vec<String>,
+    /// Observed held→acquired edges, deduplicated, sorted.
+    pub edges: Vec<LockEdge>,
+}
+
+/// A full analysis run: findings across all rules plus the lock-order
+/// evidence, ready for JSON emission.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (rule, file, line).
+    pub findings: Vec<Finding>,
+    /// The lock model's structured output.
+    pub lock_order: LockOrderSection,
+    /// Files scanned (lib + other), for the report header.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Violation counts per rule, sorted by rule id.
+    pub fn counts_by_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for f in &self.findings {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Violation counts per `(rule, file)` — the baseline's key space.
+    pub fn counts_by_rule_file(&self) -> BTreeMap<(String, String), usize> {
+        let mut counts = BTreeMap::new();
+        for f in &self.findings {
+            *counts
+                .entry((f.rule.to_string(), f.file.clone()))
+                .or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The machine-readable report. Key order, array order and number
+    /// formatting are all deterministic, so identical trees produce
+    /// byte-identical reports.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"probesim-analyze/v1\",\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        s.push_str("  \"counts\": {");
+        let counts = self.counts_by_rule();
+        for (i, (rule, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n    {}: {n}", quote(rule));
+        }
+        s.push_str(if counts.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        s.push_str("  \"lock_order\": {\n    \"intended\": [");
+        push_str_array(&mut s, &self.lock_order.intended);
+        s.push_str("],\n    \"locks\": [");
+        push_str_array(&mut s, &self.lock_order.locks);
+        s.push_str("],\n    \"edges\": [");
+        for (i, e) in self.lock_order.edges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n      {{\"from\": {}, \"to\": {}, \"file\": {}, \"line\": {}, \"via\": {}}}",
+                quote(&e.from),
+                quote(&e.to),
+                quote(&e.file),
+                e.line,
+                quote(&e.via)
+            );
+        }
+        s.push_str(if self.lock_order.edges.is_empty() {
+            "]\n  },\n"
+        } else {
+            "\n    ]\n  },\n"
+        });
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                quote(f.rule),
+                quote(&f.file),
+                f.line,
+                quote(&f.message)
+            );
+        }
+        s.push_str(if self.findings.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        s
+    }
+
+    /// The baseline capturing this run's `(rule, file)` counts.
+    pub fn baseline_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"probesim-analyze-baseline/v1\",\n  \"entries\": [");
+        let counts = self.counts_by_rule_file();
+        for (i, ((rule, file), n)) in counts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"file\": {}, \"count\": {n}}}",
+                quote(rule),
+                quote(file)
+            );
+        }
+        s.push_str(if counts.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        s
+    }
+}
+
+fn push_str_array(s: &mut String, items: &[String]) {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&quote(item));
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed baseline: allowed counts per `(rule, file)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Allowance per `(rule, file)`.
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+/// Parses a baseline file previously written by
+/// [`Report::baseline_json`]. The reader accepts any whitespace layout
+/// but requires the exact schema tag — a truncated or hand-mangled
+/// baseline fails loudly instead of silently gating nothing.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let mut baseline = Baseline::default();
+    let mut schema_ok = false;
+    p.expect_ch('{')?;
+    loop {
+        p.skip_ws();
+        if p.peek() == Some('}') {
+            break;
+        }
+        let key = p.string()?;
+        p.expect_ch(':')?;
+        match key.as_str() {
+            "schema" => {
+                let v = p.string()?;
+                if v != "probesim-analyze-baseline/v1" {
+                    return Err(format!("unsupported baseline schema {v:?}"));
+                }
+                schema_ok = true;
+            }
+            "entries" => {
+                p.expect_ch('[')?;
+                loop {
+                    p.skip_ws();
+                    if p.peek() == Some(']') {
+                        p.i += 1;
+                        break;
+                    }
+                    let (mut rule, mut file, mut count) = (None, None, None);
+                    p.expect_ch('{')?;
+                    loop {
+                        p.skip_ws();
+                        if p.peek() == Some('}') {
+                            p.i += 1;
+                            break;
+                        }
+                        let k = p.string()?;
+                        p.expect_ch(':')?;
+                        match k.as_str() {
+                            "rule" => rule = Some(p.string()?),
+                            "file" => file = Some(p.string()?),
+                            "count" => count = Some(p.number()?),
+                            other => return Err(format!("unknown entry key {other:?}")),
+                        }
+                        p.skip_comma();
+                    }
+                    let (rule, file, count) = (
+                        rule.ok_or("entry missing rule")?,
+                        file.ok_or("entry missing file")?,
+                        count.ok_or("entry missing count")?,
+                    );
+                    baseline.entries.insert((rule, file), count);
+                    p.skip_comma();
+                }
+            }
+            other => return Err(format!("unknown baseline key {other:?}")),
+        }
+        p.skip_comma();
+    }
+    if !schema_ok {
+        return Err("baseline missing schema tag".to_string());
+    }
+    Ok(baseline)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.b.get(self.i).map(|&c| c as char)
+    }
+
+    fn expect_ch(&mut self, c: char) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at byte {}", self.i))
+        }
+    }
+
+    fn skip_comma(&mut self) {
+        if self.peek() == Some(',') {
+            self.i += 1;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_ch('"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.b.get(self.i).copied().ok_or("truncated escape")?;
+                    self.i += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => other as char,
+                    });
+                }
+                c => out.push(c as char),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.b.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("expected a count at byte {start}"))
+    }
+}
+
+/// One comparator verdict line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// `(rule, file)` exceeded its allowance — the lines list the
+    /// finding locations so the log points straight at the new sites.
+    Regression {
+        /// Rule id.
+        rule: String,
+        /// File the count grew in.
+        file: String,
+        /// Allowed count.
+        allowed: usize,
+        /// Observed count.
+        found: usize,
+        /// The observed finding lines in that file.
+        lines: Vec<u32>,
+    },
+    /// `(rule, file)` is now below its allowance — a fix landed;
+    /// `--write-baseline` would lock it in.
+    Improvement {
+        /// Rule id.
+        rule: String,
+        /// File the count shrank in.
+        file: String,
+        /// Allowed count.
+        allowed: usize,
+        /// Observed count.
+        found: usize,
+    },
+}
+
+impl Verdict {
+    /// True when this verdict must fail the gate.
+    pub fn is_regression(&self) -> bool {
+        matches!(self, Verdict::Regression { .. })
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Regression {
+                rule,
+                file,
+                allowed,
+                found,
+                lines,
+            } => {
+                let lines = lines
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                write!(
+                    f,
+                    "REGRESSION {rule:<20} {file}: {found} violation(s), baseline allows {allowed} (lines {lines})"
+                )
+            }
+            Verdict::Improvement {
+                rule,
+                file,
+                allowed,
+                found,
+            } => write!(
+                f,
+                "IMPROVED   {rule:<20} {file}: {found} violation(s), baseline allowed {allowed} — run --write-baseline to ratchet down"
+            ),
+        }
+    }
+}
+
+/// Diffs a run against the committed baseline. Regressions fail CI;
+/// improvements are reported so the baseline can be ratcheted down.
+pub fn compare(baseline: &Baseline, report: &Report) -> Vec<Verdict> {
+    let current = report.counts_by_rule_file();
+    let mut verdicts = Vec::new();
+    for ((rule, file), &found) in &current {
+        let allowed = baseline
+            .entries
+            .get(&(rule.clone(), file.clone()))
+            .copied()
+            .unwrap_or(0);
+        if found > allowed {
+            let lines = report
+                .findings
+                .iter()
+                .filter(|f| f.rule == rule && &f.file == file)
+                .map(|f| f.line)
+                .collect();
+            verdicts.push(Verdict::Regression {
+                rule: rule.clone(),
+                file: file.clone(),
+                allowed,
+                found,
+                lines,
+            });
+        } else if found < allowed {
+            verdicts.push(Verdict::Improvement {
+                rule: rule.clone(),
+                file: file.clone(),
+                allowed,
+                found,
+            });
+        }
+    }
+    // Entries that vanished entirely are improvements too.
+    for ((rule, file), &allowed) in &baseline.entries {
+        if allowed > 0 && !current.contains_key(&(rule.clone(), file.clone())) {
+            verdicts.push(Verdict::Improvement {
+                rule: rule.clone(),
+                file: file.clone(),
+                allowed,
+                found: 0,
+            });
+        }
+    }
+    verdicts.sort_by(|a, b| {
+        let key = |v: &Verdict| match v {
+            Verdict::Regression { rule, file, .. } => (0, rule.clone(), file.clone()),
+            Verdict::Improvement { rule, file, .. } => (1, rule.clone(), file.clone()),
+        };
+        key(a).cmp(&key(b))
+    });
+    verdicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(findings: Vec<Finding>) -> Report {
+        Report {
+            findings,
+            lock_order: LockOrderSection::default(),
+            files_scanned: 1,
+        }
+    }
+
+    fn f(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding::new(rule, file, line, format!("{rule} at {file}:{line}"))
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let r = report(vec![
+            f("panic-unwrap", "crates/a/src/lib.rs", 3),
+            f("panic-unwrap", "crates/a/src/lib.rs", 9),
+            f("det-clock", "crates/b/src/lib.rs", 1),
+        ]);
+        let text = r.baseline_json();
+        let parsed = parse_baseline(&text).unwrap();
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(
+            parsed.entries[&(
+                "panic-unwrap".to_string(),
+                "crates/a/src/lib.rs".to_string()
+            )],
+            2
+        );
+        // Stability: serializing twice is byte-identical.
+        assert_eq!(text, report(r.findings.clone()).baseline_json());
+    }
+
+    #[test]
+    fn parse_rejects_mangled_baselines() {
+        assert!(parse_baseline("{}").is_err(), "missing schema");
+        assert!(parse_baseline("{\"schema\": \"other/v9\", \"entries\": []}").is_err());
+        assert!(parse_baseline("not json").is_err());
+        assert!(
+            parse_baseline(
+                "{\"schema\": \"probesim-analyze-baseline/v1\", \"entries\": [{\"rule\": \"r\"}]}"
+            )
+            .is_err(),
+            "entry missing fields"
+        );
+        // Whitespace-insensitive on the happy path.
+        let ok = parse_baseline(
+            "{ \"schema\" : \"probesim-analyze-baseline/v1\" , \"entries\" : [ { \"rule\" : \"r\" , \"file\" : \"f\" , \"count\" : 3 } ] }",
+        )
+        .unwrap();
+        assert_eq!(ok.entries[&("r".to_string(), "f".to_string())], 3);
+    }
+
+    #[test]
+    fn ratchet_blocks_growth_and_new_files_but_allows_fixes() {
+        let old = report(vec![
+            f("panic-unwrap", "a.rs", 1),
+            f("panic-unwrap", "a.rs", 2),
+            f("panic-macro", "b.rs", 5),
+        ]);
+        let baseline = parse_baseline(&old.baseline_json()).unwrap();
+
+        // Same counts: clean.
+        assert!(compare(&baseline, &old).iter().all(|v| !v.is_regression()));
+
+        // One more unwrap in a.rs: regression with the line anchors.
+        let grown = report(vec![
+            f("panic-unwrap", "a.rs", 1),
+            f("panic-unwrap", "a.rs", 2),
+            f("panic-unwrap", "a.rs", 40),
+            f("panic-macro", "b.rs", 5),
+        ]);
+        let verdicts = compare(&baseline, &grown);
+        assert_eq!(verdicts.iter().filter(|v| v.is_regression()).count(), 1);
+        assert!(matches!(
+            &verdicts[0],
+            Verdict::Regression { allowed: 2, found: 3, lines, .. } if lines == &vec![1, 2, 40]
+        ));
+
+        // A brand-new file has allowance zero.
+        let new_file = report(vec![f("panic-unwrap", "fresh.rs", 1)]);
+        assert!(compare(&baseline, &new_file).iter().any(
+            |v| matches!(v, Verdict::Regression { file, allowed: 0, .. } if file == "fresh.rs")
+        ));
+
+        // Fixing shrinks: improvement, not regression.
+        let fixed = report(vec![
+            f("panic-unwrap", "a.rs", 1),
+            f("panic-macro", "b.rs", 5),
+        ]);
+        let verdicts = compare(&baseline, &fixed);
+        assert!(verdicts.iter().all(|v| !v.is_regression()));
+        assert_eq!(verdicts.len(), 1);
+
+        // Fixing a whole file away is an improvement too.
+        let gone = report(vec![f("panic-unwrap", "a.rs", 1)]);
+        let verdicts = compare(&baseline, &gone);
+        assert!(verdicts
+            .iter()
+            .any(|v| matches!(v, Verdict::Improvement { file, found: 0, .. } if file == "b.rs")));
+    }
+
+    #[test]
+    fn report_json_is_stable_and_escaped() {
+        let mut r = report(vec![Finding::new(
+            "det-clock",
+            "crates/x/src/a.rs",
+            7,
+            "message with \"quotes\" and\nnewline".to_string(),
+        )]);
+        r.lock_order.intended = vec!["service::state".to_string()];
+        r.lock_order.edges = vec![LockEdge {
+            from: "service::store".to_string(),
+            to: "service::published".to_string(),
+            file: "crates/service/src/service.rs".to_string(),
+            line: 480,
+            via: String::new(),
+        }];
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\\\"quotes\\\""));
+        assert!(a.contains("\\n"));
+        assert!(a.contains("probesim-analyze/v1"));
+        assert!(a.contains("\"intended\": [\"service::state\"]"));
+        assert!(a.contains("\"from\": \"service::store\""));
+    }
+}

@@ -1,0 +1,355 @@
+//! The per-file item scanner: recovers `fn` items, attribute spans and
+//! `#[cfg(test)]` regions from a token stream.
+//!
+//! This is deliberately not a parser. The analyses need three structural
+//! facts that a linear token walk recovers reliably from code that
+//! already compiles:
+//!
+//! 1. which token ranges are **test-only** (`#[cfg(test)]` items and
+//!    `#[test]` functions) — excluded from every library-code rule,
+//! 2. where each **function body** starts and ends — the unit of the
+//!    intraprocedural lock simulation,
+//! 3. where **attributes** sit — the hygiene rule's subject.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// One `#[…]` / `#![…]` attribute occurrence.
+#[derive(Debug, Clone)]
+pub struct Attr {
+    /// Token index of the `#`.
+    pub start: usize,
+    /// Token index of the closing `]`.
+    pub end: usize,
+    /// 1-based source line of the `#`.
+    pub line: u32,
+    /// True for inner (`#![…]`) attributes.
+    pub inner: bool,
+    /// The attribute's tokens joined with spaces, e.g. `allow ( clippy
+    /// : : too_many_arguments )`.
+    pub text: String,
+}
+
+impl Attr {
+    /// The attribute's first path segment (`allow`, `cfg`, `test`, …).
+    pub fn head(&self) -> &str {
+        self.text.split_whitespace().next().unwrap_or("")
+    }
+}
+
+/// One `fn` item (free function, inherent/trait method, or nested fn).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's bare name (no path, no generics).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body, `{` and `}` inclusive; `None` for
+    /// bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// A scanned file: tokens, comments, per-token test-exclusion flags, and
+/// the recovered items.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Code tokens (comments are in [`FileScan::comments`]).
+    pub tokens: Vec<Tok>,
+    /// Out-of-band comments.
+    pub comments: Vec<Comment>,
+    /// `excluded[i]` is true when token `i` belongs to a `#[cfg(test)]`
+    /// item or a `#[test]` function — invisible to library-code rules.
+    pub excluded: Vec<bool>,
+    /// All `fn` items in source order.
+    pub fns: Vec<FnItem>,
+    /// All attributes in source order.
+    pub attrs: Vec<Attr>,
+}
+
+impl FileScan {
+    /// Scans `src` end to end.
+    pub fn new(src: &str) -> FileScan {
+        let lexed = lex(src);
+        let mut scan = FileScan {
+            excluded: vec![false; lexed.tokens.len()],
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            fns: Vec::new(),
+            attrs: Vec::new(),
+        };
+        scan.find_attrs();
+        scan.mark_test_items();
+        scan.find_fns();
+        scan
+    }
+
+    /// Finds the matching closer for the opener at `open` (`{`/`}`,
+    /// `(`/`)`, `[`/`]`). Returns the closer's index, or the last token
+    /// on unbalanced input.
+    pub fn matching(&self, open: usize, open_c: char, close_c: char) -> usize {
+        let mut depth = 0usize;
+        for i in open..self.tokens.len() {
+            if self.tokens[i].is_punct(open_c) {
+                depth += 1;
+            } else if self.tokens[i].is_punct(close_c) {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+        self.tokens.len().saturating_sub(1)
+    }
+
+    fn find_attrs(&mut self) {
+        let mut i = 0;
+        while i < self.tokens.len() {
+            if self.tokens[i].is_punct('#') {
+                let mut j = i + 1;
+                let inner = j < self.tokens.len() && self.tokens[j].is_punct('!');
+                if inner {
+                    j += 1;
+                }
+                if j < self.tokens.len() && self.tokens[j].is_punct('[') {
+                    let end = self.matching(j, '[', ']');
+                    let text = self.tokens[j + 1..end]
+                        .iter()
+                        .map(|t| t.text.as_str())
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    self.attrs.push(Attr {
+                        start: i,
+                        end,
+                        line: self.tokens[i].line,
+                        inner,
+                        text,
+                    });
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Marks the token span of every `#[cfg(test)]` item and `#[test]`
+    /// function (attribute included) as excluded.
+    fn mark_test_items(&mut self) {
+        let test_attrs: Vec<(usize, usize)> = self
+            .attrs
+            .iter()
+            .filter(|a| {
+                !a.inner
+                    && (a.text == "test"
+                        || (a.head() == "cfg" && a.text.split_whitespace().any(|w| w == "test")))
+            })
+            .map(|a| (a.start, a.end))
+            .collect();
+        for (start, end) in test_attrs {
+            // Skip any further attributes stacked on the same item.
+            let mut j = end + 1;
+            while j < self.tokens.len() && self.tokens[j].is_punct('#') {
+                let mut k = j + 1;
+                if k < self.tokens.len() && self.tokens[k].is_punct('!') {
+                    k += 1;
+                }
+                if k < self.tokens.len() && self.tokens[k].is_punct('[') {
+                    j = self.matching(k, '[', ']') + 1;
+                } else {
+                    break;
+                }
+            }
+            // The item runs to its body's closing brace, or to the `;`
+            // of a bodyless item (`#[cfg(test)] use …;`). Parens and
+            // brackets are tracked so a `;` inside a signature's default
+            // or an array type cannot end the item early.
+            let mut depth = 0i32;
+            let mut item_end = self.tokens.len().saturating_sub(1);
+            let mut k = j;
+            while k < self.tokens.len() {
+                let t = &self.tokens[k];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct('{') {
+                    item_end = self.matching(k, '{', '}');
+                    break;
+                } else if depth == 0 && t.is_punct(';') {
+                    item_end = k;
+                    break;
+                }
+                k += 1;
+            }
+            let last = item_end.min(self.excluded.len().saturating_sub(1));
+            for flag in &mut self.excluded[start..=last] {
+                *flag = true;
+            }
+        }
+    }
+
+    fn find_fns(&mut self) {
+        let mut found = Vec::new();
+        for i in 0..self.tokens.len() {
+            if !self.tokens[i].is_ident("fn") {
+                continue;
+            }
+            // `fn` in a pointer type (`fn(u32) -> u32`) has no name.
+            let Some(name_tok) = self.tokens.get(i + 1) else {
+                continue;
+            };
+            if name_tok.kind != TokKind::Ident {
+                continue;
+            }
+            let name = name_tok.text.clone();
+            // Find the body `{` at paren/bracket depth 0, or a `;`
+            // (trait method declaration without a default body).
+            let mut depth = 0i32;
+            let mut body = None;
+            let mut k = i + 2;
+            while k < self.tokens.len() {
+                let t = &self.tokens[k];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct('{') {
+                    body = Some((k, self.matching(k, '{', '}')));
+                    break;
+                } else if depth == 0 && t.is_punct(';') {
+                    break;
+                }
+                k += 1;
+            }
+            found.push(FnItem {
+                name,
+                line: self.tokens[i].line,
+                body,
+            });
+        }
+        self.fns = found;
+    }
+
+    /// The comment (if any) whose span ends on `line` or `line - 1` —
+    /// the "adjacent justification" the hygiene rule looks for.
+    pub fn adjacent_comment(&self, line: u32) -> Option<&Comment> {
+        self.comments
+            .iter()
+            .find(|c| (c.end_line + 1 == line || c.end_line == line) && !c.is_doc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_fns_methods_and_bodyless_decls() {
+        let scan = FileScan::new(
+            "fn free(a: u32) -> u32 { a }\n\
+             impl Foo { fn method(&self) { self.go() } }\n\
+             trait T { fn decl(&self); fn with_default(&self) {} }\n\
+             fn generic<F: Fn(u32) -> u32>(f: F) where F: Send { f(1); }\n",
+        );
+        let names: Vec<(&str, bool)> = scan
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.body.is_some()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", true),
+                ("method", true),
+                ("decl", false),
+                ("with_default", true),
+                ("generic", true),
+            ]
+        );
+        // The body span really covers the braces.
+        let (open, close) = scan.fns[0].body.unwrap();
+        assert!(scan.tokens[open].is_punct('{'));
+        assert!(scan.tokens[close].is_punct('}'));
+    }
+
+    #[test]
+    fn attributes_and_inner_attributes() {
+        let scan = FileScan::new(
+            "#![allow(clippy::print_stdout)]\n\
+             #[allow(clippy::too_many_arguments)]\n\
+             #[derive(Debug, Clone)]\n\
+             fn f() {}\n",
+        );
+        assert_eq!(scan.attrs.len(), 3);
+        assert!(scan.attrs[0].inner);
+        assert_eq!(scan.attrs[0].head(), "allow");
+        assert!(!scan.attrs[1].inner);
+        assert_eq!(scan.attrs[2].head(), "derive");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_fully_excluded() {
+        let scan = FileScan::new(
+            "fn lib_code() { x.unwrap(); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { y.unwrap(); }\n\
+             }\n\
+             fn more_lib() { z }\n",
+        );
+        let visible: Vec<&str> = scan
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !scan.excluded[i])
+            .map(|(_, t)| t.text.as_str())
+            .collect();
+        assert!(visible.contains(&"lib_code"));
+        assert!(visible.contains(&"more_lib"));
+        assert!(visible.contains(&"z"));
+        assert!(!visible.contains(&"tests"));
+        assert!(!visible.contains(&"y"));
+        // Both unwraps exist as tokens, but only the lib one is visible.
+        let visible_unwraps = scan
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|&(i, t)| !scan.excluded[i] && t.is_ident("unwrap"))
+            .count();
+        assert_eq!(visible_unwraps, 1);
+    }
+
+    #[test]
+    fn test_attribute_on_a_single_fn_excludes_just_that_fn() {
+        let scan = FileScan::new("#[test]\nfn unit() { a.unwrap() }\nfn lib() { b }\n");
+        let visible: Vec<&str> = scan
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !scan.excluded[i])
+            .map(|(_, t)| t.text.as_str())
+            .collect();
+        assert!(!visible.contains(&"unit"));
+        assert!(visible.contains(&"lib"));
+    }
+
+    #[test]
+    fn cfg_test_use_statement_ends_at_semicolon() {
+        let scan = FileScan::new("#[cfg(test)]\nuse foo::bar;\nfn live() {}\n");
+        assert!(scan.fns.iter().any(|f| f.name == "live"));
+        let live_idx = scan.tokens.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(!scan.excluded[live_idx]);
+    }
+
+    #[test]
+    fn adjacent_comment_resolution() {
+        let scan = FileScan::new(
+            "// a justification\n#[allow(dead_code)]\nfn f() {}\n\n/// doc only\n#[allow(unused)]\nfn g() {}\n",
+        );
+        assert!(scan.adjacent_comment(scan.attrs[0].line).is_some());
+        assert!(
+            scan.adjacent_comment(scan.attrs[1].line).is_none(),
+            "doc comments are not justifications"
+        );
+    }
+}

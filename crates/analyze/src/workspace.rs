@@ -1,0 +1,227 @@
+//! Workspace discovery: find every non-shim `.rs` file, classify it, and
+//! scan it.
+//!
+//! Classification drives rule scope:
+//!
+//! * **Lib** files (`crates/*/src/**` minus `src/bin/`, plus the root
+//!   crate's `src/lib.rs`) are subject to all four analyses.
+//! * **Bin / Test / Bench / Example** files are scanned only by the
+//!   hygiene rule — binaries print and exit, tests assert and unwrap;
+//!   that is their job.
+//! * `crates/shims/**` is skipped entirely: the shims re-implement
+//!   external crates' APIs and are not this project's code to lint.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::scan::FileScan;
+
+/// What kind of target a source file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code — in scope for every analysis.
+    Lib,
+    /// A `[[bin]]` target.
+    Bin,
+    /// An integration test.
+    Test,
+    /// A benchmark.
+    Bench,
+    /// An example.
+    Example,
+}
+
+/// One discovered, scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Short crate name (`core`, `graph`, …; the root crate is
+    /// `probesim`).
+    pub crate_name: String,
+    /// Target classification.
+    pub kind: FileKind,
+    /// The scanned token stream and items.
+    pub scan: FileScan,
+}
+
+/// Every scanned file of the workspace, in deterministic path order.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All scanned files.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Discovers and scans the workspace rooted at `root`.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut paths = Vec::new();
+        collect_rs_files(root, root, &mut paths)?;
+        paths.sort();
+        let mut files = Vec::new();
+        for rel in paths {
+            let Some((crate_name, kind)) = classify(&rel) else {
+                continue;
+            };
+            let full = root.join(&rel);
+            let src = fs::read_to_string(&full)
+                .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
+            files.push(SourceFile {
+                rel_path: rel.replace('\\', "/"),
+                crate_name,
+                kind,
+                scan: FileScan::new(&src),
+            });
+        }
+        if files.is_empty() {
+            return Err(format!(
+                "no workspace source files found under {}",
+                root.display()
+            ));
+        }
+        Ok(Workspace { files })
+    }
+
+    /// The library files only — the scope of analyses 1–3.
+    pub fn lib_files(&self) -> impl Iterator<Item = &SourceFile> {
+        self.files.iter().filter(|f| f.kind == FileKind::Lib)
+    }
+
+    /// Builds a synthetic workspace from in-memory `(path, source)`
+    /// pairs — the fixture entry point for analysis tests. Paths must
+    /// follow the cargo layout (`crates/<name>/src/…`, `src/…`,
+    /// `tests/…`, …) that [`Workspace::load`] discovers on disk.
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        let mut files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, src)| {
+                let (crate_name, kind) =
+                    classify(rel).expect("invariant: fixture paths follow the cargo layout");
+                SourceFile {
+                    rel_path: (*rel).to_string(),
+                    crate_name,
+                    kind,
+                    scan: FileScan::new(src),
+                }
+            })
+            .collect();
+        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        Workspace { files }
+    }
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot list {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    // read_dir order is platform-dependent; the report must not be.
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        if path.is_dir() {
+            // target/ holds build output, .git history, shims are
+            // vendored third-party API surface.
+            if name == "target" || name.starts_with('.') || is_shims_dir(root, &path) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn is_shims_dir(root: &Path, path: &Path) -> bool {
+    path.strip_prefix(root)
+        .map(|rel| rel == Path::new("crates/shims"))
+        .unwrap_or(false)
+}
+
+/// Maps a workspace-relative path to `(crate name, kind)`; `None` for
+/// files outside any crate layout (stray scripts, generated code).
+fn classify(rel: &str) -> Option<(String, FileKind)> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.first() == Some(&"crates") {
+        let crate_name = (*parts.get(1)?).to_string();
+        let kind = match parts.get(2).copied() {
+            Some("src") if parts.get(3) == Some(&"bin") => FileKind::Bin,
+            Some("src") => FileKind::Lib,
+            Some("tests") => FileKind::Test,
+            Some("benches") => FileKind::Bench,
+            Some("examples") => FileKind::Example,
+            _ => return None,
+        };
+        return Some((crate_name, kind));
+    }
+    let kind = match parts.first().copied() {
+        Some("src") if parts.get(1) == Some(&"bin") => FileKind::Bin,
+        Some("src") => FileKind::Lib,
+        Some("tests") => FileKind::Test,
+        Some("benches") => FileKind::Bench,
+        Some("examples") => FileKind::Example,
+        _ => return None,
+    };
+    Some(("probesim".to_string(), kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_the_cargo_layout() {
+        let cases = [
+            ("crates/core/src/probe.rs", Some(("core", FileKind::Lib))),
+            (
+                "crates/bench/src/bin/table2_toy.rs",
+                Some(("bench", FileKind::Bin)),
+            ),
+            (
+                "crates/bench/tests/scenario_engine.rs",
+                Some(("bench", FileKind::Test)),
+            ),
+            (
+                "crates/bench/benches/session_reuse.rs",
+                Some(("bench", FileKind::Bench)),
+            ),
+            ("src/lib.rs", Some(("probesim", FileKind::Lib))),
+            ("src/bin/probesim.rs", Some(("probesim", FileKind::Bin))),
+            ("tests/churn.rs", Some(("probesim", FileKind::Test))),
+            (
+                "examples/quickstart.rs",
+                Some(("probesim", FileKind::Example)),
+            ),
+            ("scripts/gen.rs", None),
+        ];
+        for (path, want) in cases {
+            let got = classify(path);
+            let want = want.map(|(c, k)| (c.to_string(), k));
+            assert_eq!(got, want, "{path}");
+        }
+    }
+
+    #[test]
+    fn load_scans_the_live_workspace_without_shims() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let ws = Workspace::load(&root).unwrap();
+        assert!(ws.files.len() > 40, "found {}", ws.files.len());
+        assert!(ws.files.iter().all(|f| !f.rel_path.contains("shims")));
+        assert!(ws.files.iter().all(|f| !f.rel_path.contains("target/")));
+        assert!(ws
+            .lib_files()
+            .any(|f| f.rel_path == "crates/service/src/service.rs"));
+        // Deterministic order: sorted by relative path.
+        let mut sorted: Vec<&str> = ws.files.iter().map(|f| f.rel_path.as_str()).collect();
+        let original = sorted.clone();
+        sorted.sort_unstable();
+        assert_eq!(original, sorted);
+    }
+}

@@ -156,7 +156,10 @@ impl TopSim {
         for _level in 1..=(self.config.depth) {
             let mut next: Vec<Prefix> = Vec::new();
             for prefix in &frontier {
-                let tail = *prefix.path.last().expect("non-empty path");
+                let tail = *prefix
+                    .path
+                    .last()
+                    .expect("invariant: prefix paths are non-empty");
                 if let TopSimVariant::Truncated { degree_cap, .. } = self.config.variant {
                     // Skip high-degree meeting points entirely.
                     if graph.in_degree(tail) > degree_cap {
@@ -188,7 +191,7 @@ impl TopSim {
                     next.sort_unstable_by(|a, b| {
                         b.probability
                             .partial_cmp(&a.probability)
-                            .expect("probabilities are never NaN")
+                            .expect("invariant: probabilities are never NaN")
                     });
                     next.truncate(expand_budget);
                 }
@@ -206,7 +209,7 @@ impl TopSim {
                     &mut acc,
                     &mut stats,
                 )
-                .expect("a fresh workspace carries an unlimited budget");
+                .expect("invariant: a fresh workspace carries an unlimited budget");
             }
             frontier = next;
             if frontier.is_empty() {

@@ -11,6 +11,9 @@
 //! cargo run --release -p probesim-bench --bin ablation_decay -- --scale ci --queries 8
 //! ```
 
+// Printing is this target's entire job: stdout is the user interface.
+#![allow(clippy::print_stdout)]
+
 use probesim_bench::{load_dataset, time_per_item, HarnessArgs};
 use probesim_core::{ProbeSim, ProbeSimConfig, Query};
 use probesim_datasets::Dataset;

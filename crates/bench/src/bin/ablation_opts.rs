@@ -17,6 +17,9 @@
 //! cargo run --release -p probesim-bench --bin ablation_opts -- --scale ci --queries 10
 //! ```
 
+// Printing is this target's entire job: stdout is the user interface.
+#![allow(clippy::print_stdout)]
+
 use probesim_bench::{load_dataset, time_per_item, HarnessArgs};
 use probesim_core::{Optimizations, ProbeSim, ProbeSimConfig, ProbeStrategy, Query};
 use probesim_datasets::Dataset;

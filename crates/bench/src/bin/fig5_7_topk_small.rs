@@ -7,6 +7,9 @@
 //! cargo run --release -p probesim-bench --bin fig5_7_topk_small -- --scale ci --queries 10
 //! ```
 
+// Printing is this target's entire job: stdout is the user interface.
+#![allow(clippy::print_stdout)]
+
 use probesim_baselines::{MonteCarlo, TopSimConfig, TopSimVariant, TsfConfig};
 use probesim_bench::{load_dataset, time_per_item, HarnessArgs};
 use probesim_core::ProbeSimConfig;

@@ -12,6 +12,9 @@
 //! cargo run --release -p probesim-bench --bin fig8_10_pooling -- --scale ci --queries 5
 //! ```
 
+// Printing is this target's entire job: stdout is the user interface.
+#![allow(clippy::print_stdout)]
+
 use probesim_baselines::{MonteCarlo, TopSimConfig, TopSimVariant, TsfConfig};
 use probesim_bench::{load_dataset, HarnessArgs, Latencies};
 use probesim_core::ProbeSimConfig;

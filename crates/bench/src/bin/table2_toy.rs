@@ -7,6 +7,9 @@
 //! cargo run --release -p probesim-bench --bin table2_toy
 //! ```
 
+// Printing is this target's entire job: stdout is the user interface.
+#![allow(clippy::print_stdout)]
+
 use probesim_baselines::PowerMethod;
 use probesim_core::{ProbeSim, ProbeSimConfig, Query};
 use probesim_graph::toy::{toy_graph, A, LABELS, TABLE2, TOY_DECAY};

@@ -11,6 +11,9 @@
 //! cargo run --release -p probesim-bench --bin table4_large -- --scale ci --queries 5
 //! ```
 
+// Printing is this target's entire job: stdout is the user interface.
+#![allow(clippy::print_stdout)]
+
 use probesim_baselines::{FingerprintConfig, TopSimConfig, TopSimVariant, TsfConfig};
 use probesim_bench::{load_dataset, time_per_item, HarnessArgs};
 use probesim_core::{ProbeSim, ProbeSimConfig, Query};

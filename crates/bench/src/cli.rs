@@ -5,6 +5,9 @@
 //! behavior — in particular *nonzero on regression*, which CI depends on
 //! — is covered by ordinary unit tests.
 
+// Printing is this target's entire job: stdout is the user interface.
+#![allow(clippy::print_stdout)]
+
 use std::path::Path;
 
 use probesim_datasets::Scale;

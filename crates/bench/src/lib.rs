@@ -157,6 +157,8 @@ impl HarnessArgs {
 }
 
 /// Generates a dataset, printing its vitals (Table 3-style line).
+// Progress line from dataset generation; every caller is a CLI target.
+#[allow(clippy::print_stdout)]
 pub fn load_dataset(dataset: Dataset, scale: Scale) -> CsrGraph {
     let (graph, secs) = timed(|| dataset.generate(scale));
     let stats = DegreeStats::compute(&graph);
@@ -175,6 +177,8 @@ pub fn load_dataset(dataset: Dataset, scale: Scale) -> CsrGraph {
 }
 
 /// Prints a table row with fixed-width columns.
+// Table rendering for the bench binaries; stdout is the report medium.
+#[allow(clippy::print_stdout)]
 pub fn print_row(cells: &[String], widths: &[usize]) {
     let mut line = String::new();
     for (cell, &w) in cells.iter().zip(widths) {

@@ -440,7 +440,8 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("invariant: number lexemes are ASCII");
         // Unsigned digits-only literals stay exact (u64); everything else
         // goes through f64.
         if text.bytes().all(|b| b.is_ascii_digit()) {

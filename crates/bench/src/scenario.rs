@@ -100,7 +100,10 @@ impl Latencies {
             return 0.0;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
+        sorted.sort_unstable_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("invariant: latencies are never NaN")
+        });
         let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         sorted[rank]
     }
@@ -709,7 +712,7 @@ fn run_static(spec: &ScenarioSpec, scale: Scale, seed: u64, engine: &ProbeSim) -
             for &u in &nodes {
                 let output = query_latency
                     .time(|| session.run(shape.for_node(u)))
-                    .expect("sampled query nodes are valid");
+                    .expect("invariant: sampled query nodes are valid");
                 query_stats.merge(&output.stats);
                 queries_executed += 1;
             }
@@ -738,9 +741,9 @@ fn run_static(spec: &ScenarioSpec, scale: Scale, seed: u64, engine: &ProbeSim) -
                             .push(start.elapsed().as_secs_f64() / queries.len().max(1) as f64);
                         batch
                     }
-                    _ => unreachable!(),
+                    _ => unreachable!("query kinds are matched exhaustively above"),
                 }
-                .expect("sampled query nodes are valid");
+                .expect("invariant: sampled query nodes are valid");
                 queries_executed += queries.len();
                 if rep == 0 {
                     // Per-query RNG derivation makes every repetition
@@ -755,7 +758,7 @@ fn run_static(spec: &ScenarioSpec, scale: Scale, seed: u64, engine: &ProbeSim) -
                 for &u in &nodes {
                     let output = query_latency
                         .time(|| session.run(Query::SingleSource { node: u }))
-                        .expect("sampled query nodes are valid");
+                        .expect("invariant: sampled query nodes are valid");
                     query_stats.merge(&output.stats);
                     queries_executed += 1;
                 }
@@ -770,7 +773,7 @@ fn run_static(spec: &ScenarioSpec, scale: Scale, seed: u64, engine: &ProbeSim) -
                             // the cost the pooled stream scenario avoids.
                             engine.session(&graph).run(Query::SingleSource { node: u })
                         })
-                        .expect("sampled query nodes are valid");
+                        .expect("invariant: sampled query nodes are valid");
                     query_stats.merge(&output.stats);
                     queries_executed += 1;
                 }
@@ -867,7 +870,7 @@ fn run_dynamic(
                         .session(store.snapshot())
                         .run(Query::SingleSource { node: u })
                 })
-                .expect("query nodes stay valid under edge churn");
+                .expect("invariant: query nodes stay valid under edge churn");
             query_stats.merge(&output.stats);
         }
     }
@@ -1010,7 +1013,7 @@ fn run_store_concurrent(
                                     .session(snapshot)
                                     .run(Query::SingleSource { node: u })
                             })
-                            .expect("query nodes stay valid under edge churn");
+                            .expect("invariant: query nodes stay valid under edge churn");
                         stats.merge(&output.stats);
                         completed.fetch_add(1, Ordering::Release);
                     }
@@ -1018,10 +1021,16 @@ fn run_store_concurrent(
                 })
             })
             .collect();
-        let update_latency = writer.join().expect("writer thread panicked");
+        let update_latency = writer
+            .join()
+            .expect("invariant: the writer thread joins cleanly (its panic propagates here)");
         let reader_results: Vec<_> = reader_handles
             .into_iter()
-            .map(|handle| handle.join().expect("reader thread panicked"))
+            .map(|handle| {
+                handle
+                    .join()
+                    .expect("invariant: reader threads join cleanly (their panics propagate here)")
+            })
             .collect();
         (update_latency, reader_results)
     });
@@ -1079,6 +1088,8 @@ const SERVICE_MIX_DEADLINE: Duration = Duration::from_millis(500);
 /// hits are scheduling-dependent (which version a call answers at
 /// depends on the race), so the comparator gates latency and the final
 /// workload fingerprint only.
+// The knobs are the scenario spec, flattened; a config struct would
+// just restate ScenarioSpec field by field.
 #[allow(clippy::too_many_arguments)]
 fn run_service_interactive_mix(
     spec: &ScenarioSpec,
@@ -1197,10 +1208,16 @@ fn run_service_interactive_mix(
                 })
             })
             .collect();
-        let update_latency = writer.join().expect("writer thread panicked");
+        let update_latency = writer
+            .join()
+            .expect("invariant: the writer thread joins cleanly (its panic propagates here)");
         let client_results: Vec<_> = client_handles
             .into_iter()
-            .map(|handle| handle.join().expect("client thread panicked"))
+            .map(|handle| {
+                handle
+                    .join()
+                    .expect("invariant: client threads join cleanly (their panics propagate here)")
+            })
             .collect();
         (update_latency, client_results)
     });
@@ -1295,7 +1312,7 @@ fn run_service_cache_repeat(
         let rank = zipf.rank(rng.gen::<f64>());
         let response = query_latency
             .time(|| service.call(Request::new(Query::SingleSource { node: nodes[rank] })))
-            .expect("sampled query nodes are valid");
+            .expect("invariant: sampled query nodes are valid");
         if response.cache_hit {
             cache_hits += 1;
         } else {

@@ -108,6 +108,8 @@ fn draw_budget(group_walks: u64, frontier_mass: f64, nr: usize) -> u32 {
 /// expansion; an exceeded budget aborts between groups with
 /// [`BudgetExceeded`], restoring the arena's BFS scratch buffers so the
 /// workspace stays pooled and reusable after the abort.
+// The argument list mirrors the paper's probe-loop state; bundling it
+// into a struct would obscure which pieces each phase mutates.
 #[allow(clippy::too_many_arguments)]
 pub fn run_fused<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     graph: &G,
@@ -155,6 +157,7 @@ pub fn run_fused<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
 
 /// The sweep body of [`run_fused`], split out so the taken BFS buffers
 /// are restored on the abort path too.
+// Same flat parameter list as run_fused, for the same reason.
 #[allow(clippy::too_many_arguments)]
 fn fused_sweep<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     graph: &G,

@@ -50,7 +50,7 @@ where
         .map(|slot| {
             slot.into_inner()
                 .expect("result slot poisoned")
-                .expect("every slot filled")
+                .expect("invariant: every slot filled by its worker")
         })
         .collect()
 }

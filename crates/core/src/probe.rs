@@ -140,6 +140,8 @@ pub(crate) fn frontier_out_degree_sum<G: GraphView>(graph: &G, frontier: &LevelB
 /// Expectation over the sampling equals the deterministic scores (the
 /// paper's Lemma 6 / Theorem 3), so the caller may mix deterministic and
 /// randomized probes freely.
+// The argument list mirrors the paper's probe-loop state; bundling it
+// into a struct would obscure which pieces each phase mutates.
 #[allow(clippy::too_many_arguments)]
 pub fn randomized<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     graph: &G,
@@ -210,6 +212,7 @@ pub fn randomized<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
 ///
 /// Either way `E[H'(x)] = √c/|I(x)| · Σ_{v∈H} H(v)`, so the estimator
 /// is unbiased level by level.
+// Same flat probe-loop state as randomized, for the same reason.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn expand_level_randomized<G: GraphView, R: Rng + ?Sized>(
     graph: &G,
@@ -296,6 +299,7 @@ pub(crate) fn expand_level_randomized<G: GraphView, R: Rng + ?Sized>(
 /// stays ≤ `c0 · walk_count · n`. If the threshold trips at level `j`, the
 /// exact scores of `H_j` seed `walk_count` independent randomized
 /// continuations, each contributing `weight / walk_count`.
+// Same flat probe-loop state as randomized, for the same reason.
 #[allow(clippy::too_many_arguments)]
 pub fn hybrid<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     graph: &G,
@@ -354,6 +358,7 @@ pub fn hybrid<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
 /// remaining levels, each seeded by Bernoulli-sampling the exact frontier
 /// scores of `H_j` (marginal inclusion probability = exact score, so
 /// linearity keeps the estimator unbiased).
+// Same flat probe-loop state as randomized, for the same reason.
 #[allow(clippy::too_many_arguments)]
 fn randomized_continuations<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     graph: &G,

@@ -340,7 +340,7 @@ impl SparseScores {
         let mut ranked: Vec<(NodeId, f64)> = self.iter().collect();
         ranked.sort_unstable_by(|a, b| {
             b.1.partial_cmp(&a.1)
-                .expect("SimRank scores are never NaN")
+                .expect("invariant: SimRank scores are never NaN")
                 .then_with(|| a.0.cmp(&b.0))
         });
         if ranked.len() >= k {
@@ -427,7 +427,7 @@ impl QueryOutput {
                 let mut hits = self.scores.above_threshold(tau);
                 hits.sort_unstable_by(|a, b| {
                     b.1.partial_cmp(&a.1)
-                        .expect("SimRank scores are never NaN")
+                        .expect("invariant: SimRank scores are never NaN")
                         .then_with(|| a.0.cmp(&b.0))
                 });
                 hits
@@ -688,7 +688,7 @@ impl<G: GraphView> QuerySession<G> {
     /// The core execution path: pooled workspace + sparse accumulator.
     fn execute<R: Rng>(&mut self, query: Query, rng: &mut R) -> QueryOutput {
         self.execute_budgeted(query, rng, ProbeBudget::unlimited())
-            .expect("an unlimited budget cannot abort")
+            .expect("invariant: an unlimited budget cannot abort")
     }
 
     /// [`QuerySession::execute`] under a cancellation budget. On abort,

@@ -165,7 +165,7 @@ impl ProbeSim {
                 &mut rng,
             )
         };
-        run.expect("a fresh workspace carries an unlimited budget");
+        run.expect("invariant: a fresh workspace carries an unlimited budget");
         if self.config.optimizations.truncation_compensation && budget.truncation > 0.0 {
             let half = budget.truncation / 2.0;
             for (v, s) in acc.iter_mut().enumerate() {
@@ -188,6 +188,9 @@ impl ProbeSim {
     /// [`crate::ProbeBudget`] trips between expansions (the caller — the
     /// session — resets the scratch and surfaces a typed
     /// [`QueryError`](crate::QueryError) with partial stats).
+    // The flat list keeps the borrow splits (accumulator vs workspace
+    // vs rng) visible at the call site; a struct would force them
+    // through one &mut.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_unbatched<G: GraphView, A: ScoreSink + ?Sized, R: Rng>(
         &self,
@@ -246,6 +249,8 @@ impl ProbeSim {
     /// (Section 4.4's motivating observation); the `Hybrid` strategy is
     /// what makes per-prefix batching pay off in the worst case. The
     /// fused path instead makes the single draw weight-proportional.
+    // Same flat parameter list as run_unbatched, same borrow-split
+    // reason.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_batched<G: GraphView, A: ScoreSink + ?Sized, R: Rng>(
         &self,

@@ -26,7 +26,7 @@ pub fn top_k_from_scores(scores: &[f64], query: NodeId, k: usize) -> Vec<(NodeId
     }
     let cmp = |a: &(NodeId, f64), b: &(NodeId, f64)| {
         b.1.partial_cmp(&a.1)
-            .expect("SimRank scores are never NaN")
+            .expect("invariant: SimRank scores are never NaN")
             .then_with(|| a.0.cmp(&b.0))
     };
     if k < candidates.len() {

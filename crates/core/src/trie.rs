@@ -181,7 +181,7 @@ impl WalkTrie {
                 visit(path, weight);
                 Ok(())
             });
-        infallible.unwrap();
+        infallible.expect("invariant: the infallible visitor returns Ok");
     }
 
     /// Fallible [`WalkTrie::for_each_prefix`]: stops the enumeration at

@@ -37,7 +37,7 @@ pub fn extend_walk<G: GraphView, R: Rng + ?Sized>(
     rng: &mut R,
 ) {
     debug_assert!(!walk.is_empty());
-    let mut current = *walk.last().expect("walk has a start node");
+    let mut current = *walk.last().expect("invariant: walk has a start node");
     while walk.len() < max_nodes {
         // Terminate with probability 1 − √c (Definition 3).
         if rng.gen::<f64>() >= sqrt_c {

@@ -52,8 +52,12 @@ impl AliasTable {
             }
         }
         while !small.is_empty() && !large.is_empty() {
-            let s = small.pop().expect("non-empty");
-            let l = *large.last().expect("non-empty");
+            let s = small
+                .pop()
+                .expect("invariant: loop guard checked small is non-empty");
+            let l = *large
+                .last()
+                .expect("invariant: loop guard checked large is non-empty");
             prob[s] = scaled[s];
             alias[s] = l;
             scaled[l] = (scaled[l] + scaled[s]) - 1.0;

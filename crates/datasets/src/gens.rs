@@ -87,7 +87,7 @@ pub fn chung_lu(n: usize, m: usize, gamma: f64, seed: u64) -> CsrGraph {
     assert!(n >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
     let weights = chung_lu_weights(n, gamma, m as f64);
-    let table = AliasTable::new(&weights).expect("valid weights");
+    let table = AliasTable::new(&weights).expect("invariant: Zipf weights are positive and finite");
     let mut seen = fx_set_with_capacity::<(NodeId, NodeId)>(m * 2);
     let mut edges: Vec<Edge> = Vec::with_capacity(m);
     let mut attempts = 0usize;

@@ -113,7 +113,10 @@ impl Iterator for SlidingWindowStream {
         if !self.pending_insert && self.live.len() >= self.window {
             // Window full: evict the oldest edge first; the paired
             // insertion comes on the next call.
-            let (u, v) = self.live.pop_front().expect("window >= 1");
+            let (u, v) = self
+                .live
+                .pop_front()
+                .expect("invariant: window >= 1 keeps the deque non-empty");
             self.member.remove(&(u, v));
             self.pending_insert = true;
             return Some(GraphUpdate::Remove { u, v });

@@ -155,7 +155,7 @@ impl<G: GraphView> SimRankAlgorithm<G> for TsfAlgo {
         }
         self.index
             .as_ref()
-            .expect("index built above")
+            .expect("invariant: index built above")
             .single_source(graph, u)
     }
 
@@ -206,7 +206,7 @@ impl<G: GraphView> SimRankAlgorithm<G> for FingerprintAlgo {
         }
         self.index
             .as_ref()
-            .expect("index built above")
+            .expect("invariant: index built above")
             .single_source(u)
     }
 

@@ -53,7 +53,7 @@ impl Pool {
         let mut ranked: Vec<(NodeId, f64)> = expert_scores.iter().map(|(&v, &s)| (v, s)).collect();
         ranked.sort_unstable_by(|a, b| {
             b.1.partial_cmp(&a.1)
-                .expect("expert scores are never NaN")
+                .expect("invariant: expert scores are never NaN")
                 .then_with(|| a.0.cmp(&b.0))
         });
         ranked.truncate(k);

@@ -66,7 +66,10 @@ impl ZipfRanks {
 
     /// Maps a uniform draw `unit ∈ [0, 1)` to a rank.
     pub fn rank(&self, unit: f64) -> usize {
-        let total = *self.cumulative.last().expect("at least one rank");
+        let total = *self
+            .cumulative
+            .last()
+            .expect("invariant: the table holds at least one rank");
         let draw = unit * total;
         self.cumulative.iter().position(|&c| draw <= c).unwrap_or(0)
     }

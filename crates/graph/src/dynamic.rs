@@ -139,7 +139,7 @@ impl DynamicGraph {
                 let in_v = &mut self.inn[v as usize];
                 let ipos = in_v
                     .binary_search(&u)
-                    .expect("in/out adjacency desynchronized");
+                    .expect("invariant: in/out adjacency stay synchronized");
                 in_v.remove(ipos);
                 self.num_edges -= 1;
                 true

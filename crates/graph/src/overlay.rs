@@ -181,7 +181,7 @@ impl OverlayGraph {
         let in_v = self.touch_in(v);
         let ipos = in_v
             .binary_search(&u)
-            .expect("in/out adjacency desynchronized");
+            .expect("invariant: in/out adjacency stay synchronized");
         in_v.remove(ipos);
         self.num_edges -= 1;
         true

@@ -109,35 +109,56 @@ impl LruInner {
 
     fn detach(&mut self, i: usize) {
         let (prev, next) = {
-            let e = self.slots[i].as_ref().expect("detaching a live slot");
+            let e = self.slots[i]
+                .as_ref()
+                .expect("invariant: detached slots are live");
             (e.prev, e.next)
         };
         match prev {
             NIL => self.head = next,
-            p => self.slots[p].as_mut().expect("live prev").next = next,
+            p => {
+                self.slots[p]
+                    .as_mut()
+                    .expect("invariant: list prev points at a live slot")
+                    .next = next
+            }
         }
         match next {
             NIL => self.tail = prev,
-            n => self.slots[n].as_mut().expect("live next").prev = prev,
+            n => {
+                self.slots[n]
+                    .as_mut()
+                    .expect("invariant: list next points at a live slot")
+                    .prev = prev
+            }
         }
     }
 
     fn push_front(&mut self, i: usize) {
         {
-            let e = self.slots[i].as_mut().expect("pushing a live slot");
+            let e = self.slots[i]
+                .as_mut()
+                .expect("invariant: pushed slots are live");
             e.prev = NIL;
             e.next = self.head;
         }
         match self.head {
             NIL => self.tail = i,
-            h => self.slots[h].as_mut().expect("live head").prev = i,
+            h => {
+                self.slots[h]
+                    .as_mut()
+                    .expect("invariant: list head points at a live slot")
+                    .prev = i
+            }
         }
         self.head = i;
     }
 
     fn remove_slot(&mut self, i: usize) -> Entry {
         self.detach(i);
-        let entry = self.slots[i].take().expect("removing a live slot");
+        let entry = self.slots[i]
+            .take()
+            .expect("invariant: removed slots are live");
         self.map.remove(&entry.key);
         self.free.push(i);
         entry
@@ -228,7 +249,10 @@ impl ResultCache {
                 inner.push_front(i);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(
-                    &inner.slots[i].as_ref().expect("live hit").value,
+                    &inner.slots[i]
+                        .as_ref()
+                        .expect("invariant: map hits point at live slots")
+                        .value,
                 ))
             }
             None => {
@@ -248,7 +272,10 @@ impl ResultCache {
         let mut inner = self.inner.lock().expect("cache poisoned");
         if let Some(i) = inner.map.get(&key).copied() {
             inner.detach(i);
-            inner.slots[i].as_mut().expect("live refresh").value = value;
+            inner.slots[i]
+                .as_mut()
+                .expect("invariant: refreshed keys point at live slots")
+                .value = value;
             inner.push_front(i);
             return;
         }
@@ -297,12 +324,15 @@ impl ResultCache {
         if inner.min_version >= floor {
             return 0;
         }
-        let stale: Vec<usize> = inner
+        let mut stale: Vec<usize> = inner
             .map
             .iter()
             .filter(|(key, _)| key.version < floor)
             .map(|(_, &i)| i)
             .collect();
+        // The map iterates in hash order; sort so the free list (and
+        // therefore future slot reuse) is independent of it.
+        stale.sort_unstable();
         let dropped = stale.len();
         for i in stale {
             inner.remove_slot(i);

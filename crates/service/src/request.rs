@@ -190,6 +190,8 @@ impl Ticket {
 
     /// Non-blocking poll: `Ok(Some(..))` when done, `Ok(None)` while
     /// still in flight.
+    // The nested Option<Result<..>> IS the poll protocol; a named
+    // alias would hide the shape callers must match on.
     #[allow(clippy::type_complexity)]
     pub fn poll(&self) -> Option<Result<Response, ServiceError>> {
         match self.rx.try_recv() {

@@ -150,7 +150,7 @@ impl ServiceBuilder {
                 std::thread::Builder::new()
                     .name(format!("probesim-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawning a service worker")
+                    .expect("invariant: the OS spawns worker threads at service startup")
             })
             .collect();
 

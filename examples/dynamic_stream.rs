@@ -16,6 +16,9 @@
 //! cargo run --release --example dynamic_stream
 //! ```
 
+// Printing is this target's entire job: stdout is the user interface.
+#![allow(clippy::print_stdout)]
+
 use probesim::prelude::*;
 use probesim_datasets::gens;
 use probesim_eval::timed;

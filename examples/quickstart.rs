@@ -10,6 +10,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Printing is this target's entire job: stdout is the user interface.
+#![allow(clippy::print_stdout)]
+
 use probesim::prelude::*;
 use probesim_graph::toy::{toy_graph, A, LABELS, TOY_DECAY};
 

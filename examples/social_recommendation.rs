@@ -13,6 +13,9 @@
 //! cargo run --release --example social_recommendation
 //! ```
 
+// Printing is this target's entire job: stdout is the user interface.
+#![allow(clippy::print_stdout)]
+
 use probesim::prelude::*;
 use probesim_datasets::gens;
 use probesim_eval::{metrics, sample_query_nodes};
