@@ -59,9 +59,16 @@ use crate::scan::FileScan;
 use crate::workspace::{SourceFile, Workspace};
 
 /// The workspace's documented intended acquisition order, outermost
-/// first. `graph::published` is a leaf cache (acquired last, never held
-/// across another acquisition) and sits outside the serving chain.
-pub const INTENDED_LOCK_ORDER: [&str; 4] = [
+/// first. `fleet::records` heads the chain: the fleet's write path
+/// appends to the update log and commits to the primary store in one
+/// critical section (via the `append_with` closure, which the call
+/// graph cannot see — the edge is documented here instead of inferred).
+/// `fleet::registry` and `graph::published` are leaves (acquired alone,
+/// never held across another acquisition); the registry mutex exists
+/// only to pair its condvar.
+pub const INTENDED_LOCK_ORDER: [&str; 6] = [
+    "fleet::registry",
+    "fleet::records",
     "service::state",
     "service::store",
     "service::inner",

@@ -73,6 +73,8 @@ fn lock_order_section_documents_the_serving_path() {
     assert_eq!(
         section.intended,
         vec![
+            "fleet::registry",
+            "fleet::records",
             "service::state",
             "service::store",
             "service::inner",

@@ -469,7 +469,7 @@ pub struct ScenarioReport {
     pub scenario: String,
     /// Human-readable description of the workload.
     pub description: String,
-    /// "static", "dynamic" or "concurrent" (see
+    /// "static", "dynamic", "concurrent", "service" or "fleet" (see
     /// `ScenarioSpec::kind_name`).
     pub kind: String,
     /// RNG seed the run used.

@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 use probesim_core::{ProbeSim, ProbeSimConfig, Query, QueryStats};
 use probesim_datasets::{sliding_window_workload, Dataset, Scale};
 use probesim_eval::sample_query_nodes;
+use probesim_fleet::{Fleet, FleetError};
 use probesim_graph::hash::FxHasher;
 use probesim_graph::{CompactionPolicy, Edge, GraphStore, GraphView, NodeId};
 use probesim_service::{Consistency, Priority, Request, ServiceBuilder, ServiceError};
@@ -195,7 +196,7 @@ pub enum ScenarioKind {
     },
     /// The full serving facade under concurrent mixed-priority load:
     /// one writer thread streams updates through
-    /// `QueryService::apply` (paced to the clients' progress at the
+    /// `QueryService::commit` (paced to the clients' progress at the
     /// configured ratio) while `clients` threads issue deadline-armed
     /// requests of alternating [`probesim_service::Priority`] through
     /// blocking `call`s. Latencies are client-observed (queue + exec);
@@ -219,6 +220,27 @@ pub enum ScenarioKind {
     ServiceCacheRepeat {
         /// Distinct query nodes behind the repeats.
         distinct: usize,
+    },
+    /// The replicated serving fleet under mixed-consistency load: one
+    /// writer streams updates through `Fleet::commit` — the durable-log
+    /// append that also drives the log-tailing replicas — while
+    /// `clients` threads rotate through `Latest`, read-your-writes
+    /// `AtLeastVersion` (chained from the writer's freshest commit
+    /// token, spelled in the shared `Consistency` wire form), and
+    /// `Pinned` requests against the consistency-aware router.
+    /// Latencies are client-observed; work is scheduling-dependent
+    /// (which endpoint answers, and at which version, depends on the
+    /// race), so latency, the final-state fingerprint and a
+    /// cross-replica agreement check gate it.
+    FleetReplicated {
+        /// Log-tailing replica count behind the router.
+        replicas: usize,
+        /// Client thread count.
+        clients: usize,
+        /// Updates in the update:query ratio.
+        updates_per_round: usize,
+        /// Queries in the update:query ratio.
+        queries_per_round: usize,
     },
 }
 
@@ -288,6 +310,7 @@ impl ScenarioSpec {
             ScenarioKind::DynamicInterleaved { .. }
                 | ScenarioKind::StoreConcurrent { .. }
                 | ScenarioKind::ServiceInteractiveMix { .. }
+                | ScenarioKind::FleetReplicated { .. }
         )
     }
 
@@ -298,19 +321,22 @@ impl ScenarioSpec {
             ScenarioKind::StoreConcurrent { .. } => "concurrent",
             ScenarioKind::ServiceInteractiveMix { .. }
             | ScenarioKind::ServiceCacheRepeat { .. } => "service",
+            ScenarioKind::FleetReplicated { .. } => "fleet",
             _ => "static",
         }
     }
 
     /// False when per-run query work depends on thread scheduling (the
-    /// concurrent store scenarios and the concurrent service mix: which
-    /// snapshot version a reader sees is timing-dependent), so the
-    /// `--compare` gate must not treat `total_work` as a deterministic
-    /// signal.
+    /// concurrent store scenarios, the concurrent service mix and the
+    /// replicated fleet: which snapshot version a reader sees is
+    /// timing-dependent), so the `--compare` gate must not treat
+    /// `total_work` as a deterministic signal.
     pub fn work_deterministic(&self) -> bool {
         !matches!(
             self.kind,
-            ScenarioKind::StoreConcurrent { .. } | ScenarioKind::ServiceInteractiveMix { .. }
+            ScenarioKind::StoreConcurrent { .. }
+                | ScenarioKind::ServiceInteractiveMix { .. }
+                | ScenarioKind::FleetReplicated { .. }
         )
     }
 }
@@ -367,13 +393,15 @@ pub struct ScenarioResult {
 
 /// The full scenario catalog, in a stable order.
 ///
-/// Eighteen scenarios: six static (query shapes × execution modes), one
+/// Nineteen scenarios: six static (query shapes × execution modes), one
 /// allocation contrast, three update-interleaved dynamic workloads at
 /// different update:query ratios, two concurrent 1-writer/N-reader
 /// store workloads, two fused-vs-legacy probe-engine contrast pairs
-/// (one static, one dynamic), and two `QueryService` serving workloads
+/// (one static, one dynamic), two `QueryService` serving workloads
 /// (a concurrent mixed-priority deadline mix and the deterministic
-/// cache-repeat stream).
+/// cache-repeat stream), and one replicated-fleet workload (1 writer
+/// committing through the durable log, log-tailing replicas, and
+/// mixed-consistency clients behind the consistency-aware router).
 pub fn catalog() -> Vec<ScenarioSpec> {
     vec![
         ScenarioSpec {
@@ -614,6 +642,28 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             queries: 40,
             fuse_probes: true,
         },
+        // The replicated fleet: durable log + log-tailing replicas +
+        // consistency-aware router as one serving surface. Work is
+        // scheduling-dependent (which endpoint answers, at which
+        // version), so the gate runs on latency, the final-state
+        // fingerprint, and the in-run cross-replica agreement check.
+        ScenarioSpec {
+            name: "fleet_replicated_serving",
+            description: "Fleet: 1 writer + 3 replicas, Latest/AtLeastVersion/Pinned client mix",
+            graph: GraphSource::SlidingWindow {
+                n: 20_000,
+                window: 120_000,
+            },
+            kind: ScenarioKind::FleetReplicated {
+                replicas: 3,
+                clients: 3,
+                updates_per_round: 1,
+                queries_per_round: 4,
+            },
+            epsilon: 0.1,
+            queries: 32,
+            fuse_probes: true,
+        },
     ]
 }
 
@@ -689,6 +739,21 @@ pub fn run_scenario(spec: &ScenarioSpec, scale: Scale, seed: u64) -> ScenarioRes
         ScenarioKind::ServiceCacheRepeat { distinct } => {
             run_service_cache_repeat(spec, scale, seed, &engine, distinct)
         }
+        ScenarioKind::FleetReplicated {
+            replicas,
+            clients,
+            updates_per_round,
+            queries_per_round,
+        } => run_fleet_replicated(
+            spec,
+            scale,
+            seed,
+            &engine,
+            replicas,
+            clients,
+            updates_per_round,
+            queries_per_round,
+        ),
         _ => run_static(spec, scale, seed, &engine),
     }
 }
@@ -782,7 +847,8 @@ fn run_static(spec: &ScenarioSpec, scale: Scale, seed: u64, engine: &ProbeSim) -
         ScenarioKind::DynamicInterleaved { .. }
         | ScenarioKind::StoreConcurrent { .. }
         | ScenarioKind::ServiceInteractiveMix { .. }
-        | ScenarioKind::ServiceCacheRepeat { .. } => {
+        | ScenarioKind::ServiceCacheRepeat { .. }
+        | ScenarioKind::FleetReplicated { .. } => {
             unreachable!("handled by the dedicated run_* dispatchers")
         }
     }
@@ -1078,7 +1144,7 @@ fn run_store_concurrent(
 const SERVICE_MIX_DEADLINE: Duration = Duration::from_millis(500);
 
 /// The full-facade serving benchmark: one writer thread streaming
-/// updates through `QueryService::apply` (paced to client progress at
+/// updates through `QueryService::commit` (paced to client progress at
 /// the configured update:query ratio) while `clients` threads issue
 /// deadline-armed, mixed-priority blocking `call`s.
 ///
@@ -1156,7 +1222,7 @@ fn run_service_interactive_mix(
                 // The writer's cost per event: store mutation (which
                 // fires the cache invalidation observer) + snapshot
                 // publication + retention-ring maintenance.
-                update_latency.time(|| service.apply(update));
+                update_latency.time(|| service.commit(update));
             }
             update_latency
         });
@@ -1261,6 +1327,245 @@ fn run_service_interactive_mix(
         cache_hits: Some(cache_hits),
         // Scheduling-dependent here — not reported, so the tight CI
         // gate on hit rate stays armed only where it is deterministic.
+        cache_hit_rate: None,
+        deadline_exceeded: Some(deadline_exceeded),
+    }
+}
+
+/// The replicated-fleet benchmark: the whole fifth tier behind one
+/// handle. One writer commits the seeded update stream through
+/// [`Fleet::commit`] — a durable-log append that the log-tailing
+/// replicas replay — while clients rotate through the three consistency
+/// levels against the router: `Latest` (primary), read-your-writes
+/// `AtLeastVersion` chained from the writer's freshest commit token
+/// (spelled in the shared wire form and parsed back, the same `FromStr`
+/// the CLI uses), and `Pinned` at the client's last observed version.
+/// Latencies are client-observed (routing + queue + exec); work is
+/// scheduling-dependent, so the gate runs on latency, the final-state
+/// fingerprint, and an in-run check that every replica's final edge set
+/// hashes identically to the primary's.
+#[allow(clippy::too_many_arguments)] // mirrors the other scenario runners' dispatch shape
+fn run_fleet_replicated(
+    spec: &ScenarioSpec,
+    scale: Scale,
+    seed: u64,
+    engine: &ProbeSim,
+    replicas: usize,
+    clients: usize,
+    updates_per_round: usize,
+    queries_per_round: usize,
+) -> ScenarioResult {
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+    let GraphSource::SlidingWindow { n, window } = spec.graph else {
+        unreachable!(
+            "scenario {}: the fleet mix requires a SlidingWindow graph source",
+            spec.name
+        );
+    };
+    let n = scaled(scale, n);
+    let window = scaled(scale, window);
+    let clients = clients.max(1);
+    let total_queries = spec.queries.max(clients);
+    let total_updates = (total_queries * updates_per_round).div_ceil(queries_per_round.max(1));
+    let (graph, updates) = sliding_window_workload(n, window, total_updates, seed ^ 0x5EED);
+    let query_nodes = sample_query_nodes(&graph, total_queries.div_ceil(2), seed);
+    let fleet = Fleet::builder(engine.config().clone())
+        .replicas(replicas)
+        .workers(2)
+        .cache_capacity(256)
+        // Generous ring: every version of the run stays pinnable on
+        // every endpoint (total_updates never exceeds it at any scale).
+        .retained_versions(64)
+        .default_deadline(SERVICE_MIX_DEADLINE)
+        .build(graph.snapshot());
+    drop(graph);
+    let start_edges = fleet.primary().snapshot().num_edges();
+
+    let completed = AtomicUsize::new(0);
+    // The writer's freshest commit token, published so clients can
+    // chain read-your-writes requests from it.
+    let watermark = AtomicU64::new(0);
+    let client_panicked = AtomicBool::new(false);
+    struct PanicFlag<'a>(&'a AtomicBool);
+    impl Drop for PanicFlag<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.store(true, Ordering::Release);
+            }
+        }
+    }
+    let (update_latency, client_results) = std::thread::scope(|scope| {
+        let fleet = &fleet;
+        let writer = scope.spawn(|| {
+            let mut update_latency = Latencies::new();
+            for (j, update) in updates.iter().copied().enumerate() {
+                let target = (j * queries_per_round / updates_per_round.max(1))
+                    .min(total_queries.saturating_sub(1));
+                while completed.load(Ordering::Acquire) < target {
+                    if client_panicked.load(Ordering::Acquire) {
+                        return update_latency;
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                // The writer's cost per event: primary mutation +
+                // snapshot publication + the durable-log append the
+                // replicas tail.
+                let commit = update_latency.time(|| fleet.commit(update));
+                watermark.store(commit.version, Ordering::Release);
+            }
+            update_latency
+        });
+        let client_handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let completed = &completed;
+                let watermark = &watermark;
+                let query_nodes = &query_nodes;
+                let client_panicked = &client_panicked;
+                scope.spawn(move || {
+                    let _unblock_writer = PanicFlag(client_panicked);
+                    let mut latencies = Latencies::new();
+                    let mut stats = QueryStats::default();
+                    let mut versions: Vec<u64> = Vec::new();
+                    let mut hits = 0u64;
+                    let mut deadline_misses = 0u64;
+                    let mut last_seen = 0u64;
+                    for i in (c..total_queries).step_by(clients) {
+                        let node = query_nodes
+                            .get(i % query_nodes.len())
+                            .copied()
+                            .expect("invariant: the query-node sample is non-empty");
+                        // Rotate through the consistency levels so the
+                        // router exercises all three resolution paths
+                        // under one run.
+                        let consistency = match i % 3 {
+                            0 => Consistency::Latest,
+                            1 => {
+                                // Read the writer's write: spell the
+                                // request in the shared wire form and
+                                // parse it back — the same round trip a
+                                // remote client would perform.
+                                let floor = watermark.load(Ordering::Acquire);
+                                format!("at-least:{floor}")
+                                    .parse::<Consistency>()
+                                    .expect("invariant: the consistency wire form round-trips")
+                            }
+                            _ => Consistency::Pinned(last_seen),
+                        };
+                        let priority = if i % 2 == 0 {
+                            Priority::Interactive
+                        } else {
+                            Priority::Batch
+                        };
+                        let request = Request::new(Query::SingleSource { node })
+                            .with_priority(priority)
+                            .with_consistency(consistency);
+                        let outcome = latencies.time(|| fleet.call(request));
+                        match outcome {
+                            Ok(response) => {
+                                last_seen = response.version;
+                                versions.push(response.version);
+                                if response.cache_hit {
+                                    hits += 1;
+                                } else {
+                                    stats.merge(&response.output.stats);
+                                }
+                            }
+                            Err(FleetError::Service(ServiceError::Query(
+                                probesim_core::QueryError::DeadlineExceeded { partial },
+                            ))) => {
+                                deadline_misses += 1;
+                                stats.merge(&partial);
+                            }
+                            // The catch-up budget ran out before any
+                            // replica reached the floor: the same
+                            // deadline-pressure signal, shed with a
+                            // typed error instead of partial work.
+                            Err(FleetError::LaggingReplicas { .. }) => {
+                                deadline_misses += 1;
+                            }
+                            Err(other) => unreachable!(
+                                "unexpected fleet error under an uncontended run: {other}"
+                            ),
+                        }
+                        completed.fetch_add(1, Ordering::Release);
+                    }
+                    (latencies, stats, versions, hits, deadline_misses)
+                })
+            })
+            .collect();
+        let update_latency = writer
+            .join()
+            .expect("invariant: the writer thread joins cleanly (its panic propagates here)");
+        let client_results: Vec<_> = client_handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .expect("invariant: client threads join cleanly (their panics propagate here)")
+            })
+            .collect();
+        (update_latency, client_results)
+    });
+
+    let mut query_latency = Latencies::new();
+    let mut query_stats = QueryStats::default();
+    let mut distinct_versions: Vec<u64> = Vec::new();
+    let mut cache_hits = 0u64;
+    let mut deadline_exceeded = 0u64;
+    let mut queries_executed = 0usize;
+    for (latencies, stats, versions, hits, misses) in client_results {
+        queries_executed += latencies.count();
+        for &sample in latencies.samples() {
+            query_latency.push(sample);
+        }
+        query_stats.merge(&stats);
+        distinct_versions.extend(versions);
+        cache_hits += hits;
+        deadline_exceeded += misses;
+    }
+    distinct_versions.sort_unstable();
+    distinct_versions.dedup();
+
+    // The agreement check: once replication drains, every replica's
+    // edge set must hash identically to the primary's — the log really
+    // did fan the same history out to the whole fleet.
+    let final_version = fleet.version();
+    assert!(
+        fleet.wait_for_replication(final_version, Duration::from_secs(30)),
+        "replicas catch up to version {final_version} once the writer stops"
+    );
+    let final_hash = graph_state_hash(n, fleet.primary().snapshot().edges_iter());
+    for replica in fleet.replicas() {
+        let replica_hash = graph_state_hash(n, replica.service().snapshot().edges_iter());
+        assert!(
+            replica_hash == final_hash,
+            "replica {} final state diverged from the primary",
+            replica.slot()
+        );
+    }
+
+    ScenarioResult {
+        spec: *spec,
+        seed,
+        scale_name: scale_name(scale),
+        dataset: format!(
+            "sliding_window(n={n}, window={window}) x {replicas} replicas x {clients} clients"
+        ),
+        nodes: n,
+        edges: start_edges,
+        epsilon: spec.epsilon,
+        queries_executed,
+        query_latency,
+        update_latency: Some(update_latency),
+        query_stats,
+        final_state_hash: Some(final_hash),
+        work_deterministic: spec.work_deterministic(),
+        versions_observed: Some(distinct_versions.len() as u64),
+        cache_hits: Some(cache_hits),
+        // Scheduling-dependent (hits need no effective commit in
+        // between) — not reported, so the tight gate stays armed only
+        // where it is deterministic.
         cache_hit_rate: None,
         deadline_exceeded: Some(deadline_exceeded),
     }
@@ -1605,6 +1910,33 @@ mod tests {
         assert!(result.versions_observed.unwrap() >= 1);
         // The writer applies the whole seeded stream regardless of the
         // race, so the final graph state is deterministic.
+        let again = run_scenario(&spec, Scale::Ci, 7);
+        assert_eq!(result.final_state_hash, again.final_state_hash);
+        assert!(result.final_state_hash.is_some());
+    }
+
+    #[test]
+    fn fleet_replicated_serves_the_mix_and_replicas_agree() {
+        let spec = find("fleet_replicated_serving").unwrap();
+        assert_eq!(spec.kind_name(), "fleet");
+        assert!(spec.is_dynamic());
+        assert!(!spec.work_deterministic());
+        let result = run_scenario(&spec, Scale::Ci, 7);
+        assert_eq!(result.queries_executed, spec.queries);
+        assert_eq!(result.query_latency.count(), spec.queries);
+        let updates = result.update_latency.as_ref().unwrap().count();
+        assert_eq!(
+            updates,
+            spec.queries / 4,
+            "1:4 update:query ratio commits one update per four queries"
+        );
+        assert!(result.query_stats.walks > 0 || result.cache_hits.unwrap() > 0);
+        // Scheduling-dependent hit pattern: never reported as a rate.
+        assert_eq!(result.cache_hit_rate, None);
+        assert!(result.versions_observed.unwrap() >= 1);
+        // The writer commits the whole seeded stream through the log
+        // regardless of the race, so the final fingerprint — already
+        // checked replica-by-replica inside the run — is deterministic.
         let again = run_scenario(&spec, Scale::Ci, 7);
         assert_eq!(result.final_state_hash, again.final_state_hash);
         assert!(result.final_state_hash.is_some());

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+//! # probesim-fleet
+//!
+//! The fifth tier of the ProbeSim stack — **storage → probe → session →
+//! service → fleet** — turning the single-process
+//! [`QueryService`](probesim_service::QueryService) into a replicated
+//! serving group with one write path and consistency-aware reads.
+//!
+//! Three pieces:
+//!
+//! * [`UpdateLog`] — the durable, replayable record of every effective
+//!   mutation, with blocking [`LogCursor`] tailing and a checksummed,
+//!   truncation-detecting binary codec ([`encode_log`]/[`decode_log`]);
+//! * [`Replica`] — a private store + service kept current by tailing
+//!   the log in LSN order, publishing its applied version through the
+//!   shared [`ReplicaRegistry`];
+//! * [`Fleet`] — the facade: [`Fleet::commit`] gives writers a
+//!   [`Commit`] token (read-your-writes in one line), [`Fleet::call`]
+//!   routes each request to an eligible, least-loaded endpoint and
+//!   sheds load with typed [`FleetError`]s.
+//!
+//! The core invariant, inherited from the versioned store and enforced
+//! on the write path: **LSN ≡ store version**. Every effective mutation
+//! bumps exactly one log record and one store version, so "replica
+//! applied LSN `v`" and "replica serves snapshot version `v`" are the
+//! same statement, and any two endpoints at the same version return
+//! bit-identical scores.
+//!
+//! ```
+//! use probesim_core::{ProbeSimConfig, Query};
+//! use probesim_fleet::Fleet;
+//! use probesim_graph::{CsrGraph, GraphUpdate};
+//! use probesim_service::{Consistency, Request};
+//!
+//! let base = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+//! let fleet = Fleet::builder(ProbeSimConfig::new(0.36, 0.05, 0.01).with_seed(7))
+//!     .replicas(2)
+//!     .build(base);
+//!
+//! // Write through the fleet, then read your own write.
+//! let commit = fleet.commit(GraphUpdate::Insert { u: 2, v: 0 });
+//! let response = fleet
+//!     .call(
+//!         Request::new(Query::SingleSource { node: 0 })
+//!             .with_consistency(Consistency::AtLeastVersion(commit.version)),
+//!     )
+//!     .expect("a caught-up replica serves the read");
+//! assert!(response.version >= commit.version);
+//! ```
+
+mod log;
+mod registry;
+mod replica;
+mod router;
+
+pub use crate::log::{
+    decode_log, encode_log, read_log_file, write_log_file, LogCursor, LogRecord, UpdateLog,
+};
+pub use crate::registry::ReplicaRegistry;
+pub use crate::replica::Replica;
+pub use crate::router::{Fleet, FleetBuilder, FleetError, ReplicaStatus};
+
+pub use probesim_graph::Commit;

@@ -1,0 +1,507 @@
+//! The durable, replayable update log.
+//!
+//! Every effective graph mutation the fleet accepts is recorded here as
+//! a [`LogRecord`] before any replica sees it. The log is the fleet's
+//! source of truth: a replica that tails it from LSN 1 and applies each
+//! record in order reconstructs the primary's exact store state, because
+//! LSNs and store versions advance in lockstep (every effective mutation
+//! bumps exactly one of each — see [`crate::Fleet::commit`]).
+//!
+//! Two halves:
+//!
+//! * an **in-memory segment** — an append-only `Vec<LogRecord>` behind a
+//!   mutex, with condvar-driven [`LogCursor`]s so tailing replicas block
+//!   on new records instead of spinning;
+//! * a **binary file codec** ([`encode_log`] / [`decode_log`] and the
+//!   `*_file` wrappers) in the spirit of `probesim-graph`'s CSR codec:
+//!   magic + format version + record count header, then length-prefixed,
+//!   per-record checksummed entries. Decoding detects bad magic, format
+//!   drift, truncated tails, flipped bits, and LSN gaps, reporting each
+//!   as [`GraphError::Corrupt`].
+
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use probesim_graph::{FxHasher, GraphError, GraphUpdate, NodeId};
+
+use std::hash::Hasher;
+
+/// One logged mutation: the log sequence number and the update itself.
+///
+/// LSNs start at 1 and are contiguous; record `lsn` is always the
+/// `lsn`-th record in the log. By the fleet's write-path construction,
+/// `lsn` also equals the store version a replica reaches after applying
+/// the record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Log sequence number (1-based, contiguous).
+    pub lsn: u64,
+    /// The graph mutation to apply.
+    pub update: GraphUpdate,
+}
+
+/// Magic bytes opening every serialized log: "PSLG" (ProbeSim LoG).
+const MAGIC: &[u8; 4] = b"PSLG";
+/// Bump on any incompatible layout change.
+const VERSION: u32 = 1;
+/// Serialized payload size of one record: lsn (8) + kind (1) +
+/// u (4) + v (4) + checksum (8).
+const RECORD_BYTES: u32 = 25;
+
+struct LogInner {
+    /// Lock order: `fleet::records` may be held while acquiring the
+    /// primary service's locks (the fleet's write path appends under it
+    /// via [`UpdateLog::append_with`]); nothing that holds a service
+    /// lock ever acquires it.
+    records: Mutex<Vec<LogRecord>>,
+    /// Signaled (with `records` held) after every append, waking
+    /// [`LogCursor::wait_next`].
+    appended: Condvar,
+}
+
+/// The shared, append-only update log. Cloning is cheap (`Arc` bump)
+/// and every clone views the same records.
+#[derive(Clone)]
+pub struct UpdateLog {
+    inner: Arc<LogInner>,
+}
+
+impl Default for UpdateLog {
+    fn default() -> Self {
+        UpdateLog::new()
+    }
+}
+
+impl std::fmt::Debug for UpdateLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateLog")
+            .field("last_lsn", &self.last_lsn())
+            .finish()
+    }
+}
+
+impl UpdateLog {
+    /// An empty log; the first appended record gets LSN 1.
+    pub fn new() -> UpdateLog {
+        UpdateLog {
+            inner: Arc::new(LogInner {
+                records: Mutex::new(Vec::new()),
+                appended: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A log pre-seeded with already-decoded records (replay /
+    /// recovery). The records must be contiguous from LSN 1, which
+    /// [`decode_log`] guarantees.
+    pub fn from_records(records: Vec<LogRecord>) -> UpdateLog {
+        let log = UpdateLog::new();
+        {
+            let mut guard = log.inner.records.lock().expect("log records poisoned");
+            *guard = records;
+        }
+        log
+    }
+
+    /// Appends one update, assigning the next LSN. Returns the record.
+    pub fn append(&self, update: GraphUpdate) -> LogRecord {
+        self.append_with(|_| Some(update))
+            .expect("invariant: an unconditional producer always appends")
+    }
+
+    /// Runs `produce` under the log's append lock with the LSN the next
+    /// record would get. If it returns an update, the record is
+    /// appended atomically (no other append can interleave) and tailing
+    /// cursors are woken; `None` appends nothing. This is the fleet's
+    /// write-path hook: the primary store mutation and the log append
+    /// happen under one critical section, so LSNs and store versions
+    /// cannot diverge.
+    pub fn append_with<F>(&self, produce: F) -> Option<LogRecord>
+    where
+        F: FnOnce(u64) -> Option<GraphUpdate>,
+    {
+        let mut records = self.inner.records.lock().expect("log records poisoned");
+        let next_lsn = records.len() as u64 + 1;
+        let update = produce(next_lsn)?;
+        let record = LogRecord {
+            lsn: next_lsn,
+            update,
+        };
+        records.push(record);
+        self.inner.appended.notify_all();
+        Some(record)
+    }
+
+    /// The LSN of the newest record (0 when empty).
+    pub fn last_lsn(&self) -> u64 {
+        self.inner
+            .records
+            .lock()
+            .expect("log records poisoned")
+            .len() as u64
+    }
+
+    /// Copies out every record with `lsn >= from_lsn`, in LSN order.
+    pub fn records_from(&self, from_lsn: u64) -> Vec<LogRecord> {
+        let records = self.inner.records.lock().expect("log records poisoned");
+        let skip = from_lsn.saturating_sub(1).min(records.len() as u64) as usize;
+        records.iter().skip(skip).copied().collect()
+    }
+
+    /// A cursor positioned at `from_lsn` (1 tails the whole log).
+    pub fn tail(&self, from_lsn: u64) -> LogCursor {
+        LogCursor {
+            log: self.clone(),
+            next_lsn: from_lsn.max(1),
+        }
+    }
+
+    /// Serializes every record (see [`encode_log`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let records = self.inner.records.lock().expect("log records poisoned");
+        encode_log(&records)
+    }
+
+    /// Deserializes a log previously produced by [`UpdateLog::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<UpdateLog, GraphError> {
+        Ok(UpdateLog::from_records(decode_log(bytes)?))
+    }
+}
+
+/// A tailing read position into an [`UpdateLog`]. Each call returns the
+/// records the cursor has not yet seen, in LSN order, and advances.
+#[derive(Debug)]
+pub struct LogCursor {
+    log: UpdateLog,
+    next_lsn: u64,
+}
+
+impl LogCursor {
+    /// The LSN the next returned record will have.
+    pub fn position(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Returns all currently-available unseen records without blocking
+    /// (empty when caught up).
+    pub fn next_batch(&mut self) -> Vec<LogRecord> {
+        let batch = self.log.records_from(self.next_lsn);
+        self.next_lsn += batch.len() as u64;
+        batch
+    }
+
+    /// Like [`LogCursor::next_batch`], but blocks up to `timeout` for
+    /// at least one new record. Returns an empty batch on timeout.
+    pub fn wait_next(&mut self, timeout: Duration) -> Vec<LogRecord> {
+        let inner = &self.log.inner;
+        let records = inner.records.lock().expect("log records poisoned");
+        let want = self.next_lsn;
+        let (records, _timed_out) = inner
+            .appended
+            .wait_timeout_while(records, timeout, |recs| (recs.len() as u64) < want)
+            .expect("log records poisoned");
+        let skip = want.saturating_sub(1).min(records.len() as u64) as usize;
+        let batch: Vec<LogRecord> = records.iter().skip(skip).copied().collect();
+        self.next_lsn += batch.len() as u64;
+        batch
+    }
+}
+
+fn record_checksum(record: &LogRecord) -> u64 {
+    let (u, v) = record.update.edge();
+    let mut hasher = FxHasher::default();
+    hasher.write_u64(record.lsn);
+    hasher.write_u8(u8::from(record.update.is_insert()));
+    hasher.write_u32(u);
+    hasher.write_u32(v);
+    hasher.finish()
+}
+
+fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if bytes.len() < n {
+        return None;
+    }
+    let (head, rest) = bytes.split_at(n);
+    *bytes = rest;
+    Some(head)
+}
+
+fn take_u8(bytes: &mut &[u8]) -> Option<u8> {
+    take(bytes, 1).map(|b| b.first().copied().unwrap_or(0))
+}
+
+fn take_u32(bytes: &mut &[u8]) -> Option<u32> {
+    take(bytes, 4).map(|b| {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(b);
+        u32::from_le_bytes(raw)
+    })
+}
+
+fn take_u64(bytes: &mut &[u8]) -> Option<u64> {
+    take(bytes, 8).map(|b| {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        u64::from_le_bytes(raw)
+    })
+}
+
+/// Serializes a record slice: `MAGIC | version | count`, then for every
+/// record a `u32` length prefix followed by the payload and its
+/// [`FxHasher`] checksum.
+pub fn encode_log(records: &[LogRecord]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + records.len() * (RECORD_BYTES as usize + 4));
+    buf.extend_from_slice(MAGIC);
+    put_u32(&mut buf, VERSION);
+    put_u64(&mut buf, records.len() as u64);
+    for record in records {
+        let (u, v) = record.update.edge();
+        put_u32(&mut buf, RECORD_BYTES);
+        put_u64(&mut buf, record.lsn);
+        buf.push(u8::from(record.update.is_insert()));
+        put_u32(&mut buf, u);
+        put_u32(&mut buf, v);
+        put_u64(&mut buf, record_checksum(record));
+    }
+    buf
+}
+
+/// Decodes a serialized log, validating magic, format version, record
+/// framing, per-record checksums and LSN contiguity (records must run
+/// 1, 2, … without gaps). Any violation — including a log whose tail
+/// was cut off mid-record — is [`GraphError::Corrupt`].
+pub fn decode_log(mut bytes: &[u8]) -> Result<Vec<LogRecord>, GraphError> {
+    let bytes = &mut bytes;
+    let magic = take(bytes, 4).ok_or_else(|| GraphError::Corrupt("truncated header".into()))?;
+    if magic != MAGIC {
+        return Err(GraphError::Corrupt(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let version = take_u32(bytes).ok_or_else(|| GraphError::Corrupt("truncated header".into()))?;
+    if version != VERSION {
+        return Err(GraphError::Corrupt(format!(
+            "unsupported log format version {version}, expected {VERSION}"
+        )));
+    }
+    let count = take_u64(bytes).ok_or_else(|| GraphError::Corrupt("truncated header".into()))?;
+    let capacity = usize::try_from(count)
+        .ok()
+        .filter(|c| c.checked_mul(RECORD_BYTES as usize + 4).is_some())
+        .ok_or_else(|| GraphError::Corrupt(format!("implausible record count {count}")))?;
+    let mut records = Vec::with_capacity(capacity.min(1 << 20));
+    for expected_lsn in 1..=count {
+        let len =
+            take_u32(bytes).ok_or_else(|| GraphError::Corrupt("truncated record prefix".into()))?;
+        if len != RECORD_BYTES {
+            return Err(GraphError::Corrupt(format!(
+                "record {expected_lsn}: length {len}, expected {RECORD_BYTES}"
+            )));
+        }
+        let mut payload = take(bytes, len as usize)
+            .ok_or_else(|| GraphError::Corrupt("truncated record".into()))?;
+        let payload = &mut payload;
+        let lsn = take_u64(payload).unwrap_or(0);
+        let kind = take_u8(payload).unwrap_or(2);
+        let u: NodeId = take_u32(payload).unwrap_or(0);
+        let v: NodeId = take_u32(payload).unwrap_or(0);
+        let stored_checksum = take_u64(payload).unwrap_or(0);
+        let update = match kind {
+            0 => GraphUpdate::Remove { u, v },
+            1 => GraphUpdate::Insert { u, v },
+            other => {
+                return Err(GraphError::Corrupt(format!(
+                    "record {expected_lsn}: unknown update kind {other}"
+                )))
+            }
+        };
+        let record = LogRecord { lsn, update };
+        if record_checksum(&record) != stored_checksum {
+            return Err(GraphError::Corrupt(format!(
+                "record {expected_lsn}: checksum mismatch"
+            )));
+        }
+        if lsn != expected_lsn {
+            return Err(GraphError::Corrupt(format!(
+                "LSN gap: record {expected_lsn} carries LSN {lsn}"
+            )));
+        }
+        records.push(record);
+    }
+    if !bytes.is_empty() {
+        return Err(GraphError::Corrupt(format!(
+            "{} trailing bytes after the last record",
+            bytes.len()
+        )));
+    }
+    Ok(records)
+}
+
+/// Writes a serialized log to a file.
+pub fn write_log_file<P: AsRef<Path>>(path: P, records: &[LogRecord]) -> Result<(), GraphError> {
+    std::fs::write(path, encode_log(records))?;
+    Ok(())
+}
+
+/// Reads a serialized log from a file.
+pub fn read_log_file<P: AsRef<Path>>(path: P) -> Result<Vec<LogRecord>, GraphError> {
+    decode_log(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord {
+                lsn: 1,
+                update: GraphUpdate::Insert { u: 0, v: 1 },
+            },
+            LogRecord {
+                lsn: 2,
+                update: GraphUpdate::Insert { u: 1, v: 2 },
+            },
+            LogRecord {
+                lsn: 3,
+                update: GraphUpdate::Remove { u: 0, v: 1 },
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let records = sample_records();
+        assert_eq!(decode_log(&encode_log(&records)).unwrap(), records);
+        assert_eq!(decode_log(&encode_log(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        let mut buf = encode_log(&sample_records());
+        buf[0] = b'X';
+        assert!(matches!(decode_log(&buf), Err(GraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn wrong_version_is_corrupt() {
+        let mut buf = encode_log(&sample_records());
+        buf[4] = 9;
+        let err = decode_log(&buf).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncated_tail_is_detected() {
+        let full = encode_log(&sample_records());
+        // Every possible truncation point must fail — a cut-off tail
+        // can never silently decode to a shorter log.
+        for keep in 0..full.len() {
+            let err = decode_log(&full[..keep]).unwrap_err();
+            assert!(
+                matches!(err, GraphError::Corrupt(_)),
+                "truncation at {keep} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let mut buf = encode_log(&sample_records());
+        let target = buf.len() - 13; // inside the last record's node ids
+        buf[target] ^= 0x40;
+        let err = decode_log(&buf).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn lsn_gap_is_corrupt() {
+        let mut records = sample_records();
+        records[2].lsn = 7;
+        let err = decode_log(&encode_log(&records)).unwrap_err();
+        assert!(err.to_string().contains("LSN gap"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_corrupt() {
+        let mut buf = encode_log(&sample_records());
+        buf.extend_from_slice(&[0, 1, 2]);
+        let err = decode_log(&buf).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn append_assigns_contiguous_lsns() {
+        let log = UpdateLog::new();
+        assert_eq!(log.last_lsn(), 0);
+        let first = log.append(GraphUpdate::Insert { u: 0, v: 1 });
+        let second = log.append(GraphUpdate::Insert { u: 1, v: 2 });
+        assert_eq!((first.lsn, second.lsn), (1, 2));
+        assert_eq!(log.last_lsn(), 2);
+    }
+
+    #[test]
+    fn append_with_none_appends_nothing() {
+        let log = UpdateLog::new();
+        assert_eq!(log.append_with(|_| None), None);
+        assert_eq!(log.last_lsn(), 0);
+    }
+
+    #[test]
+    fn cursor_sees_records_in_order_and_only_once() {
+        let log = UpdateLog::new();
+        let mut cursor = log.tail(1);
+        assert!(cursor.next_batch().is_empty());
+        log.append(GraphUpdate::Insert { u: 0, v: 1 });
+        log.append(GraphUpdate::Insert { u: 1, v: 2 });
+        let batch = cursor.next_batch();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].lsn, 1);
+        assert_eq!(batch[1].lsn, 2);
+        assert!(cursor.next_batch().is_empty());
+        log.append(GraphUpdate::Remove { u: 0, v: 1 });
+        let batch = cursor.wait_next(Duration::from_millis(50));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].lsn, 3);
+    }
+
+    #[test]
+    fn wait_next_wakes_on_append() {
+        let log = UpdateLog::new();
+        let tail = log.clone();
+        let handle = std::thread::spawn(move || {
+            let mut cursor = tail.tail(1);
+            cursor.wait_next(Duration::from_secs(10))
+        });
+        // The cursor thread blocks until this append lands.
+        std::thread::sleep(Duration::from_millis(10));
+        log.append(GraphUpdate::Insert { u: 2, v: 3 });
+        let batch = handle.join().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].update, GraphUpdate::Insert { u: 2, v: 3 });
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "probesim-log-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("updates.pslg");
+        let records = sample_records();
+        write_log_file(&path, &records).unwrap();
+        assert_eq!(read_log_file(&path).unwrap(), records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,179 @@
+//! The shared applied-version registry.
+//!
+//! Each replica owns one slot and publishes the store version it has
+//! applied up to; the router reads the slots to pick an eligible
+//! replica and blocks on the paired condvar when a consistency level
+//! demands a version no replica has reached yet.
+//!
+//! Versions live in plain `AtomicU64`s so the hot read path
+//! ([`ReplicaRegistry::applied`], [`ReplicaRegistry::newest_applied`])
+//! is a cheap snapshot read with no lock traffic. The `registry` mutex
+//! guards nothing but the condvar handshake: publishers store the
+//! atomic first, then take the mutex to notify, so a waiter that checks
+//! the predicate under the mutex can never miss a wakeup.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+struct RegistryInner {
+    /// Slot `i` holds replica `i`'s applied store version.
+    applied: Vec<AtomicU64>,
+    /// Lock order: `fleet::registry` is a leaf — it is never held
+    /// across any other acquisition (publish and wait both take it
+    /// alone).
+    registry: Mutex<()>,
+    /// Signaled (with `registry` held) after every publish.
+    caught_up: Condvar,
+}
+
+/// Shared registry of per-replica applied versions. Cloning is cheap
+/// (`Arc` bump) and every clone views the same slots.
+#[derive(Clone)]
+pub struct ReplicaRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for ReplicaRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaRegistry")
+            .field("applied", &self.applied_versions())
+            .finish()
+    }
+}
+
+impl ReplicaRegistry {
+    /// A registry with `slots` replica slots, all at version 0.
+    pub fn new(slots: usize) -> ReplicaRegistry {
+        ReplicaRegistry {
+            inner: Arc::new(RegistryInner {
+                applied: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+                registry: Mutex::new(()),
+                caught_up: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Number of replica slots.
+    pub fn slots(&self) -> usize {
+        self.inner.applied.len()
+    }
+
+    /// Records that replica `slot` has applied up to `version` and
+    /// wakes every waiter.
+    pub fn publish_applied(&self, slot: usize, version: u64) {
+        self.inner
+            .applied
+            .get(slot)
+            .expect("invariant: replica slot within registry capacity")
+            .store(version, Ordering::Release);
+        // Taking the mutex after the store orders the publish before
+        // any predicate check a waiter performs under the same mutex.
+        let _guard = self.inner.registry.lock().expect("registry poisoned");
+        self.inner.caught_up.notify_all();
+    }
+
+    /// Replica `slot`'s applied version.
+    pub fn applied(&self, slot: usize) -> u64 {
+        self.inner
+            .applied
+            .get(slot)
+            .expect("invariant: replica slot within registry capacity")
+            .load(Ordering::Acquire)
+    }
+
+    /// Every slot's applied version, in slot order.
+    pub fn applied_versions(&self) -> Vec<u64> {
+        self.inner
+            .applied
+            .iter()
+            .map(|slot| slot.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// The most advanced replica's applied version (0 with no slots).
+    pub fn newest_applied(&self) -> u64 {
+        self.inner
+            .applied
+            .iter()
+            .map(|slot| slot.load(Ordering::Acquire))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The least advanced replica's applied version (0 with no slots).
+    pub fn oldest_applied(&self) -> u64 {
+        self.inner
+            .applied
+            .iter()
+            .map(|slot| slot.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Blocks until at least one replica has applied `version`, up to
+    /// `timeout`. Returns whether the condition holds on return.
+    pub fn wait_for_any_at_least(&self, version: u64, timeout: Duration) -> bool {
+        self.wait_until(timeout, || self.newest_applied() >= version)
+    }
+
+    /// Blocks until **every** replica has applied `version`, up to
+    /// `timeout`. Returns whether the condition holds on return.
+    pub fn wait_for_all_at_least(&self, version: u64, timeout: Duration) -> bool {
+        self.wait_until(timeout, || {
+            self.slots() == 0 || self.oldest_applied() >= version
+        })
+    }
+
+    fn wait_until<F: Fn() -> bool>(&self, timeout: Duration, reached: F) -> bool {
+        if reached() {
+            return true;
+        }
+        let guard = self.inner.registry.lock().expect("registry poisoned");
+        let (_guard, _timed_out) = self
+            .inner
+            .caught_up
+            .wait_timeout_while(guard, timeout, |()| !reached())
+            .expect("registry poisoned");
+        reached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_read_back() {
+        let registry = ReplicaRegistry::new(3);
+        assert_eq!(registry.applied_versions(), vec![0, 0, 0]);
+        registry.publish_applied(1, 5);
+        registry.publish_applied(2, 3);
+        assert_eq!(registry.applied(1), 5);
+        assert_eq!(registry.newest_applied(), 5);
+        assert_eq!(registry.oldest_applied(), 0);
+        assert_eq!(registry.applied_versions(), vec![0, 5, 3]);
+    }
+
+    #[test]
+    fn wait_times_out_when_nobody_catches_up() {
+        let registry = ReplicaRegistry::new(1);
+        assert!(!registry.wait_for_any_at_least(1, Duration::from_millis(20)));
+        assert!(registry.wait_for_any_at_least(0, Duration::ZERO));
+    }
+
+    #[test]
+    fn wait_wakes_on_publish() {
+        let registry = ReplicaRegistry::new(2);
+        let waiter = registry.clone();
+        let handle =
+            std::thread::spawn(move || waiter.wait_for_any_at_least(4, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(10));
+        registry.publish_applied(0, 4);
+        assert!(handle.join().unwrap());
+        // All-replica wait still fails: slot 1 is behind.
+        assert!(!registry.wait_for_all_at_least(4, Duration::from_millis(20)));
+        registry.publish_applied(1, 4);
+        assert!(registry.wait_for_all_at_least(4, Duration::ZERO));
+    }
+}

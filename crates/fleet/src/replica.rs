@@ -1,0 +1,112 @@
+//! A serving replica: a private `GraphStore` + `QueryService` kept
+//! current by tailing the fleet's update log on a background thread.
+//!
+//! The tailer applies records strictly in LSN order. Because every log
+//! record was effective on the primary and every replica starts from
+//! the same base graph, each record is effective on the replica too, so
+//! the replica's store version after applying record `lsn` is exactly
+//! `lsn` — the invariant the router's version arithmetic rests on. The
+//! reached version is published to the shared [`ReplicaRegistry`] after
+//! every applied record.
+//!
+//! This file is on the analyzer's clock allowlist: the optional
+//! `apply_delay` (replication-lag injection for tests and benchmarks)
+//! sleeps between records, and the tailer's shutdown poll bounds its
+//! condvar waits with a real timeout.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use probesim_service::QueryService;
+
+use crate::log::UpdateLog;
+use crate::registry::ReplicaRegistry;
+
+/// How long the tailer blocks for new records before re-checking the
+/// shutdown flag.
+const TAIL_POLL: Duration = Duration::from_millis(5);
+
+/// One log-tailing serving replica. Dropping it stops and joins the
+/// tailer thread.
+pub struct Replica {
+    service: Arc<QueryService>,
+    slot: usize,
+    shutdown: Arc<AtomicBool>,
+    tailer: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("slot", &self.slot)
+            .field("applied", &self.service.version())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Replica {
+    /// Spawns the tailer thread for `service` (already seeded with the
+    /// fleet's base graph), applying records from `log` and publishing
+    /// progress to `registry` slot `slot`. `apply_delay` injects
+    /// replication lag before each applied record.
+    pub(crate) fn spawn(
+        service: Arc<QueryService>,
+        slot: usize,
+        log: &UpdateLog,
+        registry: ReplicaRegistry,
+        apply_delay: Option<Duration>,
+    ) -> Replica {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let tailer = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&shutdown);
+            let mut cursor = log.tail(1);
+            std::thread::Builder::new()
+                .name(format!("probesim-replica-{slot}"))
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let batch = cursor.wait_next(TAIL_POLL);
+                        for record in batch {
+                            if let Some(delay) = apply_delay {
+                                std::thread::sleep(delay);
+                            }
+                            let commit = service.commit(record.update);
+                            debug_assert_eq!(
+                                commit.version, record.lsn,
+                                "replica version diverged from the log LSN"
+                            );
+                            registry.publish_applied(slot, commit.version);
+                        }
+                    }
+                })
+                .expect("invariant: the OS spawns replica tailer threads")
+        };
+        Replica {
+            service,
+            slot,
+            shutdown,
+            tailer: Some(tailer),
+        }
+    }
+
+    /// The replica's serving endpoint.
+    pub fn service(&self) -> &Arc<QueryService> {
+        &self.service
+    }
+
+    /// The replica's registry slot.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.tailer.take() {
+            let _ = handle.join();
+        }
+    }
+}

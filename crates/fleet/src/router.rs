@@ -1,0 +1,422 @@
+//! The consistency-aware router and the fleet facade.
+//!
+//! A [`Fleet`] owns one **primary** (the only store mutations enter),
+//! the shared [`UpdateLog`], and a set of log-tailing [`Replica`]s.
+//! The request lifecycle is *append → replicate → route → answer*:
+//!
+//! 1. [`Fleet::commit`] applies the update to the primary and appends
+//!    it to the log in one critical section, so the record's LSN equals
+//!    the store version the update produced — the returned
+//!    [`Commit`] token is immediately usable as
+//!    `Consistency::AtLeastVersion(commit.version)`;
+//! 2. replicas tail the log and publish their applied versions through
+//!    the [`ReplicaRegistry`];
+//! 3. [`Fleet::call`] routes by consistency level — `Latest` to the
+//!    primary, `AtLeastVersion(v)` to any caught-up replica (blocking
+//!    on replication lag up to the request's deadline budget),
+//!    `Pinned(v)` to a replica still retaining `v` — picking the
+//!    least-loaded eligible endpoint and shedding load with typed
+//!    errors when the queue or the replication lag would blow the
+//!    deadline;
+//! 4. the chosen `QueryService` answers against its own snapshot.
+//!
+//! This file is on the analyzer's clock allowlist: routing measures the
+//! catch-up wait to shrink the deadline it forwards downstream.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use probesim_core::ProbeSimConfig;
+use probesim_graph::{Commit, CsrGraph, GraphStore, GraphUpdate};
+use probesim_service::{
+    Consistency, QueryService, Request, Response, ServiceBuilder, ServiceError,
+};
+
+use crate::log::UpdateLog;
+use crate::registry::ReplicaRegistry;
+use crate::replica::Replica;
+
+/// Errors the fleet adds on top of [`ServiceError`].
+#[derive(Debug)]
+pub enum FleetError {
+    /// The chosen endpoint failed the request (query error, version not
+    /// retained, shutdown, …).
+    Service(ServiceError),
+    /// Every eligible endpoint's queue is at the admission limit; the
+    /// request was shed instead of queued behind it.
+    Overloaded {
+        /// Queue depth of the least-loaded eligible endpoint.
+        queue_depth: u64,
+        /// The fleet's admission limit ([`FleetBuilder::max_pending`]).
+        limit: u64,
+    },
+    /// No replica reached the requested version within the deadline
+    /// budget.
+    LaggingReplicas {
+        /// The version the request demanded.
+        requested: u64,
+        /// The most advanced replica's applied version at give-up time.
+        newest_applied: u64,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Service(err) => write!(f, "service error: {err}"),
+            FleetError::Overloaded { queue_depth, limit } => write!(
+                f,
+                "overloaded: least-loaded eligible endpoint has {queue_depth} queued (limit {limit})"
+            ),
+            FleetError::LaggingReplicas {
+                requested,
+                newest_applied,
+            } => write!(
+                f,
+                "lagging replicas: requested version {requested}, newest applied {newest_applied}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Service(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServiceError> for FleetError {
+    fn from(err: ServiceError) -> FleetError {
+        FleetError::Service(err)
+    }
+}
+
+/// One row of [`Fleet::status`]: a cheap snapshot of a replica's
+/// replication and load state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Registry slot / replica index.
+    pub replica: usize,
+    /// Store version the replica has applied up to.
+    pub applied_version: u64,
+    /// Requests submitted but not yet answered.
+    pub queue_depth: u64,
+    /// Oldest version the replica can still serve `Pinned` reads for.
+    pub oldest_retained: u64,
+}
+
+/// Builder for a [`Fleet`]. Every endpoint (primary and replicas) gets
+/// an identically-configured `QueryService` over its own copy of the
+/// base graph.
+#[derive(Debug, Clone)]
+pub struct FleetBuilder {
+    config: ProbeSimConfig,
+    replicas: usize,
+    workers: usize,
+    cache_capacity: usize,
+    retained_versions: usize,
+    default_deadline: Option<Duration>,
+    max_pending: u64,
+    catch_up: Duration,
+    lag: Vec<Option<Duration>>,
+}
+
+impl FleetBuilder {
+    /// A builder with 2 replicas, 1 worker per endpoint, a 256-entry
+    /// cache, 8 retained versions, a 1024-deep admission limit and a
+    /// 250 ms catch-up budget for deadline-less reads.
+    pub fn new(config: ProbeSimConfig) -> FleetBuilder {
+        FleetBuilder {
+            config,
+            replicas: 2,
+            workers: 1,
+            cache_capacity: 256,
+            retained_versions: 8,
+            default_deadline: None,
+            max_pending: 1024,
+            catch_up: Duration::from_millis(250),
+            lag: Vec::new(),
+        }
+    }
+
+    /// Number of log-tailing replicas (min 1).
+    pub fn replicas(mut self, replicas: usize) -> FleetBuilder {
+        self.replicas = replicas.max(1);
+        self
+    }
+
+    /// Worker threads per endpoint.
+    pub fn workers(mut self, workers: usize) -> FleetBuilder {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Result-cache capacity per endpoint.
+    pub fn cache_capacity(mut self, capacity: usize) -> FleetBuilder {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Pinned-read retention window per endpoint.
+    pub fn retained_versions(mut self, retained: usize) -> FleetBuilder {
+        self.retained_versions = retained;
+        self
+    }
+
+    /// Default deadline forwarded to every endpoint.
+    pub fn default_deadline(mut self, deadline: Duration) -> FleetBuilder {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Admission limit: a request is shed with
+    /// [`FleetError::Overloaded`] when the least-loaded eligible
+    /// endpoint already has this many requests queued. Zero admits
+    /// nothing.
+    pub fn max_pending(mut self, limit: u64) -> FleetBuilder {
+        self.max_pending = limit;
+        self
+    }
+
+    /// How long an `AtLeastVersion` read without a deadline may block
+    /// on replication lag.
+    pub fn catch_up(mut self, budget: Duration) -> FleetBuilder {
+        self.catch_up = budget;
+        self
+    }
+
+    /// Injects replication lag: replica `slot` sleeps `delay` before
+    /// applying each log record (testing / lag-sensitivity benchmarks).
+    pub fn lag(mut self, slot: usize, delay: Duration) -> FleetBuilder {
+        if self.lag.len() <= slot {
+            self.lag.resize(slot + 1, None);
+        }
+        if let Some(entry) = self.lag.get_mut(slot) {
+            *entry = Some(delay);
+        }
+        self
+    }
+
+    /// Builds the fleet: one primary plus `replicas` tailing replicas,
+    /// each seeded with its own copy of `base`.
+    pub fn build(self, base: CsrGraph) -> Fleet {
+        let endpoint = |graph: CsrGraph| {
+            let mut builder = ServiceBuilder::new(self.config.clone())
+                .workers(self.workers)
+                .cache_capacity(self.cache_capacity)
+                .retained_versions(self.retained_versions);
+            if let Some(deadline) = self.default_deadline {
+                builder = builder.default_deadline(deadline);
+            }
+            Arc::new(builder.build(GraphStore::from_csr(graph)))
+        };
+        let log = UpdateLog::new();
+        let registry = ReplicaRegistry::new(self.replicas);
+        let primary = endpoint(base.clone());
+        let replicas = (0..self.replicas)
+            .map(|slot| {
+                let delay = self.lag.get(slot).copied().flatten();
+                Replica::spawn(endpoint(base.clone()), slot, &log, registry.clone(), delay)
+            })
+            .collect();
+        Fleet {
+            log,
+            registry,
+            primary,
+            replicas,
+            max_pending: self.max_pending,
+            catch_up: self.catch_up,
+        }
+    }
+}
+
+/// A replicated serving fleet (see the module docs for the request
+/// lifecycle). Dropping it stops every replica tailer.
+pub struct Fleet {
+    log: UpdateLog,
+    registry: ReplicaRegistry,
+    primary: Arc<QueryService>,
+    replicas: Vec<Replica>,
+    max_pending: u64,
+    catch_up: Duration,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("version", &self.version())
+            .field("replicas", &self.registry.applied_versions())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fleet {
+    /// Starts a [`FleetBuilder`].
+    pub fn builder(config: ProbeSimConfig) -> FleetBuilder {
+        FleetBuilder::new(config)
+    }
+
+    /// Applies one update through the primary and, if effective,
+    /// appends it to the log — atomically, under the log's append lock,
+    /// so the record's LSN equals the produced store version. The
+    /// returned token makes read-your-writes a one-liner:
+    /// `fleet.call(request.with_consistency(Consistency::AtLeastVersion(commit.version)))`.
+    ///
+    /// All fleet mutations must go through here (or
+    /// [`Fleet::commit_all`]); writing to the primary service directly
+    /// would desynchronize the log.
+    pub fn commit(&self, update: GraphUpdate) -> Commit {
+        let primary = &self.primary;
+        let mut token = None;
+        self.log.append_with(|next_lsn| {
+            let commit = primary.commit(update);
+            let effective = commit.was_effective();
+            debug_assert!(
+                !effective || commit.version == next_lsn,
+                "primary version diverged from the log LSN"
+            );
+            token = Some(commit);
+            effective.then_some(update)
+        });
+        token.expect("invariant: the append producer always runs")
+    }
+
+    /// Applies a batch in order; the returned token carries the final
+    /// version and the total number of effective updates.
+    pub fn commit_all<I: IntoIterator<Item = GraphUpdate>>(&self, updates: I) -> Commit {
+        let mut last = Commit {
+            version: self.version(),
+            effective: 0,
+        };
+        for update in updates {
+            let commit = self.commit(update);
+            last = Commit {
+                version: commit.version,
+                effective: last.effective + commit.effective,
+            };
+        }
+        last
+    }
+
+    /// Routes `request` by its consistency level and answers it.
+    pub fn call(&self, request: Request) -> Result<Response, FleetError> {
+        match request.consistency {
+            Consistency::Latest => self.dispatch(&[&self.primary], request),
+            Consistency::AtLeastVersion(version) => self.call_at_least(version, request),
+            Consistency::Pinned(version) => self.call_pinned(version, request),
+        }
+    }
+
+    fn call_at_least(&self, version: u64, request: Request) -> Result<Response, FleetError> {
+        // Block on replication lag, but never past the request's own
+        // deadline (or the builder's catch-up budget without one), and
+        // charge the wait against the deadline we forward.
+        let budget = request.deadline.unwrap_or(self.catch_up);
+        let started = Instant::now();
+        if !self.registry.wait_for_any_at_least(version, budget) {
+            return Err(FleetError::LaggingReplicas {
+                requested: version,
+                newest_applied: self.registry.newest_applied(),
+            });
+        }
+        let request = match request.deadline {
+            Some(deadline) => request.with_deadline(deadline.saturating_sub(started.elapsed())),
+            None => request,
+        };
+        let eligible: Vec<&Arc<QueryService>> = self
+            .replicas
+            .iter()
+            .filter(|replica| self.registry.applied(replica.slot()) >= version)
+            .map(Replica::service)
+            .collect();
+        self.dispatch(&eligible, request)
+    }
+
+    fn call_pinned(&self, version: u64, request: Request) -> Result<Response, FleetError> {
+        let eligible: Vec<&Arc<QueryService>> = self
+            .replicas
+            .iter()
+            .filter(|replica| {
+                self.registry.applied(replica.slot()) >= version
+                    && replica.service().oldest_retained_version() <= version
+            })
+            .map(Replica::service)
+            .collect();
+        if eligible.is_empty() {
+            // No replica retains it; the primary either serves the pin
+            // or produces the typed `VersionNotRetained` error.
+            return self.dispatch(&[&self.primary], request);
+        }
+        self.dispatch(&eligible, request)
+    }
+
+    /// Admission control + least-loaded selection over the eligible
+    /// endpoints, then a blocking call on the winner.
+    fn dispatch(
+        &self,
+        eligible: &[&Arc<QueryService>],
+        request: Request,
+    ) -> Result<Response, FleetError> {
+        let service = eligible
+            .iter()
+            .min_by_key(|service| service.queue_depth())
+            .expect("invariant: the router always offers at least one endpoint");
+        let queue_depth = service.queue_depth();
+        if queue_depth >= self.max_pending {
+            return Err(FleetError::Overloaded {
+                queue_depth,
+                limit: self.max_pending,
+            });
+        }
+        service.call(request).map_err(FleetError::Service)
+    }
+
+    /// The primary's newest published version.
+    pub fn version(&self) -> u64 {
+        self.primary.version()
+    }
+
+    /// The update log (replay, serialization, external tailing).
+    pub fn log(&self) -> &UpdateLog {
+        &self.log
+    }
+
+    /// The shared applied-version registry.
+    pub fn registry(&self) -> &ReplicaRegistry {
+        &self.registry
+    }
+
+    /// The primary endpoint (all `Latest` reads; never write to it
+    /// directly — use [`Fleet::commit`]).
+    pub fn primary(&self) -> &Arc<QueryService> {
+        &self.primary
+    }
+
+    /// The replicas, in slot order.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// A cheap per-replica snapshot of applied version, queue depth and
+    /// retention floor.
+    pub fn status(&self) -> Vec<ReplicaStatus> {
+        self.replicas
+            .iter()
+            .map(|replica| ReplicaStatus {
+                replica: replica.slot(),
+                applied_version: self.registry.applied(replica.slot()),
+                queue_depth: replica.service().queue_depth(),
+                oldest_retained: replica.service().oldest_retained_version(),
+            })
+            .collect()
+    }
+
+    /// Blocks until every replica has applied `version`, up to
+    /// `timeout`. Returns whether replication caught up.
+    pub fn wait_for_replication(&self, version: u64, timeout: Duration) -> bool {
+        self.registry.wait_for_all_at_least(version, timeout)
+    }
+}

@@ -68,10 +68,10 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use dynamic::{DynamicGraph, GraphUpdate};
 pub use error::GraphError;
-pub use hash::{FxHashMap, FxHashSet};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use overlay::OverlayGraph;
 pub use stats::DegreeStats;
-pub use store::{CompactionPolicy, GraphSnapshot, GraphStore, MutationObserver};
+pub use store::{Commit, CompactionPolicy, GraphSnapshot, GraphStore, MutationObserver};
 pub use view::GraphView;
 
 /// Dense node identifier. Graphs in this workspace address nodes as

@@ -139,6 +139,29 @@ pub struct GraphStore {
 /// invoked with the store's new version after each effective mutation.
 pub type MutationObserver = std::sync::Arc<dyn Fn(u64) + Send + Sync>;
 
+/// The receipt a mutation entry point returns ([`GraphStore::commit`],
+/// `QueryService::commit`, `Fleet::commit`): the store version after
+/// the operation and how many of its events were effective. `version`
+/// identifies the exact edge set the write produced (equal version ⇒
+/// identical edge set), so it slots directly into
+/// `Consistency::AtLeastVersion(commit.version)` for read-your-writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Commit {
+    /// The store version after the operation (unchanged when nothing
+    /// was effective).
+    pub version: u64,
+    /// How many events changed the graph (0 or 1 for single-update
+    /// commits).
+    pub effective: u64,
+}
+
+impl Commit {
+    /// Whether at least one event changed the graph.
+    pub fn was_effective(&self) -> bool {
+        self.effective > 0
+    }
+}
+
 impl std::fmt::Debug for GraphStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GraphStore")
@@ -277,7 +300,8 @@ impl GraphStore {
 
     /// Applies one update event, bumping the version when it changed the
     /// graph and auto-compacting per the policy. Returns `true` when the
-    /// event was effective.
+    /// event was effective. Thin wrapper over [`GraphStore::commit`] for
+    /// call sites that only care about effectiveness.
     pub fn apply(&mut self, update: GraphUpdate) -> bool {
         self.mutate(update)
     }
@@ -288,6 +312,31 @@ impl GraphStore {
             .into_iter()
             .filter(|&update| self.apply(update))
             .count()
+    }
+
+    /// Applies one update event and returns the [`Commit`] token: the
+    /// store version after the event and whether it was effective. A
+    /// writer can hand `commit.version` straight to a
+    /// `Consistency::AtLeastVersion` read to observe its own write.
+    pub fn commit(&mut self, update: GraphUpdate) -> Commit {
+        let effective = self.mutate(update);
+        Commit {
+            version: self.version,
+            effective: u64::from(effective),
+        }
+    }
+
+    /// Applies a batch in order; the returned token carries the final
+    /// version and the total number of effective updates.
+    pub fn commit_all<I: IntoIterator<Item = GraphUpdate>>(&mut self, updates: I) -> Commit {
+        let mut effective = 0;
+        for update in updates {
+            effective += u64::from(self.mutate(update));
+        }
+        Commit {
+            version: self.version,
+            effective,
+        }
     }
 
     fn mutate(&mut self, update: GraphUpdate) -> bool {

@@ -2,7 +2,9 @@
 //! # probesim-service
 //!
 //! The **fourth tier** of the ProbeSim stack — the serving facade that
-//! composes the whole system behind one handle:
+//! composes the single-process system behind one handle (the fifth
+//! tier, `probesim-fleet`, replicates this service behind a durable
+//! update log and a consistency-aware router):
 //!
 //! 1. **storage** (`probesim-graph`): the versioned [`GraphStore`] — CSR
 //!    base + copy-on-write overlay, snapshot isolation, compaction;
@@ -39,12 +41,14 @@
 //! 5. **respond** — the [`Response`] reports the answering version, the
 //!    queue/exec latency split and `cache_hit`.
 //!
-//! Writer side, [`QueryService::apply`] mutates the owned store — which
+//! Writer side, [`QueryService::commit`] mutates the owned store — which
 //! fires the cache-invalidation observer *inside* `GraphStore::mutate` —
 //! then publishes a fresh snapshot and extends the pinned-version
-//! retention ring. Because every effective mutation bumps the version,
-//! `Latest` can never be served a stale cache entry: the stale entry's
-//! key simply no longer matches.
+//! retention ring, returning a [`Commit`] token whose `version` can be
+//! handed straight to `Consistency::AtLeastVersion` for read-your-writes.
+//! Because every effective mutation bumps the version, `Latest` can
+//! never be served a stale cache entry: the stale entry's key simply no
+//! longer matches.
 //!
 //! ```
 //! use std::time::Duration;
@@ -69,7 +73,8 @@
 //! assert_eq!(response.version, 0);
 //!
 //! // The writer keeps updating; a pinned request still reads version 0.
-//! service.apply(GraphUpdate::Insert { u: 0, v: 5 });
+//! let commit = service.commit(GraphUpdate::Insert { u: 0, v: 5 });
+//! assert!(commit.was_effective() && commit.version == 1);
 //! let pinned = service
 //!     .call(Request::new(Query::TopK { node: 0, k: 3 }).with_consistency(Consistency::Pinned(0)))
 //!     .unwrap();
@@ -81,9 +86,11 @@ pub mod request;
 pub mod service;
 
 pub use cache::{CacheKey, ResultCache};
-pub use request::{Consistency, Priority, Request, Response, ServiceError, Ticket};
+pub use request::{
+    Consistency, ParseConsistencyError, Priority, Request, Response, ServiceError, Ticket,
+};
 pub use service::{QueryService, ServiceBuilder, ServiceStats};
 
 // Re-exported so service callers need no direct probesim-graph dep for
 // the common writer-path types.
-pub use probesim_graph::{GraphSnapshot, GraphStore, GraphUpdate};
+pub use probesim_graph::{Commit, GraphSnapshot, GraphStore, GraphUpdate};

@@ -40,6 +40,62 @@ pub enum Consistency {
     Pinned(u64),
 }
 
+/// The canonical string form: `latest`, `pinned:V`, `at-least:V`. This
+/// is the one spelling shared by the CLI's `--consistency` flag and the
+/// fleet router's configuration; [`std::str::FromStr`] additionally
+/// accepts the bare `pinned` / `at-least` (version 0) so a flag can
+/// name the level before a stream has produced any version.
+impl std::fmt::Display for Consistency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Consistency::Latest => write!(f, "latest"),
+            Consistency::AtLeastVersion(version) => write!(f, "at-least:{version}"),
+            Consistency::Pinned(version) => write!(f, "pinned:{version}"),
+        }
+    }
+}
+
+/// The error [`Consistency`]'s `FromStr` returns: the rejected input
+/// plus the accepted grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseConsistencyError {
+    /// The input that failed to parse.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseConsistencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown consistency {:?} (expected latest, pinned[:V] or at-least[:V])",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseConsistencyError {}
+
+impl std::str::FromStr for Consistency {
+    type Err = ParseConsistencyError;
+
+    fn from_str(s: &str) -> Result<Consistency, ParseConsistencyError> {
+        let reject = || ParseConsistencyError {
+            input: s.to_string(),
+        };
+        let (level, version) = match s.split_once(':') {
+            Some((level, version)) => (level, Some(version.parse::<u64>().map_err(|_| reject())?)),
+            None => (s, None),
+        };
+        match (level, version) {
+            ("latest", None) => Ok(Consistency::Latest),
+            ("latest", Some(_)) => Err(reject()),
+            ("pinned", version) => Ok(Consistency::Pinned(version.unwrap_or(0))),
+            ("at-least", version) => Ok(Consistency::AtLeastVersion(version.unwrap_or(0))),
+            _ => Err(reject()),
+        }
+    }
+}
+
 /// One query plus its serving envelope.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
@@ -249,5 +305,39 @@ mod tests {
         assert!(messages[1].contains("10..=17"));
         assert!(messages[2].contains("not reached"));
         assert!(messages[3].contains("shutting down"));
+    }
+
+    #[test]
+    fn consistency_string_form_round_trips() {
+        let levels = [
+            Consistency::Latest,
+            Consistency::AtLeastVersion(0),
+            Consistency::AtLeastVersion(42),
+            Consistency::Pinned(0),
+            Consistency::Pinned(u64::MAX),
+        ];
+        for level in levels {
+            assert_eq!(level.to_string().parse::<Consistency>(), Ok(level));
+        }
+    }
+
+    #[test]
+    fn consistency_parse_accepts_bare_levels_and_rejects_noise() {
+        assert_eq!("latest".parse(), Ok(Consistency::Latest));
+        assert_eq!("pinned".parse(), Ok(Consistency::Pinned(0)));
+        assert_eq!("at-least".parse(), Ok(Consistency::AtLeastVersion(0)));
+        assert_eq!("pinned:9".parse(), Ok(Consistency::Pinned(9)));
+        for bad in [
+            "",
+            "newest",
+            "latest:3",
+            "pinned:",
+            "pinned:x",
+            "at-least:-1",
+        ] {
+            let err = bad.parse::<Consistency>().unwrap_err();
+            assert_eq!(err.input, bad);
+            assert!(err.to_string().contains("expected latest"), "{err}");
+        }
     }
 }

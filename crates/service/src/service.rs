@@ -7,7 +7,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use probesim_core::{ProbeBudget, ProbeSim, ProbeSimConfig, QueryError, QuerySession, QueryStats};
-use probesim_graph::{GraphSnapshot, GraphStore, GraphUpdate};
+use probesim_graph::{Commit, GraphSnapshot, GraphStore, GraphUpdate};
 
 use crate::cache::ResultCache;
 use crate::request::{Consistency, Priority, Request, Response, ServiceError, Ticket};
@@ -185,6 +185,11 @@ pub struct ServiceStats {
     pub executed_work: u64,
     /// Live cache entries.
     pub cache_entries: usize,
+    /// Requests accepted but not yet answered (`submitted - completed`)
+    /// — the router's load signal.
+    pub queue_depth: u64,
+    /// The newest published store version.
+    pub applied_version: u64,
 }
 
 struct Published {
@@ -403,17 +408,19 @@ fn serve(
 ///   priorities and consistency levels, and responses report the
 ///   answering version, the queue/exec latency split and whether the
 ///   cache served them.
-/// * **The writer** goes through [`QueryService::apply`] /
-///   [`QueryService::apply_all`]: each effective update mutates the
+/// * **The writer** goes through [`QueryService::commit`] /
+///   [`QueryService::commit_all`]: each effective update mutates the
 ///   store (firing the cache-invalidation observer inside
 ///   `GraphStore::mutate`), publishes a fresh snapshot and extends the
-///   pinned-version retention window.
+///   pinned-version retention window. The returned [`Commit`] token
+///   carries the reached version — the exact floor a read-your-writes
+///   `AtLeastVersion` read needs.
 ///
 /// Dropping the service shuts the pool down; queued requests resolve to
 /// [`ServiceError::ShuttingDown`].
 pub struct QueryService {
     shared: Arc<Shared>,
-    /// The single-writer store. Behind a mutex so `apply(&self)` works
+    /// The single-writer store. Behind a mutex so `commit(&self)` works
     /// from a writer thread while readers run; writer throughput is
     /// bounded by the store, not this lock (readers never take it).
     store: Mutex<GraphStore>,
@@ -466,11 +473,14 @@ impl QueryService {
     /// Applies one graph update through the service's writer path.
     /// Effective updates invalidate the affected cache window (inside
     /// `GraphStore::mutate`), publish a fresh snapshot and extend the
-    /// retention ring; no-ops change nothing. Returns whether the update
-    /// was effective.
-    pub fn apply(&self, update: GraphUpdate) -> bool {
+    /// retention ring; no-ops change nothing. The returned [`Commit`]
+    /// token carries the published version, so
+    /// `service.call(request.with_consistency(Consistency::AtLeastVersion(commit.version)))`
+    /// is guaranteed to observe the write (read-your-writes).
+    pub fn commit(&self, update: GraphUpdate) -> Commit {
         let mut store = self.store.lock().expect("store poisoned");
         let effective = store.apply(update);
+        let version = store.version();
         if effective {
             let snapshot = store.snapshot();
             let mut published = self
@@ -484,17 +494,29 @@ impl QueryService {
             }
             published.latest = snapshot;
         }
-        effective
+        Commit {
+            version,
+            effective: u64::from(effective),
+        }
     }
 
-    /// Applies a sequence of updates, returning how many were effective.
-    /// Each effective update publishes its own version (the retention
-    /// window sees every intermediate state).
-    pub fn apply_all<I: IntoIterator<Item = GraphUpdate>>(&self, updates: I) -> usize {
-        updates
-            .into_iter()
-            .filter(|&update| self.apply(update))
-            .count()
+    /// Applies a sequence of updates in order; the returned token
+    /// carries the final published version and the total number of
+    /// effective updates. Each effective update publishes its own
+    /// version (the retention window sees every intermediate state).
+    pub fn commit_all<I: IntoIterator<Item = GraphUpdate>>(&self, updates: I) -> Commit {
+        let mut last = Commit {
+            version: self.version(),
+            effective: 0,
+        };
+        for update in updates {
+            let commit = self.commit(update);
+            last = Commit {
+                version: commit.version,
+                effective: last.effective + commit.effective,
+            };
+        }
+        last
     }
 
     /// The newest published version.
@@ -547,7 +569,19 @@ impl QueryService {
             work_budget_exceeded: self.shared.work_budget_exceeded.load(Ordering::Relaxed),
             executed_work: self.shared.executed_work.load(Ordering::Relaxed),
             cache_entries: self.shared.cache.len(),
+            queue_depth: self.queue_depth(),
+            applied_version: self.version(),
         }
+    }
+
+    /// Requests accepted but not yet answered — a cheap atomic read the
+    /// fleet router uses for least-loaded selection and admission
+    /// control. `completed` is loaded first so a concurrent completion
+    /// can only make the result conservative (never negative).
+    pub fn queue_depth(&self) -> u64 {
+        let completed = self.shared.completed.load(Ordering::Relaxed);
+        let submitted = self.shared.submitted.load(Ordering::Relaxed);
+        submitted.saturating_sub(completed)
     }
 
     /// Blocks until every queued request has been answered (drains the
@@ -648,8 +682,12 @@ mod tests {
             .unwrap();
         assert_eq!(before.version, 0);
         // Cut a's in-edges; Latest must re-execute at the new version.
-        assert!(service.apply(GraphUpdate::Remove { u: 1, v: A }));
-        assert!(service.apply(GraphUpdate::Remove { u: 2, v: A }));
+        assert!(service
+            .commit(GraphUpdate::Remove { u: 1, v: A })
+            .was_effective());
+        assert!(service
+            .commit(GraphUpdate::Remove { u: 2, v: A })
+            .was_effective());
         assert_eq!(service.version(), 2);
         let after = service
             .call(Request::new(Query::SingleSource { node: A }))
@@ -665,8 +703,8 @@ mod tests {
         let v0 = service
             .call(Request::new(Query::SingleSource { node: A }))
             .unwrap();
-        service.apply(GraphUpdate::Remove { u: 1, v: A });
-        service.apply(GraphUpdate::Remove { u: 2, v: A });
+        service.commit(GraphUpdate::Remove { u: 1, v: A });
+        service.commit(GraphUpdate::Remove { u: 2, v: A });
         // Pinned(0) still answers the old edge set — and hits the cache
         // entry the first call populated.
         let pinned = service
@@ -680,7 +718,7 @@ mod tests {
         assert_eq!(pinned.output.scores, v0.output.scores);
         // A version beyond the retention window errors.
         for i in 0..8u32 {
-            service.apply(GraphUpdate::Remove {
+            service.commit(GraphUpdate::Remove {
                 u: i,
                 v: (i + 1) % 8,
             });
@@ -720,7 +758,7 @@ mod tests {
                 newest: 0
             }
         );
-        service.apply(GraphUpdate::Insert { u: 0, v: 5 });
+        service.commit(GraphUpdate::Insert { u: 0, v: 5 });
         let now = service
             .call(
                 Request::new(Query::SingleSource { node: A })

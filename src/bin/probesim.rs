@@ -66,7 +66,7 @@ const USAGE: &str = "usage:
   probesim stats    <graph-file>
   probesim query    <graph-file> --node N [--top K | --tau T] [--eps E] [--delta D] [--decay C] [--seed S] [--probe-path fused|legacy] [--store] [--output text|json]
   probesim batch    <graph-file> --nodes A,B,C [--top K] [--threads T] [--eps E] [--seed S] [--probe-path fused|legacy] [--store] [--readers N] [--output text|json]
-  probesim serve-bench <graph-file> [--queries N] [--distinct D] [--workers W] [--deadline-ms MS] [--work-cap W] [--cache-capacity C] [--consistency latest|pinned|at-least] [--update-every K] [--eps E] [--seed S]
+  probesim serve-bench <graph-file> [--queries N] [--distinct D] [--workers W] [--deadline-ms MS] [--work-cap W] [--cache-capacity C] [--consistency latest|pinned[:V]|at-least[:V]] [--update-every K] [--eps E] [--seed S]
   probesim pair     <graph-file> --u A --v B [--walks R] [--decay C] [--seed S]
 
   --store      route the graph through the versioned GraphStore and query an
@@ -81,9 +81,11 @@ serve-bench (drives the QueryService facade, prints one JSON object):
   --deadline-ms MS     per-request deadline in milliseconds (default: none)
   --work-cap W         per-request deterministic work cap (default: none)
   --cache-capacity C   result-cache entries, 0 disables (default 1024)
-  --consistency X      latest | pinned (pin at stream-start version) |
-                       at-least (AtLeastVersion(stream-start version))
-  --update-every K     apply one random edge update every K queries (default 0)
+  --consistency X      the shared wire form: latest | pinned[:V] | at-least[:V]
+                       (bare pinned/at-least pin the stream-start version 0)
+  --update-every K     commit one random edge update every K queries (default 0);
+                       each commit is chased by an AtLeastVersion read of its
+                       own commit token (read-your-writes)
 
 datasets: Wiki-Vote HepTh AS HepPh LiveJournal IT-2004 Twitter Friendster";
 
@@ -447,17 +449,12 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
         builder = builder.default_deadline(std::time::Duration::from_millis(ms));
     }
     let service = builder.build(probesim_graph::GraphStore::from_csr(graph));
-    let pinned_version = service.version();
-    let consistency = match consistency_name {
-        "latest" => Consistency::Latest,
-        "pinned" => Consistency::Pinned(pinned_version),
-        "at-least" => Consistency::AtLeastVersion(pinned_version),
-        other => {
-            return Err(format!(
-                "--consistency expects latest|pinned|at-least, got {other:?}"
-            ))
-        }
-    };
+    // The shared wire form (the same `FromStr` the fleet config and
+    // bench clients use): bare "pinned"/"at-least" resolve to version
+    // 0, which IS the stream-start version of a freshly built store.
+    let base_consistency: Consistency = consistency_name
+        .parse()
+        .map_err(|e| format!("--consistency: {e}"))?;
 
     // Zipf-ish repetition, deterministic in seed (the shared sampler
     // the cache-repeat bench scenario uses; the draws come from the
@@ -468,6 +465,8 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
     let mut exec_secs = Vec::with_capacity(queries);
     let mut hits = 0u64;
     let mut errors = 0u64;
+    let mut read_your_writes = 0u64;
+    let mut last_commit: Option<u64> = None;
     let wall = std::time::Instant::now();
     for i in 0..queries {
         if update_every > 0 && i > 0 && i % update_every == 0 {
@@ -475,10 +474,26 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
             // (whichever is effective first keeps the stream simple).
             let u = (splitmix64(&mut prng) % n as u64) as NodeId;
             let v = (splitmix64(&mut prng) % n as u64) as NodeId;
-            if u != v && !service.apply(GraphUpdate::Insert { u, v }) {
-                service.apply(GraphUpdate::Remove { u, v });
+            if u != v {
+                let mut commit = service.commit(GraphUpdate::Insert { u, v });
+                if !commit.was_effective() {
+                    commit = service.commit(GraphUpdate::Remove { u, v });
+                }
+                // The commit token is the exact floor the chasing
+                // read must observe.
+                last_commit = Some(commit.version);
             }
         }
+        // Read-your-writes: the query right after a commit is floored
+        // at that commit's own token; the rest of the stream uses the
+        // requested base consistency.
+        let consistency = match last_commit.take() {
+            Some(version) => {
+                read_your_writes += 1;
+                Consistency::AtLeastVersion(version)
+            }
+            None => base_consistency,
+        };
         let rank = zipf.rank(splitmix64(&mut prng) as f64 / u64::MAX as f64);
         let mut request = Request::new(Query::SingleSource {
             node: query_nodes[rank],
@@ -504,7 +519,8 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
     println!(
         "{{\"queries\": {queries}, \"distinct\": {}, \"workers\": {}, \
          \"consistency\": \"{consistency_name}\", \"deadline_ms\": {}, \"work_cap\": {}, \
-         \"version\": {}, \"elapsed_secs\": {}, \
+         \"version\": {}, \"applied_version\": {}, \"queue_depth\": {}, \
+         \"read_your_writes\": {read_your_writes}, \"elapsed_secs\": {}, \
          \"cache\": {{\"capacity\": {cache_capacity}, \"hits\": {hits}, \
          \"misses\": {}, \"hit_rate\": {}, \"entries\": {}}}, \
          \"deadline_exceeded\": {}, \"work_budget_exceeded\": {}, \"errors\": {errors}, \
@@ -515,6 +531,8 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
         deadline_ms.map_or("null".to_string(), |ms| ms.to_string()),
         work_cap.map_or("null".to_string(), |w| w.to_string()),
         service.version(),
+        stats.applied_version,
+        stats.queue_depth,
         json_f64(elapsed),
         answered - hits,
         json_f64(if answered > 0 {

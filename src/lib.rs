@@ -18,6 +18,9 @@
 //! * [`service`] — the serving facade: `QueryService` with deadlines,
 //!   consistency levels and a version-keyed result cache
 //!   ([`probesim_service`])
+//! * [`fleet`] — the replicated serving fleet: a durable update log,
+//!   log-tailing replicas and a consistency-aware router behind one
+//!   `Fleet` handle ([`probesim_fleet`])
 //!
 //! ## Quick start
 //!
@@ -74,6 +77,7 @@ pub use probesim_baselines as baselines;
 pub use probesim_core as core;
 pub use probesim_datasets as datasets;
 pub use probesim_eval as eval;
+pub use probesim_fleet as fleet;
 pub use probesim_graph as graph;
 pub use probesim_service as service;
 
@@ -88,8 +92,12 @@ pub mod prelude {
     };
     pub use probesim_datasets::{Dataset, Scale};
     pub use probesim_eval::{GroundTruth, Pool, SimRankAlgorithm};
+    pub use probesim_fleet::{
+        Fleet, FleetBuilder, FleetError, LogCursor, LogRecord, ReplicaRegistry, ReplicaStatus,
+        UpdateLog,
+    };
     pub use probesim_graph::{
-        CompactionPolicy, CsrGraph, DynamicGraph, GraphBuilder, GraphSnapshot, GraphStore,
+        Commit, CompactionPolicy, CsrGraph, DynamicGraph, GraphBuilder, GraphSnapshot, GraphStore,
         GraphUpdate, GraphView, NodeId,
     };
     pub use probesim_service::{

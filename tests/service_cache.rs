@@ -91,7 +91,7 @@ proptest! {
                 } else {
                     GraphUpdate::Remove { u, v }
                 };
-                let effective = service.apply(update);
+                let effective = service.commit(update).was_effective();
                 prop_assert_eq!(effective, oracle.apply(update), "oracle diverged");
                 if effective {
                     versions.push((service.version(), oracle.snapshot()));
@@ -198,8 +198,12 @@ fn writer_side_invalidation_prunes_unreachable_versions() {
     assert_eq!(service.stats().cache_entries, 1);
     // Two effective mutations push version 0 out of the 2-deep window;
     // the observer fires inside mutate and prunes the entry.
-    assert!(service.apply(GraphUpdate::Remove { u: 1, v: 0 }));
-    assert!(service.apply(GraphUpdate::Remove { u: 2, v: 0 }));
+    assert!(service
+        .commit(GraphUpdate::Remove { u: 1, v: 0 })
+        .was_effective());
+    assert!(service
+        .commit(GraphUpdate::Remove { u: 2, v: 0 })
+        .was_effective());
     assert_eq!(service.stats().cache_entries, 0, "stale entry pruned");
     // And the pruned version is indeed unreachable.
     let err = service
