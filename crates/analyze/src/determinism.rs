@@ -25,14 +25,15 @@ use crate::workspace::{SourceFile, Workspace};
 
 /// Library files allowed to read the clock, as workspace-relative path
 /// suffixes. Each entry names a module whose purpose is timing.
-pub const CLOCK_ALLOWLIST: [&str; 7] = [
+pub const CLOCK_ALLOWLIST: [&str; 8] = [
     "crates/core/src/budget.rs", // wall-clock probe budgets are the feature
     "crates/bench/src/lib.rs",   // bench timing harness
     "crates/bench/src/scenario.rs", // scenario engine measures latencies
     "crates/eval/src/runner.rs", // evaluation runner times algorithms
     "crates/service/src/service.rs", // serving deadlines + latency accounting
-    "crates/fleet/src/replica.rs", // replication-lag injection sleeps by design
+    "crates/fleet/src/replica.rs", // fault-injection stalls/delays sleep by design
     "crates/fleet/src/router.rs", // routing charges catch-up waits against deadlines
+    "crates/fleet/src/supervisor.rs", // supervision ticks + progress watchdog elapsed times
 ];
 
 /// How many tokens past an iteration site to look for an

@@ -63,12 +63,17 @@ use crate::workspace::{SourceFile, Workspace};
 /// appends to the update log and commits to the primary store in one
 /// critical section (via the `append_with` closure, which the call
 /// graph cannot see — the edge is documented here instead of inferred).
-/// `fleet::registry` and `graph::published` are leaves (acquired alone,
-/// never held across another acquisition); the registry mutex exists
-/// only to pair its condvar.
-pub const INTENDED_LOCK_ORDER: [&str; 6] = [
+/// `fleet::registry`, `fleet::seat`, `fleet::checkpoint` and
+/// `graph::published` are leaves (acquired alone, never held across
+/// another acquisition): the registry mutex exists only to pair its
+/// condvar, replica incarnations are built and joined entirely outside
+/// the seat lock, and checkpoints are cloned in and out of the cell
+/// with nothing else held.
+pub const INTENDED_LOCK_ORDER: [&str; 8] = [
     "fleet::registry",
     "fleet::records",
+    "fleet::seat",
+    "fleet::checkpoint",
     "service::state",
     "service::store",
     "service::inner",

@@ -75,6 +75,8 @@ fn lock_order_section_documents_the_serving_path() {
         vec![
             "fleet::registry",
             "fleet::records",
+            "fleet::seat",
+            "fleet::checkpoint",
             "service::state",
             "service::store",
             "service::inner",

@@ -521,6 +521,15 @@ pub struct ScenarioReport {
     /// Requests aborted by their deadline (service scenarios only;
     /// informational — wall-clock dependent).
     pub deadline_exceeded: Option<u64>,
+    /// Supervisor recoveries — checkpoint + genesis respawns (chaos
+    /// fleet scenario only; informational).
+    pub recoveries: Option<u64>,
+    /// Replica respawns recorded by the registry (chaos fleet scenario
+    /// only; informational).
+    pub restarts: Option<u64>,
+    /// Router failovers off a dying or regressed endpoint (chaos fleet
+    /// scenario only; informational).
+    pub failovers: Option<u64>,
 }
 
 /// The five-number latency summary serialized per scenario.
@@ -610,6 +619,9 @@ impl ScenarioReport {
             cache_hits: result.cache_hits,
             cache_hit_rate: result.cache_hit_rate,
             deadline_exceeded: result.deadline_exceeded,
+            recoveries: result.recoveries,
+            restarts: result.restarts,
+            failovers: result.failovers,
         }
     }
 
@@ -654,6 +666,15 @@ impl ScenarioReport {
                 }
                 if let Some(missed) = self.deadline_exceeded {
                     workload.push(("deadline_exceeded", Json::UInt(missed)));
+                }
+                if let Some(recoveries) = self.recoveries {
+                    workload.push(("recoveries", Json::UInt(recoveries)));
+                }
+                if let Some(restarts) = self.restarts {
+                    workload.push(("restarts", Json::UInt(restarts)));
+                }
+                if let Some(failovers) = self.failovers {
+                    workload.push(("failovers", Json::UInt(failovers)));
                 }
                 Json::obj(workload)
             }),
@@ -760,6 +781,9 @@ impl ScenarioReport {
             cache_hits: workload.get("cache_hits").and_then(Json::as_u64),
             cache_hit_rate: workload.get("cache_hit_rate").and_then(Json::as_f64),
             deadline_exceeded: workload.get("deadline_exceeded").and_then(Json::as_u64),
+            recoveries: workload.get("recoveries").and_then(Json::as_u64),
+            restarts: workload.get("restarts").and_then(Json::as_u64),
+            failovers: workload.get("failovers").and_then(Json::as_u64),
         })
     }
 
@@ -1244,6 +1268,9 @@ mod tests {
             cache_hits: None,
             cache_hit_rate: None,
             deadline_exceeded: None,
+            recoveries: None,
+            restarts: None,
+            failovers: None,
         }
     }
 
@@ -1460,6 +1487,9 @@ mod tests {
         original.cache_hits = Some(30);
         original.cache_hit_rate = Some(0.75);
         original.deadline_exceeded = Some(2);
+        original.recoveries = Some(3);
+        original.restarts = Some(3);
+        original.failovers = Some(1);
         original.query_stats = probesim_core::QueryStats::FIELD_NAMES
             .into_iter()
             .map(|n| (n, 0))
@@ -1468,15 +1498,22 @@ mod tests {
         assert!(text.contains("\"cache_hits\": 30"));
         assert!(text.contains("\"cache_hit_rate\": 0.75"));
         assert!(text.contains("\"deadline_exceeded\": 2"));
+        assert!(text.contains("\"recoveries\": 3"));
+        assert!(text.contains("\"restarts\": 3"));
+        assert!(text.contains("\"failovers\": 1"));
         let parsed = ScenarioReport::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(parsed, original);
         // Old baselines without the fields parse as None — no gate armed.
         let legacy = report("a", 0.001, 100).to_json().to_string();
         assert!(!legacy.contains("cache_hit_rate"));
+        assert!(!legacy.contains("recoveries"));
         let parsed = ScenarioReport::from_json(&Json::parse(&legacy).unwrap()).unwrap();
         assert_eq!(parsed.cache_hit_rate, None);
         assert_eq!(parsed.cache_hits, None);
         assert_eq!(parsed.deadline_exceeded, None);
+        assert_eq!(parsed.recoveries, None);
+        assert_eq!(parsed.restarts, None);
+        assert_eq!(parsed.failovers, None);
     }
 
     #[test]

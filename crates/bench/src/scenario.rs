@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 use probesim_core::{ProbeSim, ProbeSimConfig, Query, QueryStats};
 use probesim_datasets::{sliding_window_workload, Dataset, Scale};
 use probesim_eval::sample_query_nodes;
-use probesim_fleet::{Fleet, FleetError};
+use probesim_fleet::{FaultPlan, Fleet, FleetError};
 use probesim_graph::hash::FxHasher;
 use probesim_graph::{CompactionPolicy, Edge, GraphStore, GraphView, NodeId};
 use probesim_service::{Consistency, Priority, Request, ServiceBuilder, ServiceError};
@@ -242,6 +242,25 @@ pub enum ScenarioKind {
         /// Queries in the update:query ratio.
         queries_per_round: usize,
     },
+    /// The fleet-replicated mix under a **seeded fault plan**: the same
+    /// 1-writer + mixed-consistency-client workload, with deterministic
+    /// chaos (crashes, stalls, slow applies, corrupt local-log reads
+    /// derived from the run seed) injected into the replicas while a
+    /// fast supervision loop checkpoints the primary and respawns dead
+    /// tailers. Work and latency are scheduling-dependent; the gate
+    /// runs on latency and the post-recovery replica-agreement
+    /// fingerprint, and the run reports recoveries, restarts and router
+    /// failovers as informational counters.
+    FleetChaos {
+        /// Log-tailing replica count behind the router.
+        replicas: usize,
+        /// Client thread count.
+        clients: usize,
+        /// Updates in the update:query ratio.
+        updates_per_round: usize,
+        /// Queries in the update:query ratio.
+        queries_per_round: usize,
+    },
 }
 
 /// The query shape a static scenario issues.
@@ -311,6 +330,7 @@ impl ScenarioSpec {
                 | ScenarioKind::StoreConcurrent { .. }
                 | ScenarioKind::ServiceInteractiveMix { .. }
                 | ScenarioKind::FleetReplicated { .. }
+                | ScenarioKind::FleetChaos { .. }
         )
     }
 
@@ -321,7 +341,7 @@ impl ScenarioSpec {
             ScenarioKind::StoreConcurrent { .. } => "concurrent",
             ScenarioKind::ServiceInteractiveMix { .. }
             | ScenarioKind::ServiceCacheRepeat { .. } => "service",
-            ScenarioKind::FleetReplicated { .. } => "fleet",
+            ScenarioKind::FleetReplicated { .. } | ScenarioKind::FleetChaos { .. } => "fleet",
             _ => "static",
         }
     }
@@ -337,6 +357,7 @@ impl ScenarioSpec {
             ScenarioKind::StoreConcurrent { .. }
                 | ScenarioKind::ServiceInteractiveMix { .. }
                 | ScenarioKind::FleetReplicated { .. }
+                | ScenarioKind::FleetChaos { .. }
         )
     }
 }
@@ -389,19 +410,30 @@ pub struct ScenarioResult {
     /// Requests aborted by their deadline (service scenarios only;
     /// informational — wall-clock dependent).
     pub deadline_exceeded: Option<u64>,
+    /// Supervisor recoveries performed — checkpoint + genesis respawns
+    /// (chaos fleet scenario only; informational).
+    pub recoveries: Option<u64>,
+    /// Replica respawns recorded by the registry (chaos fleet scenario
+    /// only; informational).
+    pub restarts: Option<u64>,
+    /// Router failovers after an endpoint died or regressed under a
+    /// dispatched request (chaos fleet scenario only; informational).
+    pub failovers: Option<u64>,
 }
 
 /// The full scenario catalog, in a stable order.
 ///
-/// Nineteen scenarios: six static (query shapes × execution modes), one
+/// Twenty scenarios: six static (query shapes × execution modes), one
 /// allocation contrast, three update-interleaved dynamic workloads at
 /// different update:query ratios, two concurrent 1-writer/N-reader
 /// store workloads, two fused-vs-legacy probe-engine contrast pairs
 /// (one static, one dynamic), two `QueryService` serving workloads
 /// (a concurrent mixed-priority deadline mix and the deterministic
-/// cache-repeat stream), and one replicated-fleet workload (1 writer
+/// cache-repeat stream), and two replicated-fleet workloads (1 writer
 /// committing through the durable log, log-tailing replicas, and
-/// mixed-consistency clients behind the consistency-aware router).
+/// mixed-consistency clients behind the consistency-aware router —
+/// once fault-free, once under a seeded chaos plan with supervised
+/// crash recovery).
 pub fn catalog() -> Vec<ScenarioSpec> {
     vec![
         ScenarioSpec {
@@ -664,6 +696,29 @@ pub fn catalog() -> Vec<ScenarioSpec> {
             queries: 32,
             fuse_probes: true,
         },
+        // The same fleet mix under a seeded fault plan: replicas crash,
+        // stall and detect corrupt log reads mid-run while the
+        // supervisor checkpoints and respawns them. The run must still
+        // serve the client mix and end with every replica bit-agreeing
+        // with the primary; recoveries/restarts/failovers ride along as
+        // informational counters.
+        ScenarioSpec {
+            name: "fleet_chaos_recovery",
+            description: "Fleet under seeded chaos: crashes + salvage + supervised recovery",
+            graph: GraphSource::SlidingWindow {
+                n: 20_000,
+                window: 120_000,
+            },
+            kind: ScenarioKind::FleetChaos {
+                replicas: 3,
+                clients: 3,
+                updates_per_round: 1,
+                queries_per_round: 4,
+            },
+            epsilon: 0.1,
+            queries: 32,
+            fuse_probes: true,
+        },
     ]
 }
 
@@ -753,6 +808,23 @@ pub fn run_scenario(spec: &ScenarioSpec, scale: Scale, seed: u64) -> ScenarioRes
             clients,
             updates_per_round,
             queries_per_round,
+            false,
+        ),
+        ScenarioKind::FleetChaos {
+            replicas,
+            clients,
+            updates_per_round,
+            queries_per_round,
+        } => run_fleet_replicated(
+            spec,
+            scale,
+            seed,
+            &engine,
+            replicas,
+            clients,
+            updates_per_round,
+            queries_per_round,
+            true,
         ),
         _ => run_static(spec, scale, seed, &engine),
     }
@@ -848,7 +920,8 @@ fn run_static(spec: &ScenarioSpec, scale: Scale, seed: u64, engine: &ProbeSim) -
         | ScenarioKind::StoreConcurrent { .. }
         | ScenarioKind::ServiceInteractiveMix { .. }
         | ScenarioKind::ServiceCacheRepeat { .. }
-        | ScenarioKind::FleetReplicated { .. } => {
+        | ScenarioKind::FleetReplicated { .. }
+        | ScenarioKind::FleetChaos { .. } => {
             unreachable!("handled by the dedicated run_* dispatchers")
         }
     }
@@ -871,6 +944,9 @@ fn run_static(spec: &ScenarioSpec, scale: Scale, seed: u64, engine: &ProbeSim) -
         cache_hits: None,
         cache_hit_rate: None,
         deadline_exceeded: None,
+        recoveries: None,
+        restarts: None,
+        failovers: None,
     }
 }
 
@@ -959,6 +1035,9 @@ fn run_dynamic(
         cache_hits: None,
         cache_hit_rate: None,
         deadline_exceeded: None,
+        recoveries: None,
+        restarts: None,
+        failovers: None,
     }
 }
 
@@ -1135,6 +1214,9 @@ fn run_store_concurrent(
         cache_hits: None,
         cache_hit_rate: None,
         deadline_exceeded: None,
+        recoveries: None,
+        restarts: None,
+        failovers: None,
     }
 }
 
@@ -1329,6 +1411,9 @@ fn run_service_interactive_mix(
         // gate on hit rate stays armed only where it is deterministic.
         cache_hit_rate: None,
         deadline_exceeded: Some(deadline_exceeded),
+        recoveries: None,
+        restarts: None,
+        failovers: None,
     }
 }
 
@@ -1344,6 +1429,13 @@ fn run_service_interactive_mix(
 /// scheduling-dependent, so the gate runs on latency, the final-state
 /// fingerprint, and an in-run check that every replica's final edge set
 /// hashes identically to the primary's.
+///
+/// With `chaos` set, the same mix runs under a seeded [`FaultPlan`]:
+/// replicas crash, stall, apply slowly and detect corrupt log reads
+/// mid-run while a fast-ticking supervisor checkpoints the primary and
+/// respawns the dead. The end-state agreement assert is unchanged —
+/// recovery must reproduce the exact history — and the result carries
+/// the recovery/restart/failover counters as informational fields.
 #[allow(clippy::too_many_arguments)] // mirrors the other scenario runners' dispatch shape
 fn run_fleet_replicated(
     spec: &ScenarioSpec,
@@ -1354,6 +1446,7 @@ fn run_fleet_replicated(
     clients: usize,
     updates_per_round: usize,
     queries_per_round: usize,
+    chaos: bool,
 ) -> ScenarioResult {
     use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
@@ -1370,15 +1463,37 @@ fn run_fleet_replicated(
     let total_updates = (total_queries * updates_per_round).div_ceil(queries_per_round.max(1));
     let (graph, updates) = sliding_window_workload(n, window, total_updates, seed ^ 0x5EED);
     let query_nodes = sample_query_nodes(&graph, total_queries.div_ceil(2), seed);
-    let fleet = Fleet::builder(engine.config().clone())
+    let mut builder = Fleet::builder(engine.config().clone())
         .replicas(replicas)
         .workers(2)
         .cache_capacity(256)
         // Generous ring: every version of the run stays pinnable on
         // every endpoint (total_updates never exceeds it at any scale).
         .retained_versions(64)
-        .default_deadline(SERVICE_MIX_DEADLINE)
-        .build(graph.snapshot());
+        .default_deadline(SERVICE_MIX_DEADLINE);
+    if chaos {
+        // A seeded fault plan over the whole commit horizon, plus a
+        // fast supervisor: recovery latency is part of the measurement,
+        // not an afterthought. Two faults are pinned on top of the
+        // seeded draws — a mid-stream crash and a corrupt read — so
+        // every seed exercises both recovery paths (checkpointed
+        // respawn and salvage-then-respawn), not just the lucky ones.
+        // The restart budget stays above the worst case (one crash +
+        // one corrupt read per slot), so no replica retires and the
+        // end-state agreement loop below keeps its full-fleet meaning.
+        let horizon = total_updates as u64;
+        let mid = (horizon / 2).max(1);
+        builder = builder
+            .faults(
+                FaultPlan::seeded(seed ^ 0xC4A0_5EED, replicas, horizon)
+                    .with_crash_after(0, mid)
+                    .with_corrupt_read(1 % replicas, mid),
+            )
+            .supervision_tick(Duration::from_millis(1))
+            .checkpoint_every(4)
+            .restart_budget(4);
+    }
+    let fleet = builder.build(graph.snapshot());
     drop(graph);
     let start_edges = fleet.primary().snapshot().num_edges();
 
@@ -1484,6 +1599,16 @@ fn run_fleet_replicated(
                             Err(FleetError::LaggingReplicas { .. }) => {
                                 deadline_misses += 1;
                             }
+                            // Under chaos an endpoint can die or regress
+                            // while the request is in flight and exhaust
+                            // the deadline before the router's failover
+                            // finds a survivor — a transient miss, not a
+                            // protocol violation.
+                            Err(FleetError::Service(
+                                ServiceError::ShuttingDown | ServiceError::VersionNotReached { .. },
+                            )) if chaos => {
+                                deadline_misses += 1;
+                            }
                             Err(other) => unreachable!(
                                 "unexpected fleet error under an uncontended run: {other}"
                             ),
@@ -1545,12 +1670,28 @@ fn run_fleet_replicated(
         );
     }
 
+    // Recovery accounting, reported only for the chaos variant: how
+    // many respawns the run absorbed (split by starting point) and how
+    // many dispatched requests the router had to move off a dying or
+    // regressed endpoint.
+    let stats = fleet.supervisor_stats();
+    let (recoveries, restarts, failovers) = if chaos {
+        (
+            Some(stats.checkpoint_recoveries + stats.genesis_recoveries),
+            Some(fleet.registry().total_restarts()),
+            Some(fleet.failovers()),
+        )
+    } else {
+        (None, None, None)
+    };
+    let faults = if chaos { " + seeded chaos" } else { "" };
+
     ScenarioResult {
         spec: *spec,
         seed,
         scale_name: scale_name(scale),
         dataset: format!(
-            "sliding_window(n={n}, window={window}) x {replicas} replicas x {clients} clients"
+            "sliding_window(n={n}, window={window}) x {replicas} replicas x {clients} clients{faults}"
         ),
         nodes: n,
         edges: start_edges,
@@ -1568,6 +1709,9 @@ fn run_fleet_replicated(
         // where it is deterministic.
         cache_hit_rate: None,
         deadline_exceeded: Some(deadline_exceeded),
+        recoveries,
+        restarts,
+        failovers,
     }
 }
 
@@ -1643,6 +1787,9 @@ fn run_service_cache_repeat(
         cache_hits: Some(cache_hits),
         cache_hit_rate: Some(cache_hits as f64 / spec.queries.max(1) as f64),
         deadline_exceeded: None,
+        recoveries: None,
+        restarts: None,
+        failovers: None,
     }
 }
 

@@ -1,0 +1,225 @@
+//! Deterministic fault injection for the fleet.
+//!
+//! A [`FaultPlan`] is pure data: per-replica fault schedules keyed by
+//! LSN, derived from a seed by a splitmix64 stream — the same plan for
+//! the same `(seed, replicas, horizon)` every time, so every chaos run
+//! is exactly reproducible and every chaos failure is replayable from
+//! its seed alone. The plan itself never sleeps, spawns, or touches a
+//! clock; the replica tailer (`crate::replica`) reads it and performs
+//! the injected crashes, stalls, delays and corrupt reads at the
+//! scheduled LSNs.
+//!
+//! Each scheduled fault fires **once per fleet lifetime** (the tailer
+//! tracks fired faults across respawns), so a supervised fleet always
+//! converges: a crash is a crash, not a crash loop.
+
+use std::time::Duration;
+
+/// The fault schedule for one replica. All faults are optional and
+/// LSN-targeted; `slow_apply` applies to every record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaFaults {
+    /// Sleep this long before applying each record (replication lag).
+    pub slow_apply: Option<Duration>,
+    /// Exit the tailer thread (simulated crash) right after applying
+    /// and publishing this LSN.
+    pub crash_after: Option<u64>,
+    /// Sleep this long before applying this LSN (an apply-loop stall
+    /// long enough for the watchdog to notice).
+    pub stall: Option<(u64, Duration)>,
+    /// Detect "local log corruption" when this LSN is read: record a
+    /// salvage at `lsn - 1` and exit the tailer for repair.
+    pub corrupt_read_at: Option<u64>,
+}
+
+impl ReplicaFaults {
+    /// Whether this replica has no scheduled faults at all.
+    pub fn is_quiet(&self) -> bool {
+        *self == ReplicaFaults::default()
+    }
+
+    /// Whether the schedule contains a fault that kills the tailer
+    /// (and therefore demands a supervisor respawn).
+    pub fn is_lethal(&self) -> bool {
+        self.crash_after.is_some() || self.corrupt_read_at.is_some()
+    }
+}
+
+/// A deterministic, per-replica fault schedule for one fleet run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<ReplicaFaults>,
+}
+
+/// splitmix64: the dependency-free seed stream used across the repo's
+/// deterministic harnesses.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `1..=horizon` from the stream.
+fn draw_lsn(state: &mut u64, horizon: u64) -> u64 {
+    1 + splitmix64(state) % horizon.max(1)
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A deterministic plan for `replicas` replicas over a log of
+    /// about `horizon` records: a pure function of the arguments, so
+    /// the same seed always yields the same chaos. Each replica
+    /// independently draws (with moderate probability) a crash, a
+    /// stall, a small slow-apply delay and/or a corrupt read, with
+    /// every fault LSN in `1..=horizon`.
+    pub fn seeded(seed: u64, replicas: usize, horizon: u64) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        for slot in 0..replicas {
+            // One independent stream per slot so adding a replica
+            // never reshuffles the others' faults.
+            let mut state = seed ^ (slot as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+            let mut faults = ReplicaFaults::default();
+            if splitmix64(&mut state) % 100 < 40 {
+                faults.crash_after = Some(draw_lsn(&mut state, horizon));
+            }
+            if splitmix64(&mut state) % 100 < 30 {
+                faults.stall = Some((
+                    draw_lsn(&mut state, horizon),
+                    Duration::from_millis(1 + splitmix64(&mut state) % 20),
+                ));
+            }
+            if splitmix64(&mut state) % 100 < 30 {
+                faults.slow_apply = Some(Duration::from_micros(100 + splitmix64(&mut state) % 900));
+            }
+            if splitmix64(&mut state) % 100 < 25 {
+                faults.corrupt_read_at = Some(draw_lsn(&mut state, horizon));
+            }
+            plan.faults.push(faults);
+        }
+        plan
+    }
+
+    /// Schedules a crash right after replica `slot` applies `lsn`.
+    pub fn with_crash_after(mut self, slot: usize, lsn: u64) -> FaultPlan {
+        self.slot_mut(slot).crash_after = Some(lsn);
+        self
+    }
+
+    /// Schedules an apply-loop stall of `delay` before replica `slot`
+    /// applies `lsn`.
+    pub fn with_stall(mut self, slot: usize, lsn: u64, delay: Duration) -> FaultPlan {
+        self.slot_mut(slot).stall = Some((lsn, delay));
+        self
+    }
+
+    /// Delays every record replica `slot` applies by `delay`.
+    pub fn with_slow_apply(mut self, slot: usize, delay: Duration) -> FaultPlan {
+        self.slot_mut(slot).slow_apply = Some(delay);
+        self
+    }
+
+    /// Schedules a corrupt log read when replica `slot` reaches `lsn`.
+    pub fn with_corrupt_read(mut self, slot: usize, lsn: u64) -> FaultPlan {
+        self.slot_mut(slot).corrupt_read_at = Some(lsn);
+        self
+    }
+
+    fn slot_mut(&mut self, slot: usize) -> &mut ReplicaFaults {
+        if self.faults.len() <= slot {
+            self.faults.resize_with(slot + 1, ReplicaFaults::default);
+        }
+        &mut self.faults[slot]
+    }
+
+    /// Replica `slot`'s schedule (quiet when the plan never mentioned
+    /// the slot).
+    pub fn for_slot(&self, slot: usize) -> ReplicaFaults {
+        self.faults.get(slot).copied().unwrap_or_default()
+    }
+
+    /// Whether the plan injects nothing anywhere.
+    pub fn is_quiet(&self) -> bool {
+        self.faults.iter().all(ReplicaFaults::is_quiet)
+    }
+
+    /// How many replicas' tailers the plan kills (each needing one
+    /// supervisor respawn: crashes and corrupt reads are both lethal).
+    pub fn lethal_faults(&self) -> usize {
+        self.faults
+            .iter()
+            .map(|f| {
+                usize::from(f.crash_after.is_some()) + usize::from(f.corrupt_read_at.is_some())
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(2017, 3, 64);
+        let b = FaultPlan::seeded(2017, 3, 64);
+        assert_eq!(a, b);
+        // A different seed disagrees somewhere over a few draws.
+        let c = FaultPlan::seeded(2018, 3, 64);
+        let d = FaultPlan::seeded(2019, 3, 64);
+        assert!(a != c || a != d || c != d);
+    }
+
+    #[test]
+    fn adding_a_replica_never_reshuffles_existing_slots() {
+        let small = FaultPlan::seeded(7, 2, 32);
+        let large = FaultPlan::seeded(7, 5, 32);
+        for slot in 0..2 {
+            assert_eq!(small.for_slot(slot), large.for_slot(slot));
+        }
+    }
+
+    #[test]
+    fn fault_lsns_stay_within_the_horizon() {
+        for seed in 0..200u64 {
+            let plan = FaultPlan::seeded(seed, 4, 16);
+            for slot in 0..4 {
+                let faults = plan.for_slot(slot);
+                for lsn in [
+                    faults.crash_after,
+                    faults.corrupt_read_at,
+                    faults.stall.map(|(lsn, _)| lsn),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    assert!((1..=16).contains(&lsn), "seed {seed} slot {slot}: {lsn}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_builders_compose() {
+        let plan = FaultPlan::none()
+            .with_crash_after(0, 5)
+            .with_stall(1, 3, Duration::from_millis(10))
+            .with_slow_apply(1, Duration::from_millis(1))
+            .with_corrupt_read(2, 8);
+        assert!(!plan.is_quiet());
+        assert_eq!(plan.for_slot(0).crash_after, Some(5));
+        assert!(plan.for_slot(0).is_lethal());
+        assert_eq!(plan.for_slot(1).stall, Some((3, Duration::from_millis(10))));
+        assert!(!plan.for_slot(1).is_lethal());
+        assert_eq!(plan.for_slot(2).corrupt_read_at, Some(8));
+        assert_eq!(plan.lethal_faults(), 2);
+        // Slots past the plan are quiet.
+        assert!(plan.for_slot(9).is_quiet());
+        assert!(FaultPlan::none().is_quiet());
+    }
+}

@@ -3,28 +3,43 @@
 //!
 //! The fifth tier of the ProbeSim stack — **storage → probe → session →
 //! service → fleet** — turning the single-process
-//! [`QueryService`](probesim_service::QueryService) into a replicated
-//! serving group with one write path and consistency-aware reads.
+//! [`QueryService`](probesim_service::QueryService) into a replicated,
+//! fault-tolerant serving group with one write path and
+//! consistency-aware reads.
 //!
-//! Three pieces:
+//! The pieces:
 //!
 //! * [`UpdateLog`] — the durable, replayable record of every effective
-//!   mutation, with blocking [`LogCursor`] tailing and a checksummed,
-//!   truncation-detecting binary codec ([`encode_log`]/[`decode_log`]);
+//!   mutation, with blocking [`LogCursor`] tailing, a checksummed,
+//!   truncation-detecting binary codec ([`encode_log`]/[`decode_log`]),
+//!   and damage-tolerant **salvage** ([`salvage_log`],
+//!   [`read_log_file_salvage`]) that recovers the longest valid prefix
+//!   of a corrupted log with a typed [`SalvageReason`] for the cut;
+//! * [`Checkpoint`] — a checksummed freeze of the store at an LSN, so
+//!   recovery replays only the log suffix past it instead of all of
+//!   history;
 //! * [`Replica`] — a private store + service kept current by tailing
 //!   the log in LSN order, publishing its applied version through the
-//!   shared [`ReplicaRegistry`];
+//!   shared [`ReplicaRegistry`]; [`Replica::recover`] restores it from
+//!   a checkpoint in place;
+//! * a **supervisor** thread per fleet — checkpoint cadence, a progress
+//!   watchdog driving each replica's [`ReplicaHealth`], and bounded
+//!   respawn of crashed tailers ([`SupervisorStats`] counts its work);
+//! * [`FaultPlan`] — deterministic, seeded fault injection (crashes,
+//!   stalls, slow applies, corrupt reads) for chaos-testing all of the
+//!   above, reproducible from the seed alone;
 //! * [`Fleet`] — the facade: [`Fleet::commit`] gives writers a
 //!   [`Commit`] token (read-your-writes in one line), [`Fleet::call`]
-//!   routes each request to an eligible, least-loaded endpoint and
-//!   sheds load with typed [`FleetError`]s.
+//!   routes each request to an eligible, least-loaded, **routable**
+//!   endpoint, retries with capped backoff when an endpoint dies under
+//!   a request, and sheds load with typed [`FleetError`]s.
 //!
 //! The core invariant, inherited from the versioned store and enforced
 //! on the write path: **LSN ≡ store version**. Every effective mutation
 //! bumps exactly one log record and one store version, so "replica
 //! applied LSN `v`" and "replica serves snapshot version `v`" are the
 //! same statement, and any two endpoints at the same version return
-//! bit-identical scores.
+//! bit-identical scores — before, during and after crash recovery.
 //!
 //! ```
 //! use probesim_core::{ProbeSimConfig, Query};
@@ -48,16 +63,25 @@
 //! assert!(response.version >= commit.version);
 //! ```
 
+mod chaos;
+mod checkpoint;
 mod log;
 mod registry;
 mod replica;
 mod router;
+mod supervisor;
 
-pub use crate::log::{
-    decode_log, encode_log, read_log_file, write_log_file, LogCursor, LogRecord, UpdateLog,
+pub use crate::chaos::{FaultPlan, ReplicaFaults};
+pub use crate::checkpoint::{
+    decode_checkpoint, encode_checkpoint, read_checkpoint_file, write_checkpoint_file, Checkpoint,
 };
-pub use crate::registry::ReplicaRegistry;
+pub use crate::log::{
+    decode_log, encode_log, read_log_file, read_log_file_salvage, salvage_log, write_log_file,
+    LogCursor, LogRecord, Salvage, SalvageReason, UpdateLog,
+};
+pub use crate::registry::{ReplicaHealth, ReplicaRegistry};
 pub use crate::replica::Replica;
 pub use crate::router::{Fleet, FleetBuilder, FleetError, ReplicaStatus};
+pub use crate::supervisor::SupervisorStats;
 
 pub use probesim_graph::Commit;

@@ -18,6 +18,15 @@
 //!   per-record checksummed entries. Decoding detects bad magic, format
 //!   drift, truncated tails, flipped bits, and LSN gaps, reporting each
 //!   as [`GraphError::Corrupt`].
+//!
+//! Strict decoding ([`decode_log`]) is all-or-nothing; **salvage**
+//! ([`salvage_log`] / [`UpdateLog::salvage`] /
+//! [`read_log_file_salvage`]) instead recovers the longest valid
+//! checksummed prefix of a damaged stream, reporting the typed
+//! [`SalvageReason`] the tail was cut — the startup path for a node
+//! whose disk rotted under it. File writes go through a temp sibling +
+//! atomic rename so a crash mid-write can never leave a half-written
+//! file at the real path.
 
 use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
@@ -167,6 +176,13 @@ impl UpdateLog {
     pub fn decode(bytes: &[u8]) -> Result<UpdateLog, GraphError> {
         Ok(UpdateLog::from_records(decode_log(bytes)?))
     }
+
+    /// Like [`UpdateLog::decode`], but recovers the longest valid
+    /// prefix of a damaged stream instead of rejecting it outright
+    /// (see [`salvage_log`]).
+    pub fn salvage(bytes: &[u8]) -> Result<Salvage, GraphError> {
+        salvage_log(bytes)
+    }
 }
 
 /// A tailing read position into an [`UpdateLog`]. Each call returns the
@@ -226,7 +242,7 @@ fn put_u64(buf: &mut Vec<u8>, value: u64) {
     buf.extend_from_slice(&value.to_le_bytes());
 }
 
-fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+pub(crate) fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
     if bytes.len() < n {
         return None;
     }
@@ -239,7 +255,7 @@ fn take_u8(bytes: &mut &[u8]) -> Option<u8> {
     take(bytes, 1).map(|b| b.first().copied().unwrap_or(0))
 }
 
-fn take_u32(bytes: &mut &[u8]) -> Option<u32> {
+pub(crate) fn take_u32(bytes: &mut &[u8]) -> Option<u32> {
     take(bytes, 4).map(|b| {
         let mut raw = [0u8; 4];
         raw.copy_from_slice(b);
@@ -247,7 +263,7 @@ fn take_u32(bytes: &mut &[u8]) -> Option<u32> {
     })
 }
 
-fn take_u64(bytes: &mut &[u8]) -> Option<u64> {
+pub(crate) fn take_u64(bytes: &mut &[u8]) -> Option<u64> {
     take(bytes, 8).map(|b| {
         let mut raw = [0u8; 8];
         raw.copy_from_slice(b);
@@ -346,15 +362,168 @@ pub fn decode_log(mut bytes: &[u8]) -> Result<Vec<LogRecord>, GraphError> {
     Ok(records)
 }
 
-/// Writes a serialized log to a file.
-pub fn write_log_file<P: AsRef<Path>>(path: P, records: &[LogRecord]) -> Result<(), GraphError> {
-    std::fs::write(path, encode_log(records))?;
+/// Why salvage cut the tail of a damaged log stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SalvageReason {
+    /// The stream ended mid-record: a torn write or a truncation.
+    TruncatedRecord,
+    /// A record's length prefix disagreed with the format.
+    BadRecordLength,
+    /// A record failed its payload checksum (flipped bits).
+    ChecksumMismatch,
+    /// A record decoded cleanly but carried a non-contiguous LSN.
+    LsnGap,
+    /// A record carried an update kind the codec does not know.
+    UnknownUpdateKind,
+    /// Extra bytes followed the last record the header promised (the
+    /// whole claimed prefix still decoded).
+    TrailingBytes,
+}
+
+impl std::fmt::Display for SalvageReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let reason = match self {
+            SalvageReason::TruncatedRecord => "stream ended mid-record",
+            SalvageReason::BadRecordLength => "bad record length prefix",
+            SalvageReason::ChecksumMismatch => "record checksum mismatch",
+            SalvageReason::LsnGap => "non-contiguous LSN",
+            SalvageReason::UnknownUpdateKind => "unknown update kind",
+            SalvageReason::TrailingBytes => "trailing bytes after the last record",
+        };
+        f.write_str(reason)
+    }
+}
+
+/// The result of salvaging a damaged log stream: the longest valid
+/// checksummed prefix, plus why (and therefore where) the tail was cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Salvage {
+    /// The recovered prefix, contiguous from LSN 1.
+    pub records: Vec<LogRecord>,
+    /// Why the tail was cut; `None` when the whole stream decoded.
+    pub cut: Option<SalvageReason>,
+}
+
+impl Salvage {
+    /// LSN of the newest salvaged record (0 when nothing survived).
+    pub fn last_lsn(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Whether the stream decoded end to end with nothing cut.
+    pub fn is_clean(&self) -> bool {
+        self.cut.is_none()
+    }
+
+    /// Seeds an [`UpdateLog`] with the salvaged prefix.
+    pub fn into_log(self) -> UpdateLog {
+        UpdateLog::from_records(self.records)
+    }
+}
+
+/// Decodes as much of a damaged log stream as can be trusted: the
+/// longest prefix of records that frame, checksum, and chain
+/// contiguously from LSN 1. The header (magic, format version, count)
+/// must still be intact — with the header gone nothing in the stream
+/// can be trusted, and the result is a hard [`GraphError::Corrupt`]
+/// like [`decode_log`]'s. Past the header, every defect merely cuts
+/// the tail and is reported as the [`Salvage::cut`] reason.
+pub fn salvage_log(mut bytes: &[u8]) -> Result<Salvage, GraphError> {
+    let bytes = &mut bytes;
+    let magic = take(bytes, 4).ok_or_else(|| GraphError::Corrupt("truncated header".into()))?;
+    if magic != MAGIC {
+        return Err(GraphError::Corrupt(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let version = take_u32(bytes).ok_or_else(|| GraphError::Corrupt("truncated header".into()))?;
+    if version != VERSION {
+        return Err(GraphError::Corrupt(format!(
+            "unsupported log format version {version}, expected {VERSION}"
+        )));
+    }
+    let count = take_u64(bytes).ok_or_else(|| GraphError::Corrupt("truncated header".into()))?;
+    let mut records = Vec::new();
+    let mut cut = None;
+    for expected_lsn in 1..=count {
+        let Some(len) = take_u32(bytes) else {
+            cut = Some(SalvageReason::TruncatedRecord);
+            break;
+        };
+        if len != RECORD_BYTES {
+            cut = Some(SalvageReason::BadRecordLength);
+            break;
+        }
+        let Some(mut payload) = take(bytes, len as usize) else {
+            cut = Some(SalvageReason::TruncatedRecord);
+            break;
+        };
+        let payload = &mut payload;
+        let lsn = take_u64(payload).unwrap_or(0);
+        let kind = take_u8(payload).unwrap_or(2);
+        let u: NodeId = take_u32(payload).unwrap_or(0);
+        let v: NodeId = take_u32(payload).unwrap_or(0);
+        let stored_checksum = take_u64(payload).unwrap_or(0);
+        let update = match kind {
+            0 => GraphUpdate::Remove { u, v },
+            1 => GraphUpdate::Insert { u, v },
+            _ => {
+                cut = Some(SalvageReason::UnknownUpdateKind);
+                break;
+            }
+        };
+        let record = LogRecord { lsn, update };
+        if record_checksum(&record) != stored_checksum {
+            cut = Some(SalvageReason::ChecksumMismatch);
+            break;
+        }
+        if lsn != expected_lsn {
+            cut = Some(SalvageReason::LsnGap);
+            break;
+        }
+        records.push(record);
+    }
+    if cut.is_none() && !bytes.is_empty() {
+        cut = Some(SalvageReason::TrailingBytes);
+    }
+    Ok(Salvage { records, cut })
+}
+
+/// The temp sibling a durable write stages into before the atomic
+/// rename: `<name>.tmp` next to `path`.
+pub(crate) fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("file"));
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Writes `bytes` to `path` through a temp sibling + atomic rename: a
+/// crash mid-write leaves at worst a stale `.tmp` next to an intact
+/// `path`, never a half-written file that fails decode on restart.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), GraphError> {
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
     Ok(())
+}
+
+/// Writes a serialized log to a file (temp sibling + atomic rename).
+pub fn write_log_file<P: AsRef<Path>>(path: P, records: &[LogRecord]) -> Result<(), GraphError> {
+    write_atomic(path.as_ref(), &encode_log(records))
 }
 
 /// Reads a serialized log from a file.
 pub fn read_log_file<P: AsRef<Path>>(path: P) -> Result<Vec<LogRecord>, GraphError> {
     decode_log(&std::fs::read(path)?)
+}
+
+/// Reads a possibly-damaged log file, salvaging the longest valid
+/// prefix (see [`salvage_log`]).
+pub fn read_log_file_salvage<P: AsRef<Path>>(path: P) -> Result<Salvage, GraphError> {
+    salvage_log(&std::fs::read(path)?)
 }
 
 #[cfg(test)]
@@ -488,6 +657,194 @@ mod tests {
         let batch = handle.join().unwrap();
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].update, GraphUpdate::Insert { u: 2, v: 3 });
+    }
+
+    /// Header bytes (magic + version + count) and the framed size of
+    /// one record, used by the exhaustive salvage tests.
+    const HEADER_BYTES: usize = 16;
+    const FRAME_BYTES: usize = RECORD_BYTES as usize + 4;
+
+    #[test]
+    fn salvage_of_an_intact_log_is_clean() {
+        let records = sample_records();
+        let salvage = salvage_log(&encode_log(&records)).unwrap();
+        assert!(salvage.is_clean());
+        assert_eq!(salvage.records, records);
+        assert_eq!(salvage.last_lsn(), 3);
+        assert_eq!(salvage.into_log().last_lsn(), 3);
+
+        let empty = salvage_log(&encode_log(&[])).unwrap();
+        assert!(empty.is_clean());
+        assert_eq!(empty.last_lsn(), 0);
+    }
+
+    #[test]
+    fn salvage_recovers_the_longest_prefix_for_every_truncation() {
+        let records = sample_records();
+        let full = encode_log(&records);
+        for keep in 0..full.len() {
+            let result = salvage_log(&full[..keep]);
+            if keep < HEADER_BYTES {
+                // With the header gone nothing can be trusted.
+                assert!(
+                    matches!(result, Err(GraphError::Corrupt(_))),
+                    "truncation at {keep} inside the header gave {result:?}"
+                );
+                continue;
+            }
+            let salvage = result.unwrap();
+            // The longest valid prefix is exactly the records whose
+            // full frame survived the cut.
+            let survivors = (keep - HEADER_BYTES) / FRAME_BYTES;
+            assert_eq!(
+                salvage.records,
+                records[..survivors],
+                "truncation at {keep}"
+            );
+            assert_eq!(salvage.cut, Some(SalvageReason::TruncatedRecord));
+        }
+    }
+
+    #[test]
+    fn salvage_recovers_the_longest_prefix_for_every_bit_flip() {
+        let records = sample_records();
+        let full = encode_log(&records);
+        for target in 0..full.len() {
+            let mut buf = full.clone();
+            buf[target] ^= 0x10;
+            let result = salvage_log(&buf);
+            if target < 8 {
+                // Magic or format version: a hard error, like decode.
+                assert!(
+                    matches!(result, Err(GraphError::Corrupt(_))),
+                    "flip at {target} in the header gave {result:?}"
+                );
+                continue;
+            }
+            let salvage = result.unwrap();
+            if target < HEADER_BYTES {
+                // A flipped record count still salvages a prefix of
+                // the real records (shorter count cuts TrailingBytes,
+                // longer count runs off the end of the stream).
+                assert!(
+                    records.starts_with(&salvage.records),
+                    "flip at {target} in the count salvaged non-prefix {:?}",
+                    salvage.records
+                );
+                assert!(salvage.cut.is_some(), "flip at {target} was not detected");
+                continue;
+            }
+            // A flip inside record j's frame cuts exactly before j.
+            let damaged = (target - HEADER_BYTES) / FRAME_BYTES;
+            assert_eq!(
+                salvage.records,
+                records[..damaged],
+                "flip at {target} (record {damaged})"
+            );
+            assert!(salvage.cut.is_some(), "flip at {target} was not detected");
+        }
+    }
+
+    #[test]
+    fn salvage_reports_typed_cut_reasons() {
+        let records = sample_records();
+        let full = encode_log(&records);
+
+        // Torn mid-record: TruncatedRecord.
+        let torn = salvage_log(&full[..full.len() - 5]).unwrap();
+        assert_eq!(torn.cut, Some(SalvageReason::TruncatedRecord));
+        assert_eq!(torn.last_lsn(), 2);
+
+        // Damaged length prefix: BadRecordLength.
+        let mut bad_len = full.clone();
+        bad_len[HEADER_BYTES] = 7;
+        let salvage = salvage_log(&bad_len).unwrap();
+        assert_eq!(salvage.cut, Some(SalvageReason::BadRecordLength));
+        assert_eq!(salvage.last_lsn(), 0);
+
+        // Flipped payload bit: ChecksumMismatch.
+        let mut flipped = full.clone();
+        let target = full.len() - 13; // inside the last record's node ids
+        flipped[target] ^= 0x40;
+        let salvage = salvage_log(&flipped).unwrap();
+        assert_eq!(salvage.cut, Some(SalvageReason::ChecksumMismatch));
+        assert_eq!(salvage.last_lsn(), 2);
+
+        // Unknown kind byte (checked before the checksum).
+        let mut bad_kind = full.clone();
+        bad_kind[HEADER_BYTES + 4 + 8] = 9; // record 1's kind byte
+        let salvage = salvage_log(&bad_kind).unwrap();
+        assert_eq!(salvage.cut, Some(SalvageReason::UnknownUpdateKind));
+        assert_eq!(salvage.last_lsn(), 0);
+
+        // A record with a valid checksum but the wrong LSN: LsnGap.
+        let mut gapped = records.clone();
+        gapped[2].lsn = 7;
+        let salvage = salvage_log(&encode_log(&gapped)).unwrap();
+        assert_eq!(salvage.cut, Some(SalvageReason::LsnGap));
+        assert_eq!(salvage.last_lsn(), 2);
+
+        // Bytes past the promised count: TrailingBytes, full prefix.
+        let mut trailing = full.clone();
+        trailing.extend_from_slice(&[1, 2, 3]);
+        let salvage = salvage_log(&trailing).unwrap();
+        assert_eq!(salvage.cut, Some(SalvageReason::TrailingBytes));
+        assert_eq!(salvage.records, records);
+    }
+
+    #[test]
+    fn update_log_salvage_matches_the_free_function() {
+        let full = encode_log(&sample_records());
+        let torn = &full[..full.len() - 1];
+        assert_eq!(
+            UpdateLog::salvage(torn).unwrap(),
+            salvage_log(torn).unwrap()
+        );
+    }
+
+    #[test]
+    fn write_log_file_survives_a_torn_write() {
+        let dir = std::env::temp_dir().join(format!("probesim-log-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("updates.pslg");
+        let records = sample_records();
+        write_log_file(&path, &records).unwrap();
+
+        // A writer that crashed mid-write leaves a half-written temp
+        // sibling; the real file must still decode untouched.
+        let tmp = tmp_sibling(&path);
+        let full = encode_log(&records);
+        std::fs::write(&tmp, &full[..full.len() / 2]).unwrap();
+        assert_eq!(read_log_file(&path).unwrap(), records);
+
+        // The next successful write atomically replaces the file and
+        // consumes the stale temp sibling.
+        let mut longer = records.clone();
+        longer.push(LogRecord {
+            lsn: 4,
+            update: GraphUpdate::Insert { u: 2, v: 0 },
+        });
+        write_log_file(&path, &longer).unwrap();
+        assert_eq!(read_log_file(&path).unwrap(), longer);
+        assert!(!tmp.exists(), "the rename must consume the temp sibling");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn salvage_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("probesim-log-salv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("updates.pslg");
+        let records = sample_records();
+        let full = encode_log(&records);
+        std::fs::write(&path, &full[..full.len() - 9]).unwrap();
+        // Strict read rejects the damaged file outright…
+        assert!(read_log_file(&path).is_err());
+        // …salvage recovers the longest valid prefix with the reason.
+        let salvage = read_log_file_salvage(&path).unwrap();
+        assert_eq!(salvage.records, records[..2]);
+        assert_eq!(salvage.cut, Some(SalvageReason::TruncatedRecord));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

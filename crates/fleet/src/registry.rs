@@ -1,34 +1,103 @@
-//! The shared applied-version registry.
+//! The shared applied-version and health registry.
 //!
 //! Each replica owns one slot and publishes the store version it has
 //! applied up to; the router reads the slots to pick an eligible
 //! replica and blocks on the paired condvar when a consistency level
-//! demands a version no replica has reached yet.
+//! demands a version no replica has reached yet. The supervisor's
+//! progress watchdog drives each slot's [`ReplicaHealth`] through the
+//! same registry, and every health transition wakes the condvar too —
+//! so a router blocked in a failover retry reacts the moment a replica
+//! recovers (or is quarantined) instead of burning its deadline in
+//! sleep quanta.
 //!
-//! Versions live in plain `AtomicU64`s so the hot read path
-//! ([`ReplicaRegistry::applied`], [`ReplicaRegistry::newest_applied`])
-//! is a cheap snapshot read with no lock traffic. The `registry` mutex
+//! Versions, health states, restart counts and salvage positions live
+//! in plain atomics so the hot read path ([`ReplicaRegistry::applied`],
+//! [`ReplicaRegistry::newest_applied`], [`ReplicaRegistry::health`]) is
+//! a cheap snapshot read with no lock traffic. The `registry` mutex
 //! guards nothing but the condvar handshake: publishers store the
 //! atomic first, then take the mutex to notify, so a waiter that checks
 //! the predicate under the mutex can never miss a wakeup.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+/// A replica's routing health, driven by the supervisor's progress
+/// watchdog (see `crate::supervisor`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// Applying records and keeping up; fully routable.
+    Healthy,
+    /// Behind and not visibly progressing — still routable, but a
+    /// warning sign (the state between "slow" and "written off").
+    Degraded,
+    /// Stopped making progress past the watchdog's patience, or dead
+    /// with its restart budget exhausted. The router never dispatches
+    /// into a quarantined replica.
+    Quarantined,
+}
+
+impl ReplicaHealth {
+    fn from_u8(raw: u8) -> ReplicaHealth {
+        match raw {
+            0 => ReplicaHealth::Healthy,
+            1 => ReplicaHealth::Degraded,
+            _ => ReplicaHealth::Quarantined,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            ReplicaHealth::Healthy => 0,
+            ReplicaHealth::Degraded => 1,
+            ReplicaHealth::Quarantined => 2,
+        }
+    }
+
+    /// Whether the router may dispatch into a replica in this state.
+    pub fn is_routable(self) -> bool {
+        !matches!(self, ReplicaHealth::Quarantined)
+    }
+}
+
+impl std::fmt::Display for ReplicaHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ReplicaHealth::Healthy => "healthy",
+            ReplicaHealth::Degraded => "degraded",
+            ReplicaHealth::Quarantined => "quarantined",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One registry slot: all plain atomics (see the module docs).
+struct Slot {
+    /// The replica's applied store version.
+    applied: AtomicU64,
+    /// [`ReplicaHealth`] encoded via `as_u8`.
+    health: AtomicU8,
+    /// How many times the supervisor has respawned this replica.
+    restarts: AtomicU64,
+    /// Last salvage position, encoded as `lsn + 1` (0 = never
+    /// salvaged), so LSN 0 salvages are representable.
+    salvage: AtomicU64,
+}
+
 struct RegistryInner {
-    /// Slot `i` holds replica `i`'s applied store version.
-    applied: Vec<AtomicU64>,
+    slots: Vec<Slot>,
     /// Lock order: `fleet::registry` is a leaf — it is never held
     /// across any other acquisition (publish and wait both take it
     /// alone).
     registry: Mutex<()>,
-    /// Signaled (with `registry` held) after every publish.
+    /// Signaled (with `registry` held) after every publish and every
+    /// health transition.
     caught_up: Condvar,
 }
 
-/// Shared registry of per-replica applied versions. Cloning is cheap
-/// (`Arc` bump) and every clone views the same slots.
+/// Shared registry of per-replica applied versions, health states,
+/// restart counts and salvage positions. Cloning is cheap (`Arc` bump)
+/// and every clone views the same slots.
 #[derive(Clone)]
 pub struct ReplicaRegistry {
     inner: Arc<RegistryInner>,
@@ -38,65 +107,78 @@ impl std::fmt::Debug for ReplicaRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicaRegistry")
             .field("applied", &self.applied_versions())
+            .field("health", &self.health_states())
             .finish()
     }
 }
 
 impl ReplicaRegistry {
-    /// A registry with `slots` replica slots, all at version 0.
+    /// A registry with `slots` replica slots, all at version 0 and
+    /// [`ReplicaHealth::Healthy`].
     pub fn new(slots: usize) -> ReplicaRegistry {
         ReplicaRegistry {
             inner: Arc::new(RegistryInner {
-                applied: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+                slots: (0..slots)
+                    .map(|_| Slot {
+                        applied: AtomicU64::new(0),
+                        health: AtomicU8::new(ReplicaHealth::Healthy.as_u8()),
+                        restarts: AtomicU64::new(0),
+                        salvage: AtomicU64::new(0),
+                    })
+                    .collect(),
                 registry: Mutex::new(()),
                 caught_up: Condvar::new(),
             }),
         }
     }
 
+    fn slot(&self, slot: usize) -> &Slot {
+        self.inner
+            .slots
+            .get(slot)
+            .expect("invariant: replica slot within registry capacity")
+    }
+
+    /// Wakes every waiter. Called after any atomic publish; taking the
+    /// mutex after the store orders the publish before any predicate
+    /// check a waiter performs under the same mutex.
+    fn notify(&self) {
+        let _guard = self.inner.registry.lock().expect("registry poisoned");
+        self.inner.caught_up.notify_all();
+    }
+
     /// Number of replica slots.
     pub fn slots(&self) -> usize {
-        self.inner.applied.len()
+        self.inner.slots.len()
     }
 
     /// Records that replica `slot` has applied up to `version` and
     /// wakes every waiter.
     pub fn publish_applied(&self, slot: usize, version: u64) {
-        self.inner
-            .applied
-            .get(slot)
-            .expect("invariant: replica slot within registry capacity")
-            .store(version, Ordering::Release);
-        // Taking the mutex after the store orders the publish before
-        // any predicate check a waiter performs under the same mutex.
-        let _guard = self.inner.registry.lock().expect("registry poisoned");
-        self.inner.caught_up.notify_all();
+        self.slot(slot).applied.store(version, Ordering::Release);
+        self.notify();
     }
 
     /// Replica `slot`'s applied version.
     pub fn applied(&self, slot: usize) -> u64 {
-        self.inner
-            .applied
-            .get(slot)
-            .expect("invariant: replica slot within registry capacity")
-            .load(Ordering::Acquire)
+        self.slot(slot).applied.load(Ordering::Acquire)
     }
 
     /// Every slot's applied version, in slot order.
     pub fn applied_versions(&self) -> Vec<u64> {
         self.inner
-            .applied
+            .slots
             .iter()
-            .map(|slot| slot.load(Ordering::Acquire))
+            .map(|slot| slot.applied.load(Ordering::Acquire))
             .collect()
     }
 
     /// The most advanced replica's applied version (0 with no slots).
     pub fn newest_applied(&self) -> u64 {
         self.inner
-            .applied
+            .slots
             .iter()
-            .map(|slot| slot.load(Ordering::Acquire))
+            .map(|slot| slot.applied.load(Ordering::Acquire))
             .max()
             .unwrap_or(0)
     }
@@ -104,11 +186,74 @@ impl ReplicaRegistry {
     /// The least advanced replica's applied version (0 with no slots).
     pub fn oldest_applied(&self) -> u64 {
         self.inner
-            .applied
+            .slots
             .iter()
-            .map(|slot| slot.load(Ordering::Acquire))
+            .map(|slot| slot.applied.load(Ordering::Acquire))
             .min()
             .unwrap_or(0)
+    }
+
+    /// Sets replica `slot`'s health and wakes every waiter (a recovery
+    /// or a quarantine must unblock routing decisions immediately).
+    pub fn set_health(&self, slot: usize, health: ReplicaHealth) {
+        let previous = self
+            .slot(slot)
+            .health
+            .swap(health.as_u8(), Ordering::AcqRel);
+        if previous != health.as_u8() {
+            self.notify();
+        }
+    }
+
+    /// Replica `slot`'s current health.
+    pub fn health(&self, slot: usize) -> ReplicaHealth {
+        ReplicaHealth::from_u8(self.slot(slot).health.load(Ordering::Acquire))
+    }
+
+    /// Every slot's health, in slot order.
+    pub fn health_states(&self) -> Vec<ReplicaHealth> {
+        self.inner
+            .slots
+            .iter()
+            .map(|slot| ReplicaHealth::from_u8(slot.health.load(Ordering::Acquire)))
+            .collect()
+    }
+
+    /// Bumps replica `slot`'s restart count (the supervisor respawned
+    /// it) and returns the new count.
+    pub fn record_restart(&self, slot: usize) -> u64 {
+        let count = self.slot(slot).restarts.fetch_add(1, Ordering::AcqRel) + 1;
+        self.notify();
+        count
+    }
+
+    /// How many times replica `slot` has been respawned.
+    pub fn restarts(&self, slot: usize) -> u64 {
+        self.slot(slot).restarts.load(Ordering::Acquire)
+    }
+
+    /// Total respawns across every slot.
+    pub fn total_restarts(&self) -> u64 {
+        self.inner
+            .slots
+            .iter()
+            .map(|slot| slot.restarts.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Records that replica `slot` salvaged its local log up to `lsn`
+    /// (the longest valid prefix after detecting corruption).
+    pub fn record_salvage(&self, slot: usize, lsn: u64) {
+        self.slot(slot).salvage.store(lsn + 1, Ordering::Release);
+        self.notify();
+    }
+
+    /// The LSN replica `slot` last salvaged up to, if it ever did.
+    pub fn last_salvage_lsn(&self, slot: usize) -> Option<u64> {
+        match self.slot(slot).salvage.load(Ordering::Acquire) {
+            0 => None,
+            encoded => Some(encoded - 1),
+        }
     }
 
     /// Blocks until at least one replica has applied `version`, up to
@@ -117,12 +262,53 @@ impl ReplicaRegistry {
         self.wait_until(timeout, || self.newest_applied() >= version)
     }
 
+    /// Blocks until at least one **routable** (non-quarantined) replica
+    /// has applied `version`, up to `timeout`. Returns whether the
+    /// condition holds on return. Health transitions wake this wait,
+    /// so a quarantine lift or a recovery is reacted to immediately.
+    pub fn wait_for_any_routable_at_least(&self, version: u64, timeout: Duration) -> bool {
+        self.wait_until(timeout, || {
+            self.inner.slots.iter().any(|slot| {
+                ReplicaHealth::from_u8(slot.health.load(Ordering::Acquire)).is_routable()
+                    && slot.applied.load(Ordering::Acquire) >= version
+            })
+        })
+    }
+
     /// Blocks until **every** replica has applied `version`, up to
     /// `timeout`. Returns whether the condition holds on return.
     pub fn wait_for_all_at_least(&self, version: u64, timeout: Duration) -> bool {
         self.wait_until(timeout, || {
             self.slots() == 0 || self.oldest_applied() >= version
         })
+    }
+
+    /// Blocks until every **routable** replica has applied `version`
+    /// (quarantined replicas are written off), up to `timeout`.
+    /// Returns whether the condition holds on return.
+    pub fn wait_for_all_routable_at_least(&self, version: u64, timeout: Duration) -> bool {
+        self.wait_until(timeout, || {
+            self.inner.slots.iter().all(|slot| {
+                !ReplicaHealth::from_u8(slot.health.load(Ordering::Acquire)).is_routable()
+                    || slot.applied.load(Ordering::Acquire) >= version
+            })
+        })
+    }
+
+    /// Blocks until **anything** happens — any publish, health change,
+    /// restart or salvage — or `timeout` elapses, whichever is first.
+    /// The router's failover backoff is bounded by this instead of a
+    /// plain sleep, so a recovery landing mid-pause cuts it short.
+    pub fn wait_for_event(&self, timeout: Duration) {
+        if timeout.is_zero() {
+            return;
+        }
+        let guard = self.inner.registry.lock().expect("registry poisoned");
+        let _ = self
+            .inner
+            .caught_up
+            .wait_timeout(guard, timeout)
+            .expect("registry poisoned");
     }
 
     fn wait_until<F: Fn() -> bool>(&self, timeout: Duration, reached: F) -> bool {
@@ -175,5 +361,68 @@ mod tests {
         assert!(!registry.wait_for_all_at_least(4, Duration::from_millis(20)));
         registry.publish_applied(1, 4);
         assert!(registry.wait_for_all_at_least(4, Duration::ZERO));
+    }
+
+    #[test]
+    fn health_defaults_and_transitions() {
+        let registry = ReplicaRegistry::new(2);
+        assert_eq!(
+            registry.health_states(),
+            vec![ReplicaHealth::Healthy, ReplicaHealth::Healthy]
+        );
+        registry.set_health(1, ReplicaHealth::Quarantined);
+        assert_eq!(registry.health(1), ReplicaHealth::Quarantined);
+        assert!(!registry.health(1).is_routable());
+        assert!(registry.health(0).is_routable());
+        registry.set_health(1, ReplicaHealth::Degraded);
+        assert!(registry.health(1).is_routable());
+    }
+
+    #[test]
+    fn routable_wait_ignores_quarantined_replicas() {
+        let registry = ReplicaRegistry::new(2);
+        registry.publish_applied(0, 9);
+        registry.set_health(0, ReplicaHealth::Quarantined);
+        // The only caught-up replica is quarantined: not routable.
+        assert!(!registry.wait_for_any_routable_at_least(9, Duration::from_millis(20)));
+        // But a written-off replica no longer blocks the all-routable
+        // convergence wait.
+        registry.publish_applied(1, 9);
+        assert!(registry.wait_for_any_routable_at_least(9, Duration::ZERO));
+        registry.set_health(1, ReplicaHealth::Quarantined);
+        registry.publish_applied(1, 0);
+        assert!(registry.wait_for_all_routable_at_least(42, Duration::ZERO));
+    }
+
+    #[test]
+    fn health_transition_wakes_waiters() {
+        let registry = ReplicaRegistry::new(1);
+        registry.publish_applied(0, 5);
+        registry.set_health(0, ReplicaHealth::Quarantined);
+        let waiter = registry.clone();
+        let handle = std::thread::spawn(move || {
+            waiter.wait_for_any_routable_at_least(5, Duration::from_secs(10))
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        // Lifting the quarantine must wake the blocked router retry.
+        registry.set_health(0, ReplicaHealth::Healthy);
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn restarts_and_salvage_are_tracked_per_slot() {
+        let registry = ReplicaRegistry::new(2);
+        assert_eq!(registry.restarts(0), 0);
+        assert_eq!(registry.record_restart(0), 1);
+        assert_eq!(registry.record_restart(0), 2);
+        assert_eq!(registry.restarts(0), 2);
+        assert_eq!(registry.restarts(1), 0);
+        assert_eq!(registry.total_restarts(), 2);
+
+        assert_eq!(registry.last_salvage_lsn(1), None);
+        registry.record_salvage(1, 0);
+        assert_eq!(registry.last_salvage_lsn(1), Some(0));
+        registry.record_salvage(1, 17);
+        assert_eq!(registry.last_salvage_lsn(1), Some(17));
     }
 }

@@ -1,8 +1,9 @@
-//! The consistency-aware router and the fleet facade.
+//! The consistency-aware, self-healing router and the fleet facade.
 //!
 //! A [`Fleet`] owns one **primary** (the only store mutations enter),
-//! the shared [`UpdateLog`], and a set of log-tailing [`Replica`]s.
-//! The request lifecycle is *append → replicate → route → answer*:
+//! the shared [`UpdateLog`], a set of log-tailing [`Replica`]s and a
+//! supervisor thread that keeps them alive. The request lifecycle is
+//! *append → replicate → route → answer*:
 //!
 //! 1. [`Fleet::commit`] applies the update to the primary and appends
 //!    it to the log in one critical section, so the record's LSN equals
@@ -10,19 +11,27 @@
 //!    [`Commit`] token is immediately usable as
 //!    `Consistency::AtLeastVersion(commit.version)`;
 //! 2. replicas tail the log and publish their applied versions through
-//!    the [`ReplicaRegistry`];
+//!    the [`ReplicaRegistry`]; the supervisor checkpoints the primary
+//!    on cadence, watches replica progress (driving each slot's
+//!    [`ReplicaHealth`]) and respawns dead tailers from the latest
+//!    checkpoint under a bounded restart budget;
 //! 3. [`Fleet::call`] routes by consistency level — `Latest` to the
-//!    primary, `AtLeastVersion(v)` to any caught-up replica (blocking
-//!    on replication lag up to the request's deadline budget),
-//!    `Pinned(v)` to a replica still retaining `v` — picking the
-//!    least-loaded eligible endpoint and shedding load with typed
+//!    primary, `AtLeastVersion(v)` to any caught-up **routable**
+//!    replica (blocking on replication lag up to the request's deadline
+//!    budget), `Pinned(v)` to a replica still retaining `v` — picking
+//!    the least-loaded eligible endpoint and shedding load with typed
 //!    errors when the queue or the replication lag would blow the
-//!    deadline;
+//!    deadline. Quarantined replicas are never dispatched into. When an
+//!    endpoint fails under the request (it was respawned mid-flight, or
+//!    regressed during recovery), the router counts a failover and
+//!    retries another endpoint with capped exponential backoff, every
+//!    wait still charged against the deadline;
 //! 4. the chosen `QueryService` answers against its own snapshot.
 //!
 //! This file is on the analyzer's clock allowlist: routing measures the
 //! catch-up wait to shrink the deadline it forwards downstream.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -32,9 +41,19 @@ use probesim_service::{
     Consistency, QueryService, Request, Response, ServiceBuilder, ServiceError,
 };
 
+use crate::chaos::FaultPlan;
+use crate::checkpoint::Checkpoint;
 use crate::log::UpdateLog;
-use crate::registry::ReplicaRegistry;
-use crate::replica::Replica;
+use crate::registry::{ReplicaHealth, ReplicaRegistry};
+use crate::replica::{EndpointFactory, Replica};
+use crate::supervisor::{
+    CheckpointCell, Supervisor, SupervisorConfig, SupervisorCounters, SupervisorStats,
+};
+
+/// First failover retry pause; doubled per retry up to [`BACKOFF_CAP`].
+const BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// Failover backoff ceiling.
+const BACKOFF_CAP: Duration = Duration::from_millis(32);
 
 /// Errors the fleet adds on top of [`ServiceError`].
 #[derive(Debug)]
@@ -50,8 +69,8 @@ pub enum FleetError {
         /// The fleet's admission limit ([`FleetBuilder::max_pending`]).
         limit: u64,
     },
-    /// No replica reached the requested version within the deadline
-    /// budget.
+    /// No routable replica reached the requested version within the
+    /// deadline budget.
     LaggingReplicas {
         /// The version the request demanded.
         requested: u64,
@@ -95,7 +114,7 @@ impl From<ServiceError> for FleetError {
 }
 
 /// One row of [`Fleet::status`]: a cheap snapshot of a replica's
-/// replication and load state.
+/// replication, health and load state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplicaStatus {
     /// Registry slot / replica index.
@@ -106,6 +125,13 @@ pub struct ReplicaStatus {
     pub queue_depth: u64,
     /// Oldest version the replica can still serve `Pinned` reads for.
     pub oldest_retained: u64,
+    /// Routing health as last judged by the supervisor's watchdog.
+    pub health: ReplicaHealth,
+    /// How many times the supervisor has respawned this replica.
+    pub restarts: u64,
+    /// The LSN this replica last salvaged its local log up to, if it
+    /// ever detected corruption.
+    pub last_salvage_lsn: Option<u64>,
 }
 
 /// Builder for a [`Fleet`]. Every endpoint (primary and replicas) gets
@@ -121,13 +147,21 @@ pub struct FleetBuilder {
     default_deadline: Option<Duration>,
     max_pending: u64,
     catch_up: Duration,
-    lag: Vec<Option<Duration>>,
+    faults: FaultPlan,
+    supervision_tick: Duration,
+    checkpoint_every: u64,
+    restart_budget: u64,
+    degraded_after: Duration,
+    quarantine_after: Duration,
 }
 
 impl FleetBuilder {
     /// A builder with 2 replicas, 1 worker per endpoint, a 256-entry
-    /// cache, 8 retained versions, a 1024-deep admission limit and a
-    /// 250 ms catch-up budget for deadline-less reads.
+    /// cache, 8 retained versions, a 1024-deep admission limit, a
+    /// 250 ms catch-up budget for deadline-less reads, and supervision
+    /// defaults of a 2 ms tick, a checkpoint every 32 versions, a
+    /// 3-respawn restart budget and a 200 ms / 1 s degrade/quarantine
+    /// watchdog.
     pub fn new(config: ProbeSimConfig) -> FleetBuilder {
         FleetBuilder {
             config,
@@ -138,7 +172,12 @@ impl FleetBuilder {
             default_deadline: None,
             max_pending: 1024,
             catch_up: Duration::from_millis(250),
-            lag: Vec::new(),
+            faults: FaultPlan::none(),
+            supervision_tick: Duration::from_millis(2),
+            checkpoint_every: 32,
+            restart_budget: 3,
+            degraded_after: Duration::from_millis(200),
+            quarantine_after: Duration::from_secs(1),
         }
     }
 
@@ -190,56 +229,134 @@ impl FleetBuilder {
 
     /// Injects replication lag: replica `slot` sleeps `delay` before
     /// applying each log record (testing / lag-sensitivity benchmarks).
+    /// Shorthand for a slow-apply fault in the plan.
     pub fn lag(mut self, slot: usize, delay: Duration) -> FleetBuilder {
-        if self.lag.len() <= slot {
-            self.lag.resize(slot + 1, None);
-        }
-        if let Some(entry) = self.lag.get_mut(slot) {
-            *entry = Some(delay);
-        }
+        self.faults = self.faults.with_slow_apply(slot, delay);
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`] (merged over any `lag`
+    /// shorthand already set — later wins per slot/fault).
+    pub fn faults(mut self, plan: FaultPlan) -> FleetBuilder {
+        self.faults = plan;
+        self
+    }
+
+    /// Supervision loop period: how quickly crashes are detected and
+    /// health re-judged.
+    pub fn supervision_tick(mut self, tick: Duration) -> FleetBuilder {
+        self.supervision_tick = tick.max(Duration::from_micros(100));
+        self
+    }
+
+    /// Checkpoint the primary every `versions` store versions (0
+    /// disables the cadence; [`Fleet::checkpoint_now`] still works).
+    pub fn checkpoint_every(mut self, versions: u64) -> FleetBuilder {
+        self.checkpoint_every = versions;
+        self
+    }
+
+    /// Respawns allowed per replica before it is retired (permanently
+    /// quarantined). Zero disables respawn entirely.
+    pub fn restart_budget(mut self, budget: u64) -> FleetBuilder {
+        self.restart_budget = budget;
+        self
+    }
+
+    /// Progress watchdog thresholds: a behind, non-progressing replica
+    /// turns `Degraded` after `degraded_after` and `Quarantined` after
+    /// `quarantine_after`.
+    pub fn watchdog(
+        mut self,
+        degraded_after: Duration,
+        quarantine_after: Duration,
+    ) -> FleetBuilder {
+        self.degraded_after = degraded_after;
+        self.quarantine_after = quarantine_after.max(degraded_after);
         self
     }
 
     /// Builds the fleet: one primary plus `replicas` tailing replicas,
-    /// each seeded with its own copy of `base`.
+    /// each seeded with its own copy of `base`, plus the supervision
+    /// thread.
     pub fn build(self, base: CsrGraph) -> Fleet {
-        let endpoint = |graph: CsrGraph| {
-            let mut builder = ServiceBuilder::new(self.config.clone())
-                .workers(self.workers)
-                .cache_capacity(self.cache_capacity)
-                .retained_versions(self.retained_versions);
-            if let Some(deadline) = self.default_deadline {
+        let service_config = self.config.clone();
+        let workers = self.workers;
+        let cache_capacity = self.cache_capacity;
+        let retained_versions = self.retained_versions;
+        let default_deadline = self.default_deadline;
+        let factory: EndpointFactory = Arc::new(move |store: GraphStore| {
+            let mut builder = ServiceBuilder::new(service_config.clone())
+                .workers(workers)
+                .cache_capacity(cache_capacity)
+                .retained_versions(retained_versions);
+            if let Some(deadline) = default_deadline {
                 builder = builder.default_deadline(deadline);
             }
-            Arc::new(builder.build(GraphStore::from_csr(graph)))
-        };
+            Arc::new(builder.build(store))
+        });
         let log = UpdateLog::new();
         let registry = ReplicaRegistry::new(self.replicas);
-        let primary = endpoint(base.clone());
-        let replicas = (0..self.replicas)
+        let primary = factory(GraphStore::from_csr(base.clone()));
+        let replicas: Vec<Replica> = (0..self.replicas)
             .map(|slot| {
-                let delay = self.lag.get(slot).copied().flatten();
-                Replica::spawn(endpoint(base.clone()), slot, &log, registry.clone(), delay)
+                Replica::spawn(
+                    Arc::clone(&factory),
+                    base.clone(),
+                    slot,
+                    &log,
+                    registry.clone(),
+                    self.faults.for_slot(slot),
+                )
             })
             .collect();
+        let cell = CheckpointCell::new();
+        let counters = Arc::new(SupervisorCounters::default());
+        let supervisor = Supervisor::spawn(
+            SupervisorConfig {
+                tick: self.supervision_tick,
+                checkpoint_every: self.checkpoint_every,
+                restart_budget: self.restart_budget,
+                degraded_after: self.degraded_after,
+                quarantine_after: self.quarantine_after,
+            },
+            Arc::clone(&primary),
+            log.clone(),
+            registry.clone(),
+            replicas.iter().map(|r| Arc::clone(r.shared())).collect(),
+            Arc::clone(&cell),
+            Arc::clone(&counters),
+        );
         Fleet {
             log,
             registry,
             primary,
+            // Declared (and therefore dropped) before `replicas`: the
+            // supervisor must stop before the replicas it respawns are
+            // torn down.
+            _supervisor: supervisor,
             replicas,
+            cell,
+            counters,
+            failovers: AtomicU64::new(0),
             max_pending: self.max_pending,
             catch_up: self.catch_up,
         }
     }
 }
 
-/// A replicated serving fleet (see the module docs for the request
-/// lifecycle). Dropping it stops every replica tailer.
+/// A replicated, self-healing serving fleet (see the module docs for
+/// the request lifecycle). Dropping it stops the supervisor and every
+/// replica tailer.
 pub struct Fleet {
     log: UpdateLog,
     registry: ReplicaRegistry,
     primary: Arc<QueryService>,
+    _supervisor: Supervisor,
     replicas: Vec<Replica>,
+    cell: Arc<CheckpointCell>,
+    counters: Arc<SupervisorCounters>,
+    failovers: AtomicU64,
     max_pending: u64,
     catch_up: Duration,
 }
@@ -249,6 +366,7 @@ impl std::fmt::Debug for Fleet {
         f.debug_struct("Fleet")
             .field("version", &self.version())
             .field("replicas", &self.registry.applied_versions())
+            .field("health", &self.registry.health_states())
             .finish_non_exhaustive()
     }
 }
@@ -304,60 +422,125 @@ impl Fleet {
     /// Routes `request` by its consistency level and answers it.
     pub fn call(&self, request: Request) -> Result<Response, FleetError> {
         match request.consistency {
-            Consistency::Latest => self.dispatch(&[&self.primary], request),
+            Consistency::Latest => self.dispatch(&[Arc::clone(&self.primary)], request),
             Consistency::AtLeastVersion(version) => self.call_at_least(version, request),
             Consistency::Pinned(version) => self.call_pinned(version, request),
         }
     }
 
+    /// Whether a dispatch error is worth retrying on another endpoint:
+    /// the endpoint was torn down under the request (its replica got
+    /// respawned) or regressed below the demanded floor (it restarted
+    /// from a checkpoint and is re-catching up). Deterministic query
+    /// errors, deadline exhaustion and load shedding are not.
+    fn failover_worthy(err: &FleetError) -> bool {
+        matches!(
+            err,
+            FleetError::Service(ServiceError::ShuttingDown)
+                | FleetError::Service(ServiceError::VersionNotReached { .. })
+        )
+    }
+
     fn call_at_least(&self, version: u64, request: Request) -> Result<Response, FleetError> {
         // Block on replication lag, but never past the request's own
         // deadline (or the builder's catch-up budget without one), and
-        // charge the wait against the deadline we forward.
+        // charge every wait — catch-up and failover backoff alike —
+        // against the deadline we forward.
         let budget = request.deadline.unwrap_or(self.catch_up);
         let started = Instant::now();
-        if !self.registry.wait_for_any_at_least(version, budget) {
-            return Err(FleetError::LaggingReplicas {
-                requested: version,
-                newest_applied: self.registry.newest_applied(),
-            });
+        let mut backoff = BACKOFF_BASE;
+        loop {
+            let remaining = budget.saturating_sub(started.elapsed());
+            if !self
+                .registry
+                .wait_for_any_routable_at_least(version, remaining)
+            {
+                return Err(FleetError::LaggingReplicas {
+                    requested: version,
+                    newest_applied: self.registry.newest_applied(),
+                });
+            }
+            let eligible: Vec<Arc<QueryService>> = self
+                .replicas
+                .iter()
+                .filter(|replica| {
+                    self.registry.health(replica.slot()).is_routable()
+                        && self.registry.applied(replica.slot()) >= version
+                })
+                .map(Replica::service)
+                .collect();
+            if eligible.is_empty() {
+                // Health or progress flipped between the wait and the
+                // scan; re-wait unless the budget is gone.
+                if budget.saturating_sub(started.elapsed()).is_zero() {
+                    return Err(FleetError::LaggingReplicas {
+                        requested: version,
+                        newest_applied: self.registry.newest_applied(),
+                    });
+                }
+                continue;
+            }
+            let forwarded = match request.deadline {
+                Some(deadline) => request.with_deadline(deadline.saturating_sub(started.elapsed())),
+                None => request,
+            };
+            match self.dispatch(&eligible, forwarded) {
+                Err(err) if Self::failover_worthy(&err) => {
+                    self.failovers.fetch_add(1, Ordering::AcqRel);
+                    let remaining = budget.saturating_sub(started.elapsed());
+                    if remaining.is_zero() {
+                        return Err(err);
+                    }
+                    // Capped exponential backoff, bounded by the
+                    // registry condvar so a publish or health change
+                    // (a recovery landing) cuts the pause short.
+                    self.registry.wait_for_event(backoff.min(remaining));
+                    backoff = (backoff * 2).min(BACKOFF_CAP);
+                }
+                outcome => return outcome,
+            }
         }
-        let request = match request.deadline {
-            Some(deadline) => request.with_deadline(deadline.saturating_sub(started.elapsed())),
-            None => request,
-        };
-        let eligible: Vec<&Arc<QueryService>> = self
-            .replicas
-            .iter()
-            .filter(|replica| self.registry.applied(replica.slot()) >= version)
-            .map(Replica::service)
-            .collect();
-        self.dispatch(&eligible, request)
     }
 
     fn call_pinned(&self, version: u64, request: Request) -> Result<Response, FleetError> {
-        let eligible: Vec<&Arc<QueryService>> = self
+        let eligible: Vec<Arc<QueryService>> = self
             .replicas
             .iter()
             .filter(|replica| {
-                self.registry.applied(replica.slot()) >= version
-                    && replica.service().oldest_retained_version() <= version
+                self.registry.health(replica.slot()).is_routable()
+                    && self.registry.applied(replica.slot()) >= version
             })
             .map(Replica::service)
+            .filter(|service| service.oldest_retained_version() <= version)
             .collect();
         if eligible.is_empty() {
             // No replica retains it; the primary either serves the pin
             // or produces the typed `VersionNotRetained` error.
-            return self.dispatch(&[&self.primary], request);
+            return self.dispatch(&[Arc::clone(&self.primary)], request);
         }
-        self.dispatch(&eligible, request)
+        match self.dispatch(&eligible, request) {
+            Err(err)
+                if Self::failover_worthy(&err)
+                    || matches!(
+                        err,
+                        FleetError::Service(ServiceError::VersionNotRetained { .. })
+                    ) =>
+            {
+                // The chosen replica was respawned (or its retention
+                // window moved) under the request: fail over to the
+                // primary, the endpoint of last resort for pins.
+                self.failovers.fetch_add(1, Ordering::AcqRel);
+                self.dispatch(&[Arc::clone(&self.primary)], request)
+            }
+            outcome => outcome,
+        }
     }
 
     /// Admission control + least-loaded selection over the eligible
     /// endpoints, then a blocking call on the winner.
     fn dispatch(
         &self,
-        eligible: &[&Arc<QueryService>],
+        eligible: &[Arc<QueryService>],
         request: Request,
     ) -> Result<Response, FleetError> {
         let service = eligible
@@ -384,7 +567,7 @@ impl Fleet {
         &self.log
     }
 
-    /// The shared applied-version registry.
+    /// The shared applied-version and health registry.
     pub fn registry(&self) -> &ReplicaRegistry {
         &self.registry
     }
@@ -400,23 +583,60 @@ impl Fleet {
         &self.replicas
     }
 
-    /// A cheap per-replica snapshot of applied version, queue depth and
-    /// retention floor.
+    /// Captures a checkpoint of the primary right now, retains it for
+    /// recoveries and returns it (the manual counterpart of the
+    /// supervisor's cadence).
+    pub fn checkpoint_now(&self) -> Checkpoint {
+        let checkpoint = Checkpoint::from_snapshot(&self.primary.snapshot());
+        self.counters.note_checkpoint();
+        self.cell.store(checkpoint.clone());
+        checkpoint
+    }
+
+    /// A clone of the latest retained checkpoint, if any was captured.
+    pub fn latest_checkpoint(&self) -> Option<Checkpoint> {
+        self.cell.latest()
+    }
+
+    /// Cumulative supervisor activity: checkpoints taken and
+    /// checkpoint/genesis recoveries performed.
+    pub fn supervisor_stats(&self) -> SupervisorStats {
+        self.counters.stats()
+    }
+
+    /// How many times the router failed over after an endpoint died or
+    /// regressed under a dispatched request.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Acquire)
+    }
+
+    /// A cheap per-replica snapshot of applied version, queue depth,
+    /// retention floor, health, restart count and salvage position.
     pub fn status(&self) -> Vec<ReplicaStatus> {
         self.replicas
             .iter()
-            .map(|replica| ReplicaStatus {
-                replica: replica.slot(),
-                applied_version: self.registry.applied(replica.slot()),
-                queue_depth: replica.service().queue_depth(),
-                oldest_retained: replica.service().oldest_retained_version(),
+            .map(|replica| {
+                let slot = replica.slot();
+                let service = replica.service();
+                ReplicaStatus {
+                    replica: slot,
+                    applied_version: self.registry.applied(slot),
+                    queue_depth: service.queue_depth(),
+                    oldest_retained: service.oldest_retained_version(),
+                    health: self.registry.health(slot),
+                    restarts: self.registry.restarts(slot),
+                    last_salvage_lsn: self.registry.last_salvage_lsn(slot),
+                }
             })
             .collect()
     }
 
-    /// Blocks until every replica has applied `version`, up to
-    /// `timeout`. Returns whether replication caught up.
+    /// Blocks until every **routable** replica has applied `version`,
+    /// up to `timeout` (replicas quarantined after exhausting their
+    /// restart budget are written off). Returns whether replication
+    /// caught up.
     pub fn wait_for_replication(&self, version: u64, timeout: Duration) -> bool {
-        self.registry.wait_for_all_at_least(version, timeout)
+        self.registry
+            .wait_for_all_routable_at_least(version, timeout)
     }
 }

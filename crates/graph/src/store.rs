@@ -203,6 +203,18 @@ impl GraphStore {
         Self::from_arc(Arc::new(base))
     }
 
+    /// A store whose initial base is `base`, already representing the
+    /// state reached at `version` — the checkpoint-recovery
+    /// constructor. The next effective mutation produces
+    /// `version + 1`, so a replica restored from a checkpoint at LSN
+    /// `v` re-joins the log's LSN ≡ version lockstep without replaying
+    /// the prefix.
+    pub fn from_csr_at(base: CsrGraph, version: u64) -> Self {
+        let mut store = Self::from_csr(base);
+        store.version = version;
+        store
+    }
+
     /// A store sharing an already-`Arc`ed base.
     pub fn from_arc(base: Arc<CsrGraph>) -> Self {
         GraphStore {
@@ -558,6 +570,17 @@ mod tests {
             assert_eq!(a.out_neighbors(v), b.out_neighbors(v), "out({v})");
             assert_eq!(a.in_neighbors(v), b.in_neighbors(v), "in({v})");
         }
+    }
+
+    #[test]
+    fn from_csr_at_seeds_the_version() {
+        let mut store = GraphStore::from_csr_at(CsrGraph::from_edges(3, &[(0, 1)]), 17);
+        assert_eq!(store.version(), 17);
+        assert_eq!(store.snapshot().version(), 17);
+        let commit = store.commit(GraphUpdate::Insert { u: 1, v: 2 });
+        assert!(commit.was_effective());
+        assert_eq!(commit.version, 18);
+        assert_eq!(store.snapshot().version(), 18);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! probesim serve-bench <graph-file> [--queries N] [--distinct D] [--workers W]
 //!                     [--deadline-ms MS] [--work-cap W] [--cache-capacity C]
 //!                     [--consistency latest|pinned|at-least] [--update-every K]
-//!                     [--eps E] [--seed S]
+//!                     [--replicas R] [--eps E] [--seed S]
 //! probesim pair       <graph-file> --u A --v B [--walks R] [--decay C]
 //! ```
 //!
@@ -36,7 +36,12 @@
 //! `serve-bench` drives the full serving facade
 //! (`probesim_service::QueryService`): a Zipf-repeated query stream with
 //! deadlines, a consistency level and the version-keyed result cache,
-//! printing the queue/exec/cache breakdown as one JSON object.
+//! printing the queue/exec/cache breakdown as one JSON object. With
+//! `--replicas R` the same stream runs through the replicated fleet
+//! (`probesim_fleet::Fleet`) instead — commits go through the durable
+//! update log, reads through the consistency-aware router — and the
+//! JSON gains a `fleet` object with per-endpoint health, restart counts
+//! and last-salvage LSNs plus the supervisor's recovery counters.
 
 // Printing is this target's entire job: stdout is the user interface.
 #![allow(clippy::print_stdout)]
@@ -66,7 +71,7 @@ const USAGE: &str = "usage:
   probesim stats    <graph-file>
   probesim query    <graph-file> --node N [--top K | --tau T] [--eps E] [--delta D] [--decay C] [--seed S] [--probe-path fused|legacy] [--store] [--output text|json]
   probesim batch    <graph-file> --nodes A,B,C [--top K] [--threads T] [--eps E] [--seed S] [--probe-path fused|legacy] [--store] [--readers N] [--output text|json]
-  probesim serve-bench <graph-file> [--queries N] [--distinct D] [--workers W] [--deadline-ms MS] [--work-cap W] [--cache-capacity C] [--consistency latest|pinned[:V]|at-least[:V]] [--update-every K] [--eps E] [--seed S]
+  probesim serve-bench <graph-file> [--queries N] [--distinct D] [--workers W] [--deadline-ms MS] [--work-cap W] [--cache-capacity C] [--consistency latest|pinned[:V]|at-least[:V]] [--update-every K] [--replicas R] [--eps E] [--seed S]
   probesim pair     <graph-file> --u A --v B [--walks R] [--decay C] [--seed S]
 
   --store      route the graph through the versioned GraphStore and query an
@@ -86,6 +91,11 @@ serve-bench (drives the QueryService facade, prints one JSON object):
   --update-every K     commit one random edge update every K queries (default 0);
                        each commit is chased by an AtLeastVersion read of its
                        own commit token (read-your-writes)
+  --replicas R         serve through the replicated fleet instead: R log-tailing
+                       replicas behind the consistency-aware router (default 0 =
+                       single service); the JSON gains a \"fleet\" object with
+                       per-endpoint health / restarts / last-salvage LSN and the
+                       supervisor's recovery counters
 
 datasets: Wiki-Vote HepTh AS HepPh LiveJournal IT-2004 Twitter Friendster";
 
@@ -411,8 +421,44 @@ fn latency_json(samples: &[f64]) -> String {
 /// Drives the full serving facade over a Zipf-repeated query stream and
 /// prints the queue/exec/cache breakdown as one JSON object.
 fn serve_bench(args: &[String]) -> Result<(), String> {
-    use probesim::prelude::{Consistency, Request, ServiceBuilder};
+    use probesim::fleet::Fleet;
+    use probesim::prelude::{Commit, Consistency, Request, ServiceBuilder};
+    use probesim::service::{QueryService, Response};
     use probesim_graph::GraphUpdate;
+
+    /// The serving backend behind the stream: one `QueryService`, or —
+    /// with `--replicas` — the replicated fleet behind its router.
+    enum Serving {
+        Single(QueryService),
+        Fleet(Fleet),
+    }
+
+    impl Serving {
+        fn commit(&self, update: GraphUpdate) -> Commit {
+            match self {
+                Serving::Single(service) => service.commit(update),
+                Serving::Fleet(fleet) => fleet.commit(update),
+            }
+        }
+
+        /// Dispatches one request; the error detail is discarded (the
+        /// stream only counts errors).
+        fn call(&self, request: Request) -> Result<Response, String> {
+            match self {
+                Serving::Single(service) => service.call(request).map_err(|e| e.to_string()),
+                Serving::Fleet(fleet) => fleet.call(request).map_err(|e| e.to_string()),
+            }
+        }
+
+        /// The writable endpoint (the single service, or the fleet's
+        /// primary) — the source of version / stats / worker counts.
+        fn primary(&self) -> &QueryService {
+            match self {
+                Serving::Single(service) => service,
+                Serving::Fleet(fleet) => fleet.primary(),
+            }
+        }
+    }
 
     let path = args.first().ok_or("serve-bench: missing graph file")?;
     let graph = load_graph(path)?;
@@ -421,6 +467,7 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
     let workers: usize = flag(args, "--workers", 0)?;
     let cache_capacity: usize = flag(args, "--cache-capacity", 1024)?;
     let update_every: usize = flag(args, "--update-every", 0)?;
+    let replicas: usize = flag(args, "--replicas", 0)?;
     let seed: u64 = flag(args, "--seed", 2017)?;
     let deadline_ms: Option<u64> = flag_str(args, "--deadline-ms")
         .map(|raw| {
@@ -442,13 +489,24 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
     }
 
     let query_nodes = probesim_eval::sample_query_nodes(&graph, distinct.max(1), seed);
-    let mut builder = ServiceBuilder::new(engine.config().clone())
-        .workers(workers)
-        .cache_capacity(cache_capacity);
-    if let Some(ms) = deadline_ms {
-        builder = builder.default_deadline(std::time::Duration::from_millis(ms));
-    }
-    let service = builder.build(probesim_graph::GraphStore::from_csr(graph));
+    let serving = if replicas > 0 {
+        let mut builder = Fleet::builder(engine.config().clone())
+            .replicas(replicas)
+            .workers(workers)
+            .cache_capacity(cache_capacity);
+        if let Some(ms) = deadline_ms {
+            builder = builder.default_deadline(std::time::Duration::from_millis(ms));
+        }
+        Serving::Fleet(builder.build(graph))
+    } else {
+        let mut builder = ServiceBuilder::new(engine.config().clone())
+            .workers(workers)
+            .cache_capacity(cache_capacity);
+        if let Some(ms) = deadline_ms {
+            builder = builder.default_deadline(std::time::Duration::from_millis(ms));
+        }
+        Serving::Single(builder.build(probesim_graph::GraphStore::from_csr(graph)))
+    };
     // The shared wire form (the same `FromStr` the fleet config and
     // bench clients use): bare "pinned"/"at-least" resolve to version
     // 0, which IS the stream-start version of a freshly built store.
@@ -475,9 +533,9 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
             let u = (splitmix64(&mut prng) % n as u64) as NodeId;
             let v = (splitmix64(&mut prng) % n as u64) as NodeId;
             if u != v {
-                let mut commit = service.commit(GraphUpdate::Insert { u, v });
+                let mut commit = serving.commit(GraphUpdate::Insert { u, v });
                 if !commit.was_effective() {
-                    commit = service.commit(GraphUpdate::Remove { u, v });
+                    commit = serving.commit(GraphUpdate::Remove { u, v });
                 }
                 // The commit token is the exact floor the chasing
                 // read must observe.
@@ -502,7 +560,7 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
         if let Some(cap) = work_cap {
             request = request.with_work_cap(cap);
         }
-        match service.call(request) {
+        match serving.call(request) {
             Ok(response) => {
                 queue_secs.push(response.queue_wait.as_secs_f64());
                 exec_secs.push(response.exec_time.as_secs_f64());
@@ -514,8 +572,47 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
         }
     }
     let elapsed = wall.elapsed().as_secs_f64();
-    let stats = service.stats();
+    let stats = serving.primary().stats();
     let answered = queries as u64 - errors;
+    // Fleet mode appends a `fleet` object: per-endpoint health,
+    // restart counts and last-salvage LSNs from the registry-backed
+    // status snapshot, plus the supervisor's cumulative recovery
+    // counters and the router's failover count.
+    let fleet_field = match &serving {
+        Serving::Single(_) => String::new(),
+        Serving::Fleet(fleet) => {
+            let supervisor = fleet.supervisor_stats();
+            let endpoints: Vec<String> = fleet
+                .status()
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"replica\": {}, \"applied_version\": {}, \"queue_depth\": {}, \
+                         \"oldest_retained\": {}, \"health\": \"{}\", \"restarts\": {}, \
+                         \"last_salvage_lsn\": {}}}",
+                        s.replica,
+                        s.applied_version,
+                        s.queue_depth,
+                        s.oldest_retained,
+                        s.health,
+                        s.restarts,
+                        s.last_salvage_lsn
+                            .map_or("null".to_string(), |lsn| lsn.to_string()),
+                    )
+                })
+                .collect();
+            format!(
+                ", \"fleet\": {{\"replicas\": {replicas}, \"failovers\": {}, \
+                 \"checkpoints_taken\": {}, \"checkpoint_recoveries\": {}, \
+                 \"genesis_recoveries\": {}, \"endpoints\": [{}]}}",
+                fleet.failovers(),
+                supervisor.checkpoints_taken,
+                supervisor.checkpoint_recoveries,
+                supervisor.genesis_recoveries,
+                endpoints.join(", "),
+            )
+        }
+    };
     println!(
         "{{\"queries\": {queries}, \"distinct\": {}, \"workers\": {}, \
          \"consistency\": \"{consistency_name}\", \"deadline_ms\": {}, \"work_cap\": {}, \
@@ -525,12 +622,12 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
          \"misses\": {}, \"hit_rate\": {}, \"entries\": {}}}, \
          \"deadline_exceeded\": {}, \"work_budget_exceeded\": {}, \"errors\": {errors}, \
          \"executed_work\": {}, \
-         \"queue_secs\": {}, \"exec_secs\": {}}}",
+         \"queue_secs\": {}, \"exec_secs\": {}{fleet_field}}}",
         query_nodes.len(),
-        service.workers(),
+        serving.primary().workers(),
         deadline_ms.map_or("null".to_string(), |ms| ms.to_string()),
         work_cap.map_or("null".to_string(), |w| w.to_string()),
-        service.version(),
+        serving.primary().version(),
         stats.applied_version,
         stats.queue_depth,
         json_f64(elapsed),

@@ -20,7 +20,9 @@
 //!   ([`probesim_service`])
 //! * [`fleet`] — the replicated serving fleet: a durable update log,
 //!   log-tailing replicas and a consistency-aware router behind one
-//!   `Fleet` handle ([`probesim_fleet`])
+//!   `Fleet` handle, fault-tolerant via checkpointed crash recovery,
+//!   log salvage, seeded fault injection and a supervising respawn
+//!   loop ([`probesim_fleet`])
 //!
 //! ## Quick start
 //!
@@ -93,8 +95,8 @@ pub mod prelude {
     pub use probesim_datasets::{Dataset, Scale};
     pub use probesim_eval::{GroundTruth, Pool, SimRankAlgorithm};
     pub use probesim_fleet::{
-        Fleet, FleetBuilder, FleetError, LogCursor, LogRecord, ReplicaRegistry, ReplicaStatus,
-        UpdateLog,
+        FaultPlan, Fleet, FleetBuilder, FleetError, LogCursor, LogRecord, ReplicaHealth,
+        ReplicaRegistry, ReplicaStatus, SupervisorStats, UpdateLog,
     };
     pub use probesim_graph::{
         Commit, CompactionPolicy, CsrGraph, DynamicGraph, GraphBuilder, GraphSnapshot, GraphStore,
