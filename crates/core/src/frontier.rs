@@ -111,7 +111,7 @@ fn draw_budget(group_walks: u64, frontier_mass: f64, nr: usize) -> u32 {
 // The argument list mirrors the paper's probe-loop state; bundling it
 // into a struct would obscure which pieces each phase mutates.
 #[allow(clippy::too_many_arguments)]
-pub fn run_fused<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
+pub fn run_fused<G: GraphView + Sync, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     graph: &G,
     trie: &WalkTrie,
     nr: usize,
@@ -128,11 +128,12 @@ pub fn run_fused<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     }
     // Take the BFS scratch buffers out of the arena so the level slices
     // can be borrowed while the arena stores new spans.
-    let mut order = std::mem::take(&mut ws.frontier.order);
+    let mut order_nodes = std::mem::take(&mut ws.frontier.order_nodes);
+    let mut order_parents = std::mem::take(&mut ws.frontier.order_parents);
     let mut level_starts = std::mem::take(&mut ws.frontier.level_starts);
-    trie.bfs_levels(&mut order, &mut level_starts);
+    trie.bfs_levels(&mut order_nodes, &mut order_parents, &mut level_starts);
     ws.frontier.begin_query(trie.len());
-    stats.trie_prefixes += order.len();
+    stats.trie_prefixes += order_nodes.len();
 
     let result = fused_sweep(
         graph,
@@ -145,12 +146,14 @@ pub fn run_fused<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
         acc,
         stats,
         rng,
-        &order,
+        &order_nodes,
+        &order_parents,
         &level_starts,
     );
     // Hand the scratch buffers back on every exit path (success or
     // budget abort) so the pooled-capacity contract survives cancellation.
-    ws.frontier.order = order;
+    ws.frontier.order_nodes = order_nodes;
+    ws.frontier.order_parents = order_parents;
     ws.frontier.level_starts = level_starts;
     result
 }
@@ -159,7 +162,7 @@ pub fn run_fused<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
 /// are restored on the abort path too.
 // Same flat parameter list as run_fused, for the same reason.
 #[allow(clippy::too_many_arguments)]
-fn fused_sweep<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
+fn fused_sweep<G: GraphView + Sync, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     graph: &G,
     trie: &WalkTrie,
     nr: usize,
@@ -170,7 +173,8 @@ fn fused_sweep<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     acc: &mut A,
     stats: &mut QueryStats,
     rng: &mut R,
-    order: &[(u32, u32)],
+    order_nodes: &[u32],
+    order_parents: &[u32],
     level_starts: &[usize],
 ) -> Result<(), BudgetExceeded> {
     let inv_nr = 1.0 / nr as f64;
@@ -181,20 +185,22 @@ fn fused_sweep<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
     // into the accumulator (the mass has reached the root).
     for depth in (1..=depth_count).rev() {
         stats.levels_expanded += 1;
-        let level = &order[level_starts[depth - 1]..level_starts[depth]];
+        let level_range = level_starts[depth - 1]..level_starts[depth];
+        let level_nodes = &order_nodes[level_range.clone()];
+        let level_parents = &order_parents[level_range];
         // Pruning rule 2: mass at depth `r` has `r` expansions left, so an
         // entry can grow by at most (√c)^r before emission.
         let bound = params.sqrt_c.powi(depth as i32);
         let mut group_start = 0;
-        while group_start < level.len() {
+        while group_start < level_nodes.len() {
             // Siblings are consecutive within a BFS level; one group =
             // all children of `parent`.
-            let parent = level[group_start].1;
+            let parent = level_parents[group_start];
             let mut group_end = group_start + 1;
-            while group_end < level.len() && level[group_end].1 == parent {
+            while group_end < level_nodes.len() && level_parents[group_end] == parent {
                 group_end += 1;
             }
-            let group = &level[group_start..group_end];
+            let group = &level_nodes[group_start..group_end];
             group_start = group_end;
 
             let ProbeWorkspace {
@@ -202,16 +208,21 @@ fn fused_sweep<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
                 next,
                 frontier,
                 budget,
+                sweep,
+                remap,
             } = ws;
             budget.check(stats)?;
+            let sweep = *sweep;
+            let scan = remap.as_deref().map(|r| r.internal_order());
             // Merge phase: every sibling's arrival frontier plus each
             // sibling's own probe start (H_0 = {vertex}, weight w/nr)
             // lands in one deduplicated weighted frontier.
             current.clear();
             let mut contributions = 0usize;
             let mut group_walks = 0u64;
-            for &(child, _) in group {
-                for &(v, w) in frontier.span(child) {
+            for &child in group {
+                let (span_nodes, span_weights) = frontier.span(child);
+                for (&v, &w) in span_nodes.iter().zip(span_weights) {
                     contributions += 1;
                     current.add(v, w);
                 }
@@ -235,30 +246,64 @@ fn fused_sweep<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
             let avoid = trie.vertex(parent);
             stats.probes += 1;
             next.clear();
+            // Parallel dispatch keys on frontier *length* only (never
+            // thread count), so the sequential/parallel boundary is
+            // machine-independent and the deterministic replay merge
+            // reproduces the sequential bits exactly.
+            let go_parallel = sweep.parallel && current.len() >= probe::MIN_PARALLEL_FRONTIER;
             match strategy {
                 ProbeStrategy::Deterministic => {
-                    probe::expand_level_deterministic(
-                        graph,
-                        params.sqrt_c,
-                        avoid,
-                        current,
-                        next,
-                        stats,
-                    );
+                    if go_parallel {
+                        probe::expand_level_deterministic_parallel(
+                            graph,
+                            params.sqrt_c,
+                            avoid,
+                            current,
+                            next,
+                            sweep.threads,
+                            stats,
+                        );
+                    } else {
+                        probe::expand_level_deterministic(
+                            graph,
+                            params.sqrt_c,
+                            avoid,
+                            current,
+                            next,
+                            stats,
+                        );
+                    }
                 }
                 ProbeStrategy::Randomized => {
                     stats.randomized_probes += 1;
                     let mass: f64 = current.nodes().iter().map(|&v| current.get(v)).sum();
-                    probe::expand_level_randomized(
-                        graph,
-                        params.sqrt_c,
-                        avoid,
-                        current,
-                        next,
-                        draw_budget(group_walks, mass, nr),
-                        stats,
-                        rng,
-                    );
+                    let draws = draw_budget(group_walks, mass, nr);
+                    if go_parallel {
+                        probe::expand_level_randomized_parallel(
+                            graph,
+                            params.sqrt_c,
+                            avoid,
+                            current,
+                            next,
+                            scan,
+                            draws,
+                            sweep.threads,
+                            stats,
+                            rng,
+                        );
+                    } else {
+                        probe::expand_level_randomized(
+                            graph,
+                            params.sqrt_c,
+                            avoid,
+                            current,
+                            next,
+                            scan,
+                            draws,
+                            stats,
+                            rng,
+                        );
+                    }
                 }
                 ProbeStrategy::Hybrid => {
                     let out_sum = probe::frontier_out_degree_sum(graph, current);
@@ -267,15 +312,42 @@ fn fused_sweep<G: GraphView, A: ScoreSink + ?Sized, R: Rng + ?Sized>(
                         stats.hybrid_switches += 1;
                         stats.randomized_probes += 1;
                         let mass: f64 = current.nodes().iter().map(|&v| current.get(v)).sum();
-                        probe::expand_level_randomized(
+                        let draws = draw_budget(group_walks, mass, nr);
+                        if go_parallel {
+                            probe::expand_level_randomized_parallel(
+                                graph,
+                                params.sqrt_c,
+                                avoid,
+                                current,
+                                next,
+                                scan,
+                                draws,
+                                sweep.threads,
+                                stats,
+                                rng,
+                            );
+                        } else {
+                            probe::expand_level_randomized(
+                                graph,
+                                params.sqrt_c,
+                                avoid,
+                                current,
+                                next,
+                                scan,
+                                draws,
+                                stats,
+                                rng,
+                            );
+                        }
+                    } else if go_parallel {
+                        probe::expand_level_deterministic_parallel(
                             graph,
                             params.sqrt_c,
                             avoid,
                             current,
                             next,
-                            draw_budget(group_walks, mass, nr),
+                            sweep.threads,
                             stats,
-                            rng,
                         );
                     } else {
                         probe::expand_level_deterministic(

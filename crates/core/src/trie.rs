@@ -213,10 +213,14 @@ impl WalkTrie {
         Ok(())
     }
 
-    /// The level-order (BFS) cursor: fills `order` with `(node, parent)`
-    /// pairs and `level_starts` with the boundaries of each depth, so
-    /// depth `d ≥ 1` occupies `order[level_starts[d-1]..level_starts[d]]`
-    /// (the root, depth 0, is not listed — it is always index 0).
+    /// The level-order (BFS) cursor: fills the parallel `order_nodes` /
+    /// `order_parents` lanes with (node, parent) entries and
+    /// `level_starts` with the boundaries of each depth, so depth
+    /// `d ≥ 1` occupies lane index range
+    /// `level_starts[d-1]..level_starts[d]` (the root, depth 0, is not
+    /// listed — it is always index 0). The lanes are struct-of-arrays
+    /// on purpose: the fused sweep's group loop scans only the parent
+    /// lane, a dense `u32` stream.
     ///
     /// Two ordering guarantees the fused probe engine relies on:
     ///
@@ -224,30 +228,34 @@ impl WalkTrie {
     /// * within a level, children of the same parent are **consecutive**,
     ///   so a level can be consumed as per-parent groups without sorting.
     ///
-    /// Both buffers are cleared first; callers pool them across queries
-    /// (see [`crate::workspace::FrontierArena`]).
+    /// All three buffers are cleared first; callers pool them across
+    /// queries (see [`crate::workspace::FrontierArena`]).
     pub fn bfs_levels(
         &self,
-        order: &mut Vec<(TrieIndex, TrieIndex)>,
+        order_nodes: &mut Vec<TrieIndex>,
+        order_parents: &mut Vec<TrieIndex>,
         level_starts: &mut Vec<usize>,
     ) {
-        order.clear();
+        order_nodes.clear();
+        order_parents.clear();
         level_starts.clear();
         level_starts.push(0);
         let mut link = self.nodes[0].first_child;
         while let Some(c) = link {
-            order.push((c, 0));
+            order_nodes.push(c);
+            order_parents.push(0);
             link = self.nodes[c as usize].next_sibling;
         }
         let mut begin = 0;
-        while begin < order.len() {
-            let end = order.len();
+        while begin < order_nodes.len() {
+            let end = order_nodes.len();
             level_starts.push(end);
             for i in begin..end {
-                let parent = order[i].0;
+                let parent = order_nodes[i];
                 let mut link = self.nodes[parent as usize].first_child;
                 while let Some(c) = link {
-                    order.push((c, parent));
+                    order_nodes.push(c);
+                    order_parents.push(parent);
                     link = self.nodes[c as usize].next_sibling;
                 }
             }
@@ -458,27 +466,29 @@ mod tests {
         t.insert(&[0, 4]);
         t.insert(&[0, 1, 5]);
         t.insert(&[0, 4, 2]);
-        let mut order = Vec::new();
+        let mut order_nodes = Vec::new();
+        let mut order_parents = Vec::new();
         let mut level_starts = Vec::new();
-        t.bfs_levels(&mut order, &mut level_starts);
-        // Every non-root node appears exactly once.
-        assert_eq!(order.len(), t.len() - 1);
-        let mut seen: Vec<TrieIndex> = order.iter().map(|&(n, _)| n).collect();
+        t.bfs_levels(&mut order_nodes, &mut order_parents, &mut level_starts);
+        // Lanes are parallel, and every non-root node appears exactly once.
+        assert_eq!(order_nodes.len(), order_parents.len());
+        assert_eq!(order_nodes.len(), t.len() - 1);
+        let mut seen: Vec<TrieIndex> = order_nodes.clone();
         seen.sort_unstable();
         assert_eq!(seen, (1..t.len() as TrieIndex).collect::<Vec<_>>());
         // Levels are contiguous and shallow-to-deep: depth 1 = {1, 4},
         // depth 2 = {2, 5, 2'}, depth 3 = {3}.
         assert_eq!(level_starts.first(), Some(&0));
-        assert_eq!(level_starts.last(), Some(&order.len()));
+        assert_eq!(level_starts.last(), Some(&order_nodes.len()));
         assert_eq!(level_starts.len(), 4, "three levels: {level_starts:?}");
-        let depth1 = &order[level_starts[0]..level_starts[1]];
+        let depth1 = &order_parents[level_starts[0]..level_starts[1]];
         assert_eq!(depth1.len(), 2);
-        assert!(depth1.iter().all(|&(_, p)| p == 0));
+        assert!(depth1.iter().all(|&p| p == 0));
         // Within a level, siblings are consecutive (grouped by parent).
         for level in level_starts.windows(2) {
-            let slice = &order[level[0]..level[1]];
+            let slice = &order_parents[level[0]..level[1]];
             let mut seen_parents: Vec<TrieIndex> = Vec::new();
-            for &(_, parent) in slice {
+            for &parent in slice {
                 match seen_parents.last() {
                     Some(&last) if last == parent => {}
                     _ => {
@@ -492,7 +502,7 @@ mod tests {
             }
         }
         // Parent links are consistent with the vertex chains.
-        for &(node, parent) in &order {
+        for (&node, &parent) in order_nodes.iter().zip(&order_parents) {
             assert!(parent < node, "BFS parents precede children");
             let _ = (t.vertex(node), t.weight(node), t.vertex(parent));
         }
@@ -501,10 +511,12 @@ mod tests {
     #[test]
     fn bfs_levels_on_empty_trie() {
         let t = WalkTrie::new(9);
-        let mut order = vec![(7, 7)];
+        let mut order_nodes = vec![7];
+        let mut order_parents = vec![7];
         let mut level_starts = vec![42];
-        t.bfs_levels(&mut order, &mut level_starts);
-        assert!(order.is_empty());
+        t.bfs_levels(&mut order_nodes, &mut order_parents, &mut level_starts);
+        assert!(order_nodes.is_empty());
+        assert!(order_parents.is_empty());
         assert_eq!(level_starts, vec![0]);
     }
 }

@@ -127,22 +127,31 @@ impl LevelBuf {
 ///
 /// A fused sweep stores one weighted frontier per trie node: the mass
 /// that has propagated down to that trie position. Frontiers are spans
-/// in one flat arena (`entries`), indexed per trie node (`spans`), plus
-/// the BFS-cursor scratch buffers ([`crate::trie::WalkTrie::bfs_levels`]
-/// fills them). Everything is `clear()`-reused: after the first few
-/// queries warm the capacities up, a query performs **zero heap
-/// allocation** here — the same pooling contract as [`LevelBuf`] and the
-/// session's sparse accumulator.
+/// in one flat arena, indexed per trie node (`spans`), plus the
+/// BFS-cursor scratch buffers ([`crate::trie::WalkTrie::bfs_levels`]
+/// fills them). Storage is struct-of-arrays: node ids (`u32`) and
+/// weights (`f64`) live in separate lanes so the merge loop streams a
+/// dense 4-byte id lane instead of 16-byte padded tuples — half the
+/// cache traffic on the id side, and the weight lane stays naturally
+/// aligned. Everything is `clear()`-reused: after the first few queries
+/// warm the capacities up, a query performs **zero heap allocation**
+/// here — the same pooling contract as [`LevelBuf`] and the session's
+/// sparse accumulator.
 #[derive(Debug, Clone, Default)]
 pub struct FrontierArena {
-    /// Flat `(node, weight)` storage; each trie node's frontier is a
-    /// contiguous span.
-    entries: Vec<(NodeId, f64)>,
-    /// Per trie node: `(offset, len)` into `entries`.
+    /// Node-id lane of the flat frontier storage; each trie node's
+    /// frontier is a contiguous span, parallel to `entry_weights`.
+    entry_nodes: Vec<NodeId>,
+    /// Weight lane, parallel to `entry_nodes`.
+    entry_weights: Vec<f64>,
+    /// Per trie node: `(offset, len)` into the entry lanes.
     spans: Vec<(usize, usize)>,
-    /// BFS cursor scratch: `(node, parent)` pairs in level order.
-    pub order: Vec<(u32, u32)>,
-    /// BFS cursor scratch: level boundaries into `order`.
+    /// BFS cursor scratch: trie nodes in level order (node lane,
+    /// parallel to `order_parents`).
+    pub order_nodes: Vec<u32>,
+    /// BFS cursor scratch: parent of each entry in `order_nodes`.
+    pub order_parents: Vec<u32>,
+    /// BFS cursor scratch: level boundaries into the order lanes.
     pub level_starts: Vec<usize>,
 }
 
@@ -155,29 +164,68 @@ impl FrontierArena {
     /// Resets the arena for a query over a trie with `trie_len` nodes.
     /// O(trie_len), no allocation once capacities are warm.
     pub fn begin_query(&mut self, trie_len: usize) {
-        self.entries.clear();
+        self.entry_nodes.clear();
+        self.entry_weights.clear();
         self.spans.clear();
         self.spans.resize(trie_len, (0, 0));
     }
 
-    /// The stored frontier of trie node `idx` (empty until stored).
+    /// The stored frontier of trie node `idx` as parallel node/weight
+    /// lanes (both empty until stored).
     #[inline]
-    pub fn span(&self, idx: u32) -> &[(NodeId, f64)] {
+    pub fn span(&self, idx: u32) -> (&[NodeId], &[f64]) {
         let (offset, len) = self.spans[idx as usize];
-        &self.entries[offset..offset + len]
+        (
+            &self.entry_nodes[offset..offset + len],
+            &self.entry_weights[offset..offset + len],
+        )
     }
 
     /// Stores `level`'s positive entries (in insertion order) as the
     /// frontier of trie node `idx`.
     pub fn store(&mut self, idx: u32, level: &LevelBuf) {
-        let offset = self.entries.len();
+        let offset = self.entry_nodes.len();
         for &v in level.nodes() {
             let score = level.get(v);
             if score > 0.0 {
-                self.entries.push((v, score));
+                self.entry_nodes.push(v);
+                self.entry_weights.push(score);
             }
         }
-        self.spans[idx as usize] = (offset, self.entries.len() - offset);
+        self.spans[idx as usize] = (offset, self.entry_nodes.len() - offset);
+    }
+}
+
+/// How the fused sweep schedules each (level, group) expansion.
+///
+/// Sequential by default; [`crate::QuerySession`] arms the parallel
+/// policy from [`crate::Optimizations::parallel_sweep`]. The policy
+/// only decides *where* the work runs — never *what* it computes: the
+/// deterministic parallel path replays per-chunk contributions in
+/// fixed chunk order (bit-identical to sequential), and the randomized
+/// path derives one RNG stream per fixed-width chunk, so output is
+/// independent of `threads`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPolicy {
+    /// Partition large frontiers across scoped worker threads.
+    pub parallel: bool,
+    /// Worker-thread count for parallel expansions (>= 1).
+    pub threads: usize,
+}
+
+impl SweepPolicy {
+    /// The default single-threaded policy.
+    pub fn sequential() -> Self {
+        SweepPolicy {
+            parallel: false,
+            threads: 1,
+        }
+    }
+}
+
+impl Default for SweepPolicy {
+    fn default() -> Self {
+        SweepPolicy::sequential()
     }
 }
 
@@ -196,6 +244,14 @@ pub struct ProbeWorkspace {
     /// (`QuerySession::run_with_budget`); carrying it here keeps the
     /// probe signatures free of an extra threading parameter.
     pub budget: ProbeBudget,
+    /// Intra-query parallelism policy for the fused sweep; sequential
+    /// unless the session armed [`crate::Optimizations::parallel_sweep`].
+    pub sweep: SweepPolicy,
+    /// The bound graph's node relabeling, when it carries one. The
+    /// randomized probe's dense-candidate branch scans nodes through
+    /// this map (external-ascending order) so relabeled graphs replay
+    /// the exact RNG consumption sequence of the unrelabeled graph.
+    pub remap: Option<std::sync::Arc<probesim_graph::NodeRemap>>,
 }
 
 impl ProbeWorkspace {
@@ -206,6 +262,8 @@ impl ProbeWorkspace {
             next: LevelBuf::new(n),
             frontier: FrontierArena::new(),
             budget: ProbeBudget::unlimited(),
+            sweep: SweepPolicy::sequential(),
+            remap: None,
         }
     }
 
@@ -291,22 +349,22 @@ mod tests {
     fn frontier_arena_stores_and_reuses_spans() {
         let mut arena = FrontierArena::new();
         arena.begin_query(3);
-        assert!(arena.span(0).is_empty());
+        assert!(arena.span(0).0.is_empty());
         let mut buf = LevelBuf::new(8);
         buf.clear();
         buf.add(5, 0.5);
         buf.add(2, 0.25);
         buf.set(7, 0.0); // zeroed entries are dropped at store time
         arena.store(1, &buf);
-        assert_eq!(arena.span(1), &[(5, 0.5), (2, 0.25)]);
+        assert_eq!(arena.span(1), (&[5u32, 2][..], &[0.5f64, 0.25][..]));
         buf.clear();
         buf.add(3, 1.0);
         arena.store(2, &buf);
-        assert_eq!(arena.span(2), &[(3, 1.0)]);
-        assert_eq!(arena.span(1), &[(5, 0.5), (2, 0.25)]);
+        assert_eq!(arena.span(2), (&[3u32][..], &[1.0f64][..]));
+        assert_eq!(arena.span(1), (&[5u32, 2][..], &[0.5f64, 0.25][..]));
         // A new query resets every span.
         arena.begin_query(2);
-        assert!(arena.span(1).is_empty());
+        assert!(arena.span(1).0.is_empty());
     }
 
     #[test]

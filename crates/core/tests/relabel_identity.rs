@@ -1,0 +1,149 @@
+//! Degree-ordered relabeling is answer-invisible.
+//!
+//! A `CsrGraph` built with [`CsrGraph::degree_ordered_from`] (or a
+//! `GraphStore` built with [`GraphStore::from_view_degree_ordered`])
+//! stores its adjacency under a hub-first internal labeling for cache
+//! locality, behind a [`probesim_graph::NodeRemap`] the session applies
+//! at the query boundary. Three things make execution label-invariant,
+//! and these properties pin all of them down:
+//!
+//! * relabeled adjacency rows keep *external-ascending* element order,
+//!   so deterministic expansion accumulates in the same floating-point
+//!   order;
+//! * walk sampling and randomized in-edge draws are positional, and the
+//!   per-query RNG is seeded with the external node id;
+//! * the dense-candidate scan of the randomized probe walks candidates
+//!   in external order through the remap.
+//!
+//! Together: every query kind answers **bit-identically** (scores and
+//! counters) with and without relabeling — across the CSR backend, the
+//! store/snapshot backend, live overlay mutations, and a compaction
+//! boundary (with and without degree-order refresh).
+
+use probesim_core::{ProbeSim, ProbeSimConfig, ProbeStrategy, Query, QueryOutput};
+use probesim_graph::{CsrGraph, GraphStore, GraphUpdate, GraphView};
+use proptest::prelude::*;
+
+fn engine(strategy: ProbeStrategy) -> ProbeSim {
+    let mut cfg = ProbeSimConfig::new(0.6, 0.15, 0.05)
+        .with_seed(0xC0FFEE)
+        .with_num_walks(60);
+    cfg.optimizations.strategy = strategy;
+    ProbeSim::new(cfg)
+}
+
+fn queries(node: u32) -> [Query; 3] {
+    [
+        Query::SingleSource { node },
+        Query::TopK { node, k: 3 },
+        Query::Threshold { node, tau: 0.05 },
+    ]
+}
+
+fn assert_outputs_bit_identical(a: &QueryOutput, b: &QueryOutput, context: &str) {
+    assert_eq!(a.stats, b.stats, "{context}: counters diverged");
+    assert_eq!(a.scores.len(), b.scores.len(), "{context}");
+    for ((va, sa), (vb, sb)) in a.scores.iter().zip(b.scores.iter()) {
+        assert_eq!(va, vb, "{context}: touched sets differ");
+        assert_eq!(sa.to_bits(), sb.to_bits(), "{context}: node {va}");
+    }
+    assert_eq!(a.ranking(), b.ranking(), "{context}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CSR backend: a degree-ordered rebuild answers every query kind
+    /// bit-identically to the original labeling, for every strategy.
+    #[test]
+    fn degree_ordered_csr_answers_bit_identically(
+        n in 8usize..32,
+        raw_edges in prop::collection::vec((0u32..32, 0u32..32), 10..120),
+        node in 0u32..8,
+        strategy_pick in 0usize..3,
+    ) {
+        let edges: Vec<(u32, u32)> = raw_edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        let plain = CsrGraph::from_edges(n, &edges);
+        let relabeled = CsrGraph::degree_ordered_from(&plain);
+        prop_assert!(relabeled.node_remap().is_some());
+        let strategy = [
+            ProbeStrategy::Deterministic,
+            ProbeStrategy::Randomized,
+            ProbeStrategy::Hybrid,
+        ][strategy_pick];
+        let e = engine(strategy);
+        for query in queries(node) {
+            let a = e.session(&plain).run(query).unwrap();
+            let b = e.session(&relabeled).run(query).unwrap();
+            assert_outputs_bit_identical(&a, &b, &format!("{strategy:?} {query:?}"));
+        }
+    }
+
+    /// Store/snapshot backend: a degree-ordered store stays
+    /// bit-identical through live overlay mutations and across a
+    /// compaction boundary — both keeping the original relabeling and
+    /// recomputing it from post-update degrees.
+    #[test]
+    fn degree_ordered_store_survives_updates_and_compaction(
+        n in 8usize..24,
+        raw_edges in prop::collection::vec((0u32..24, 0u32..24), 10..80),
+        raw_updates in prop::collection::vec((0u32..24, 0u32..24, any::<bool>()), 1..24),
+        node in 0u32..8,
+        refresh in any::<bool>(),
+    ) {
+        let edges: Vec<(u32, u32)> = raw_edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        let updates: Vec<GraphUpdate> = raw_updates
+            .into_iter()
+            .map(|(u, v, insert)| {
+                let (u, v) = (u % n as u32, v % n as u32);
+                let v = if u == v { (v + 1) % n as u32 } else { v };
+                if insert {
+                    GraphUpdate::Insert { u, v }
+                } else {
+                    GraphUpdate::Remove { u, v }
+                }
+            })
+            .collect();
+        let base = CsrGraph::from_edges(n, &edges);
+        let mut plain = GraphStore::from_view(&base);
+        let mut ordered =
+            GraphStore::from_view_degree_ordered(&base).with_degree_order_refresh(refresh);
+        let e = engine(ProbeStrategy::Hybrid);
+        let query = Query::SingleSource { node };
+
+        // Same external-id updates against both stores; effectiveness
+        // must agree (the remap is a pure storage concern).
+        for update in updates {
+            prop_assert_eq!(
+                plain.apply_all([update]),
+                ordered.apply_all([update]),
+                "update {:?}", update
+            );
+        }
+        let a = e.session(plain.snapshot()).run(query).unwrap();
+        let b = e.session(ordered.snapshot()).run(query).unwrap();
+        assert_outputs_bit_identical(&a, &b, "post-update snapshots");
+
+        // Across the compaction boundary (refresh=true recomputes the
+        // relabeling from post-update degrees; false carries it over).
+        plain.compact();
+        ordered.compact();
+        let a = e.session(plain.snapshot()).run(query).unwrap();
+        let b = e.session(ordered.snapshot()).run(query).unwrap();
+        assert_outputs_bit_identical(&a, &b, "post-compaction snapshots");
+        if refresh {
+            prop_assert!(
+                ordered.snapshot().node_remap().is_some(),
+                "refresh must keep the store degree-ordered"
+            );
+        }
+    }
+}

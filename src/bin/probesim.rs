@@ -273,7 +273,7 @@ fn query(args: &[String]) -> Result<(), String> {
     };
     // Session construction (O(n) scratch) stays outside the timed region
     // so the reported time measures the query alone, on both paths.
-    fn timed_run<G: GraphView>(
+    fn timed_run<G: GraphView + Sync>(
         mut session: QuerySession<G>,
         query: Query,
     ) -> (Result<QueryOutput, QueryError>, f64) {

@@ -58,7 +58,7 @@ fn engine_configs(seed: u64) -> Vec<ProbeSimConfig> {
 /// Abort the query on `session` with `budget`, then prove the session is
 /// as good as new: the follow-up query must equal `reference` (a
 /// fresh-session output) bit-for-bit in scores *and* stats.
-fn assert_reusable_after_abort<G: GraphView>(
+fn assert_reusable_after_abort<G: GraphView + Sync>(
     session: &mut QuerySession<G>,
     query: Query,
     budget: ProbeBudget,

@@ -153,7 +153,11 @@ proptest! {
 
 /// Mean over independent seeds of a randomized/hybrid fused engine vs the
 /// exact Table 2 SimRank scores.
-fn mean_abs_error_vs_table2<G: GraphView>(graph: &G, strategy: ProbeStrategy, c0: f64) -> f64 {
+fn mean_abs_error_vs_table2<G: GraphView + Sync>(
+    graph: &G,
+    strategy: ProbeStrategy,
+    c0: f64,
+) -> f64 {
     let seeds = 40u64;
     let mut mean = [0.0f64; 8];
     for seed in 0..seeds {
