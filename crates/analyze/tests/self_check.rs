@@ -80,7 +80,8 @@ fn lock_order_section_documents_the_serving_path() {
             "service::state",
             "service::store",
             "service::inner",
-            "service::published"
+            "service::published",
+            "service::index"
         ]
     );
     let edges: Vec<(&str, &str)> = section

@@ -1,0 +1,980 @@
+//! The second engine: a PRSim-style precomputed contribution index,
+//! maintained incrementally, plus the adaptive per-query planner that
+//! picks between it and the index-free ProbeSim engine.
+//!
+//! ProbeSim (the paper) is deliberately index-free; PRSim (Wei et al.,
+//! VLDB 2019) showed that a lightweight precomputed table of reverse-PPR
+//! contributions makes single-source SimRank sublinear on power-law
+//! graphs. This module is that second tier, adapted to the session
+//! architecture around it:
+//!
+//! * **One row per source.** All three query kinds ([`Query`]) share one
+//!   single-source computation — the kind only changes post-processing
+//!   of the same [`SparseScores`]. So a row is the drained sparse score
+//!   vector of one fused-engine run: the `(node, level, weight)` entries
+//!   of every touched node, stored struct-of-arrays (u32 node and level
+//!   lanes, f64 weight lane) in one flat arena with per-source spans —
+//!   the same SoA layout the frontier engine uses for its arena. One
+//!   row answers `SingleSource`, `TopK` *and* `Threshold` for its
+//!   source, bit-equal to a fresh run at the row's version.
+//! * **Version-stamped freshness.** Every row carries the store version
+//!   it was built at. The store's version counts *effective* mutations,
+//!   so `row.stamp == snapshot.version()` implies identical edge sets —
+//!   a replay is then exactly the answer a fresh run would produce. A
+//!   query at any other version falls back to an on-the-fly probe run
+//!   ([`IndexEngine::run`]'s build-through path), which doubles as the
+//!   row rebuild. Answers therefore stay correct mid-repair: stale rows
+//!   are never trusted, only bypassed.
+//! * **Incremental maintenance.** [`IndexEngine::note_update`] — wired
+//!   to `GraphStore`'s mutation observer by the service tier — marks the
+//!   cached rows stale and feeds them into a dirty-source queue that
+//!   [`IndexEngine::repair_next`] drains lazily, one recompute per call,
+//!   off the query path.
+//! * **`εi` truncation.** [`IndexEngine::with_epsilon_i`] drops stored
+//!   entries whose raw contribution is below `εi`, shrinking rows at the
+//!   cost of an extra additive error of at most `εi` on replayed
+//!   answers. The default `εi = 0` keeps replays bit-equal.
+//!
+//! The planner ([`plan`]) maps a per-query [`EngineChoice`] plus
+//! [`PlannerInputs`] — graph skew (in-degree Gini), `k`, the accuracy
+//! budget `εa`, the remaining deadline and row freshness — to an
+//! [`EnginePlan`] naming the engine that should answer and why. The
+//! policy is a deterministic decision list, so engine selection is a
+//! pure function of the inputs and CI can fingerprint it.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::str::FromStr;
+use std::time::Duration;
+
+use probesim_graph::{GraphView, NodeId};
+
+use crate::budget::ProbeBudget;
+use crate::result::QueryStats;
+use crate::session::{Query, QueryError, QueryOutput, QuerySession, SparseScores};
+
+/// Which engine a request asks for.
+///
+/// `Auto` delegates to the adaptive planner ([`plan`]); the other two
+/// force an engine for A/B comparison. The wire form (`probesim` /
+/// `index` / `auto`) is shared by the CLI `--engine` flag and the
+/// service request API, exactly like the `Consistency` wire form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// Force the index-free ProbeSim engine.
+    #[default]
+    Probesim,
+    /// Force the contribution-index engine (replay or build-through).
+    Index,
+    /// Let the planner decide per query.
+    Auto,
+}
+
+impl fmt::Display for EngineChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineChoice::Probesim => write!(f, "probesim"),
+            EngineChoice::Index => write!(f, "index"),
+            EngineChoice::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+/// Error parsing an [`EngineChoice`] from its wire form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEngineChoiceError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseEngineChoiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid engine {:?} (expected probesim, index or auto)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseEngineChoiceError {}
+
+impl FromStr for EngineChoice {
+    type Err = ParseEngineChoiceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "probesim" => Ok(EngineChoice::Probesim),
+            "index" => Ok(EngineChoice::Index),
+            "auto" => Ok(EngineChoice::Auto),
+            other => Err(ParseEngineChoiceError {
+                input: other.to_string(),
+            }),
+        }
+    }
+}
+
+/// The engine that actually answered a query (what `Auto` resolved to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The index-free ProbeSim engine.
+    Probesim,
+    /// The contribution-index engine.
+    Index,
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineKind::Probesim => write!(f, "probesim"),
+            EngineKind::Index => write!(f, "index"),
+        }
+    }
+}
+
+/// Why the planner picked the engine it picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanReason {
+    /// The request forced an engine (`EngineChoice::Probesim` / `Index`).
+    Forced,
+    /// A fresh row exists at the query's version: replay is free.
+    FreshRow,
+    /// Skewed graph + loose accuracy budget + roomy deadline: paying the
+    /// build-through now makes future queries on this source replays.
+    SkewBuildThrough,
+    /// Index conditions held but the deadline is too tight to risk a
+    /// build-through; the index-free engine answers.
+    TightDeadline,
+    /// Nothing argued for the index: the index-free engine answers.
+    Default,
+}
+
+/// The planner's verdict for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnginePlan {
+    /// The engine that should answer.
+    pub engine: EngineKind,
+    /// Why.
+    pub reason: PlanReason,
+}
+
+/// What the planner looks at for one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerInputs {
+    /// In-degree Gini coefficient of the graph
+    /// ([`probesim_graph::DegreeStats::in_degree_gini`]): the skew proxy.
+    /// Power-law graphs (where PRSim-style indexes shine) score high.
+    pub skew: f64,
+    /// `k` for top-k queries, `None` otherwise. Currently informational:
+    /// every kind replays the same row, so `k` does not flip the
+    /// decision — it is threaded through so a finer policy can use it
+    /// without an API break.
+    pub k: Option<usize>,
+    /// The engine accuracy parameter `εa`: a loose budget keeps rows
+    /// small (fewer walks, shallower probes), which is when the
+    /// build-through gamble pays off fastest.
+    pub epsilon: f64,
+    /// Remaining deadline, if the request armed one.
+    pub deadline: Option<Duration>,
+    /// Whether the index holds a fresh row for the query's source at the
+    /// query's version.
+    pub row_fresh: bool,
+}
+
+/// Skew floor (in-degree Gini) above which `Auto` considers a
+/// build-through worthwhile. Regular graphs (ring ≈ 0) stay on the
+/// index-free engine; power-law graphs (Wiki-Vote-like ≫ 0.5) cross it.
+pub const SKEW_THRESHOLD: f64 = 0.5;
+
+/// Accuracy budget floor for a build-through: below this `εa` rows are
+/// large (walk count scales with `1/εa²`) and caching them speculatively
+/// is a poor bet.
+pub const LOOSE_EPSILON: f64 = 0.05;
+
+/// Minimum remaining deadline for `Auto` to risk a build-through (a
+/// build costs one full probe run; replays are the payoff).
+pub const BUILD_DEADLINE_FLOOR: Duration = Duration::from_millis(100);
+
+/// The adaptive planner: a deterministic decision list from
+/// [`PlannerInputs`] to an [`EnginePlan`].
+///
+/// * A forced choice wins unconditionally.
+/// * `Auto` replays a fresh row whenever one exists — a replay is
+///   strictly cheaper than any probe run and bit-equal by construction.
+/// * Otherwise `Auto` pays a build-through only where the index is
+///   likely to win later: skewed graph ([`SKEW_THRESHOLD`]), loose
+///   accuracy budget ([`LOOSE_EPSILON`]) and a deadline that can absorb
+///   one full probe run ([`BUILD_DEADLINE_FLOOR`]).
+/// * Everything else goes to the index-free engine.
+pub fn plan(choice: EngineChoice, inputs: &PlannerInputs) -> EnginePlan {
+    match choice {
+        EngineChoice::Probesim => EnginePlan {
+            engine: EngineKind::Probesim,
+            reason: PlanReason::Forced,
+        },
+        EngineChoice::Index => EnginePlan {
+            engine: EngineKind::Index,
+            reason: PlanReason::Forced,
+        },
+        EngineChoice::Auto => {
+            if inputs.row_fresh {
+                return EnginePlan {
+                    engine: EngineKind::Index,
+                    reason: PlanReason::FreshRow,
+                };
+            }
+            if inputs.skew >= SKEW_THRESHOLD && inputs.epsilon >= LOOSE_EPSILON {
+                return match inputs.deadline {
+                    Some(d) if d < BUILD_DEADLINE_FLOOR => EnginePlan {
+                        engine: EngineKind::Probesim,
+                        reason: PlanReason::TightDeadline,
+                    },
+                    _ => EnginePlan {
+                        engine: EngineKind::Index,
+                        reason: PlanReason::SkewBuildThrough,
+                    },
+                };
+            }
+            EnginePlan {
+                engine: EngineKind::Probesim,
+                reason: PlanReason::Default,
+            }
+        }
+    }
+}
+
+/// Per-source row metadata: a span into the SoA arena plus the facts
+/// needed to reconstruct the row's [`SparseScores`] verbatim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RowMeta {
+    /// Span start in the arena lanes.
+    start: usize,
+    /// Span length (entry count).
+    len: usize,
+    /// Store version the row was built at. Fresh iff it equals the
+    /// queried snapshot's version (equal versions ⇒ identical edge sets).
+    stamp: u64,
+    /// The implicit score of untouched nodes at build time (`εt/2` under
+    /// truncation compensation, else 0).
+    baseline: f64,
+    /// Node count of the graph the row was built on (a replay refuses a
+    /// mismatch — stores pin `n`, but the table cannot assume a store).
+    num_nodes: usize,
+}
+
+/// The contribution table: per-source sparse rows in one flat
+/// struct-of-arrays arena (u32 `node` / u32 `level` lanes, f64 `weight`
+/// lane), mirroring the frontier engine's SoA arena layout.
+///
+/// Replaced rows leave dead spans behind; the arena compacts itself once
+/// dead entries outnumber live ones (amortized O(1) per stored entry).
+/// Capacity is bounded by a row count; the oldest-installed row is
+/// evicted first.
+#[derive(Debug, Clone)]
+pub struct ContributionTable {
+    /// Touched node ids, external labels, ascending within each span.
+    nodes: Vec<u32>,
+    /// Probe depth the row's build sweep expanded (uniform per row
+    /// today: the fused engine reports one `levels_expanded` per query;
+    /// a per-entry depth would need the engine to emit it per node).
+    levels: Vec<u32>,
+    /// Raw accumulated scores (baseline not applied) — exactly what
+    /// [`SparseScores`] stores internally, so replays are bit-equal.
+    weights: Vec<f64>,
+    rows: BTreeMap<NodeId, RowMeta>,
+    /// Installation order, oldest first, for capacity eviction.
+    order: VecDeque<NodeId>,
+    /// Dead (replaced/evicted) entries still occupying the arena.
+    dead: usize,
+    max_rows: usize,
+}
+
+/// Default row-count capacity of the table.
+pub const DEFAULT_MAX_ROWS: usize = 1024;
+
+/// Compaction floor: arenas smaller than this never compact (the copy
+/// would cost more than the slack is worth).
+const COMPACT_MIN_ENTRIES: usize = 4096;
+
+impl ContributionTable {
+    fn new(max_rows: usize) -> Self {
+        ContributionTable {
+            nodes: Vec::new(),
+            levels: Vec::new(),
+            weights: Vec::new(),
+            rows: BTreeMap::new(),
+            order: VecDeque::new(),
+            dead: 0,
+            max_rows: max_rows.max(1),
+        }
+    }
+
+    /// Number of cached rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Live entries across all rows.
+    pub fn live_entries(&self) -> usize {
+        self.nodes.len() - self.dead
+    }
+
+    /// Dead (replaced) entries awaiting compaction.
+    pub fn dead_entries(&self) -> usize {
+        self.dead
+    }
+
+    fn meta(&self, source: NodeId) -> Option<&RowMeta> {
+        self.rows.get(&source)
+    }
+
+    fn remove(&mut self, source: NodeId) {
+        if let Some(meta) = self.rows.remove(&source) {
+            self.dead += meta.len;
+            self.order.retain(|&s| s != source);
+        }
+    }
+
+    fn push_row(
+        &mut self,
+        source: NodeId,
+        stamp: u64,
+        num_nodes: usize,
+        baseline: f64,
+        level: u32,
+        entries: impl Iterator<Item = (NodeId, f64)>,
+    ) {
+        self.remove(source);
+        while self.rows.len() >= self.max_rows {
+            let oldest = self
+                .order
+                .front()
+                .copied()
+                .expect("invariant: a non-empty table has an install order");
+            self.remove(oldest);
+        }
+        let start = self.nodes.len();
+        for (node, weight) in entries {
+            self.nodes.push(node);
+            self.levels.push(level);
+            self.weights.push(weight);
+        }
+        let len = self.nodes.len() - start;
+        self.rows.insert(
+            source,
+            RowMeta {
+                start,
+                len,
+                stamp,
+                baseline,
+                num_nodes,
+            },
+        );
+        self.order.push_back(source);
+        self.maybe_compact();
+    }
+
+    /// Compacts the arena when dead entries outnumber live ones: copies
+    /// each live span (in source order — `rows` is a BTreeMap, so the
+    /// rebuilt layout is deterministic) into fresh lanes.
+    fn maybe_compact(&mut self) {
+        if self.dead < COMPACT_MIN_ENTRIES || self.dead <= self.live_entries() {
+            return;
+        }
+        let live = self.live_entries();
+        let mut nodes = Vec::with_capacity(live);
+        let mut levels = Vec::with_capacity(live);
+        let mut weights = Vec::with_capacity(live);
+        for meta in self.rows.values_mut() {
+            let start = nodes.len();
+            let span = meta.start..meta.start + meta.len;
+            let lanes = self
+                .nodes
+                .get(span.clone())
+                .zip(self.levels.get(span.clone()))
+                .zip(self.weights.get(span))
+                .expect("invariant: row spans lie inside the arena lanes");
+            let ((node_lane, level_lane), weight_lane) = lanes;
+            nodes.extend_from_slice(node_lane);
+            levels.extend_from_slice(level_lane);
+            weights.extend_from_slice(weight_lane);
+            meta.start = start;
+        }
+        self.nodes = nodes;
+        self.levels = levels;
+        self.weights = weights;
+        self.dead = 0;
+    }
+}
+
+/// The contribution-index engine.
+///
+/// Owns a [`ContributionTable`] plus the dirty-source repair queue, and
+/// composes with a [`QuerySession`] for builds and repairs. It is
+/// single-threaded by design — the service tier wraps it in a `Mutex`
+/// and keeps the critical sections short (replay out / install in); a
+/// build-through's probe run happens *outside* any lock.
+///
+/// ### Correctness contract
+///
+/// Callers pass the **version of the graph the session is bound to**.
+/// Replays only ever serve rows stamped with exactly that version, so an
+/// answer can never come from a different edge set than the one the
+/// caller asked about — regardless of whether `note_update` has caught
+/// up, which updates were effective, or how far the lazy repair queue
+/// has drained. Staleness makes the index slower, never wrong.
+#[derive(Debug, Clone)]
+pub struct IndexEngine {
+    epsilon_i: f64,
+    table: ContributionTable,
+    dirty: VecDeque<NodeId>,
+    dirty_set: BTreeSet<NodeId>,
+    latest_version: u64,
+    rows_built: u64,
+    rows_replayed: u64,
+    repairs: u64,
+}
+
+impl Default for IndexEngine {
+    fn default() -> Self {
+        IndexEngine::new()
+    }
+}
+
+impl IndexEngine {
+    /// A lossless (`εi = 0`) engine with the default row capacity.
+    pub fn new() -> Self {
+        IndexEngine {
+            epsilon_i: 0.0,
+            table: ContributionTable::new(DEFAULT_MAX_ROWS),
+            dirty: VecDeque::new(),
+            dirty_set: BTreeSet::new(),
+            latest_version: 0,
+            rows_built: 0,
+            rows_replayed: 0,
+            repairs: 0,
+        }
+    }
+
+    /// Sets the `εi` truncation threshold: stored entries with raw
+    /// contribution below `εi` are dropped, trading at most `εi` of
+    /// additive error on replayed answers for smaller rows. `0` (the
+    /// default) keeps replays bit-equal to fresh runs.
+    pub fn with_epsilon_i(mut self, epsilon_i: f64) -> Self {
+        self.epsilon_i = epsilon_i.max(0.0);
+        self
+    }
+
+    /// Bounds the table to `max_rows` cached sources (oldest evicted).
+    pub fn with_max_rows(mut self, max_rows: usize) -> Self {
+        self.table.max_rows = max_rows.max(1);
+        self
+    }
+
+    /// The `εi` truncation threshold.
+    pub fn epsilon_i(&self) -> f64 {
+        self.epsilon_i
+    }
+
+    /// The table (row/entry introspection).
+    pub fn table(&self) -> &ContributionTable {
+        &self.table
+    }
+
+    /// Sources queued for lazy repair.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Rows installed over the engine's lifetime (builds + repairs).
+    pub fn rows_built(&self) -> u64 {
+        self.rows_built
+    }
+
+    /// Queries answered by replaying a fresh row.
+    pub fn rows_replayed(&self) -> u64 {
+        self.rows_replayed
+    }
+
+    /// Rows rebuilt off the query path by [`IndexEngine::repair_next`].
+    pub fn repairs(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Latest store version seen via [`IndexEngine::note_update`].
+    pub fn latest_version(&self) -> u64 {
+        self.latest_version
+    }
+
+    /// True when a replay could answer a query on `source` at `version`
+    /// against a graph of `num_nodes` nodes.
+    pub fn row_fresh(&self, source: NodeId, version: u64, num_nodes: usize) -> bool {
+        self.table
+            .meta(source)
+            .is_some_and(|meta| meta.stamp == version && meta.num_nodes == num_nodes)
+    }
+
+    /// Feeds one effective store mutation (the new version) into the
+    /// dirty queue: every cached row built before `version` is now
+    /// stale and queued for lazy recompute.
+    ///
+    /// This is what the service wires to `GraphStore`'s mutation
+    /// observer. Correctness never depends on it being called — replays
+    /// check stamps against the query's own version — it only keeps the
+    /// repair queue informed so [`IndexEngine::repair_next`] has work.
+    pub fn note_update(&mut self, version: u64) {
+        self.latest_version = self.latest_version.max(version);
+        for (&source, meta) in self.table.rows.iter() {
+            if meta.stamp < version && self.dirty_set.insert(source) {
+                self.dirty.push_back(source);
+            }
+        }
+    }
+
+    /// Pops the next repair candidate off the dirty queue: a source
+    /// whose row is still cached and still stale at `version`. Queued
+    /// sources whose rows were evicted or already rebuilt are silently
+    /// skipped. Callers that cannot hold the engine across a probe run
+    /// (the service tier keeps it behind a mutex with short critical
+    /// sections) pair this with an unlocked rebuild followed by
+    /// [`IndexEngine::install_row`] on success or
+    /// [`IndexEngine::discard_row`] on failure; single-threaded callers
+    /// use [`IndexEngine::repair_next`], which does exactly that.
+    pub fn pop_dirty(&mut self, version: u64) -> Option<NodeId> {
+        loop {
+            let source = self.dirty.pop_front()?;
+            self.dirty_set.remove(&source);
+            let stale = self
+                .table
+                .meta(source)
+                .is_some_and(|meta| meta.stamp != version);
+            if stale {
+                return Some(source);
+            }
+        }
+    }
+
+    /// Drops the cached row for `source` — a rebuild failed (e.g. the
+    /// source is out of range for the current graph), so the table must
+    /// not keep advertising a row it cannot refresh. A later query on
+    /// the source simply builds through again.
+    pub fn discard_row(&mut self, source: NodeId) {
+        self.table.remove(source);
+    }
+
+    /// Rebuilds one queued stale row at `version` (the version of the
+    /// graph `session` is bound to), off the query path. Returns the
+    /// repaired source, or `None` when the queue holds no row that is
+    /// still cached and still stale. Rows that fail to recompute (e.g.
+    /// the source is out of range for the session's graph) are dropped
+    /// from the table instead of being repaired.
+    pub fn repair_next<G: GraphView + Sync>(
+        &mut self,
+        session: &mut QuerySession<G>,
+        version: u64,
+    ) -> Option<NodeId> {
+        loop {
+            let source = self.pop_dirty(version)?;
+            let rebuilt = session.run_with_budget(
+                Query::SingleSource { node: source },
+                ProbeBudget::unlimited(),
+            );
+            match rebuilt {
+                Ok(output) => {
+                    self.install_row(version, &output);
+                    self.repairs += 1;
+                    return Some(source);
+                }
+                Err(_) => {
+                    self.discard_row(source);
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Answers `query` from a fresh row at `version`, or `None` when the
+    /// row is absent, stale, or built on a different node count.
+    ///
+    /// A replay charges [`QueryStats::index_rows_used`] with the entry
+    /// count it copied (its true cost — an `O(row)` reconstruction) and
+    /// marks the answer index-engine-produced via
+    /// [`QueryStats::planner_engine`]; no probe counters move. Replays
+    /// ignore work budgets: the cost is bounded by the row that already
+    /// exists.
+    pub fn replay(&mut self, query: Query, version: u64, num_nodes: usize) -> Option<QueryOutput> {
+        crate::session::validate_shape(&query).ok()?;
+        let source = query.node();
+        if (source as usize) >= num_nodes {
+            return None;
+        }
+        let meta = *self.table.meta(source)?;
+        if meta.stamp != version || meta.num_nodes != num_nodes {
+            return None;
+        }
+        let span = meta.start..meta.start + meta.len;
+        let node_lane = self.table.nodes.get(span.clone())?;
+        let weight_lane = self.table.weights.get(span)?;
+        let entries: Vec<(NodeId, f64)> = node_lane
+            .iter()
+            .copied()
+            .zip(weight_lane.iter().copied())
+            .collect();
+        let scores = SparseScores::new(source, meta.num_nodes, meta.baseline, entries);
+        let stats = QueryStats {
+            index_rows_used: meta.len,
+            planner_engine: 1,
+            ..QueryStats::default()
+        };
+        self.rows_replayed += 1;
+        Some(QueryOutput {
+            query,
+            scores,
+            stats,
+        })
+    }
+
+    /// Installs (or replaces) the row for `output`'s source, stamped
+    /// `version` — the version of the graph that produced `output`.
+    /// Entries below `εi` are dropped; the level lane records the probe
+    /// depth the build expanded ([`QueryStats::levels_expanded`]).
+    pub fn install_row(&mut self, version: u64, output: &QueryOutput) {
+        let epsilon_i = self.epsilon_i;
+        let level = output.stats.levels_expanded.min(u32::MAX as usize) as u32;
+        self.table.push_row(
+            output.scores.query(),
+            version,
+            output.scores.num_nodes(),
+            output.scores.baseline(),
+            level,
+            output
+                .scores
+                .raw_entries()
+                .iter()
+                .copied()
+                .filter(|&(_, w)| w >= epsilon_i),
+        );
+        self.rows_built += 1;
+    }
+
+    /// Runs `query` through the index engine against the graph `session`
+    /// is bound to (whose edge set must be exactly `version`).
+    ///
+    /// Fresh row → replay. Otherwise the fallback **is** the rebuild: a
+    /// normal budgeted probe run answers the query, its result is
+    /// installed as the new row, and the output is additionally charged
+    /// [`QueryStats::index_rows_stale`] (the index was consulted and
+    /// could not serve) and [`QueryStats::planner_engine`]. An aborted
+    /// run (deadline / work cap) surfaces its [`QueryError`] unchanged
+    /// and installs nothing — partial scores never enter the table.
+    pub fn run<G: GraphView + Sync>(
+        &mut self,
+        session: &mut QuerySession<G>,
+        version: u64,
+        query: Query,
+        budget: ProbeBudget,
+    ) -> Result<QueryOutput, QueryError> {
+        let num_nodes = session.graph().num_nodes();
+        if let Some(output) = self.replay(query, version, num_nodes) {
+            return Ok(output);
+        }
+        let mut output = session.run_with_budget(query, budget)?;
+        output.stats.index_rows_stale = 1;
+        output.stats.planner_engine = 1;
+        self.install_row(version, &output);
+        Ok(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProbeSimConfig;
+    use crate::single_source::ProbeSim;
+    use probesim_graph::toy::{toy_graph, A, B, TOY_DECAY};
+
+    fn engine() -> ProbeSim {
+        ProbeSim::new(ProbeSimConfig::new(TOY_DECAY, 0.05, 0.01).with_seed(7))
+    }
+
+    #[test]
+    fn engine_choice_wire_form_round_trips() {
+        for choice in [
+            EngineChoice::Probesim,
+            EngineChoice::Index,
+            EngineChoice::Auto,
+        ] {
+            let wire = choice.to_string();
+            assert_eq!(wire.parse::<EngineChoice>().unwrap(), choice);
+        }
+        assert_eq!(
+            "prsim".parse::<EngineChoice>(),
+            Err(ParseEngineChoiceError {
+                input: "prsim".to_string()
+            })
+        );
+        let err = "??".parse::<EngineChoice>().unwrap_err();
+        assert!(err.to_string().contains("expected probesim, index or auto"));
+        assert_eq!(EngineChoice::default(), EngineChoice::Probesim);
+    }
+
+    #[test]
+    fn engine_kind_displays_like_the_choice_wire_form() {
+        assert_eq!(EngineKind::Probesim.to_string(), "probesim");
+        assert_eq!(EngineKind::Index.to_string(), "index");
+    }
+
+    #[test]
+    fn planner_decision_list() {
+        let base = PlannerInputs {
+            skew: 0.8,
+            k: None,
+            epsilon: 0.1,
+            deadline: None,
+            row_fresh: false,
+        };
+        // Forced choices win unconditionally.
+        for (choice, engine) in [
+            (EngineChoice::Probesim, EngineKind::Probesim),
+            (EngineChoice::Index, EngineKind::Index),
+        ] {
+            let p = plan(choice, &base);
+            assert_eq!((p.engine, p.reason), (engine, PlanReason::Forced));
+        }
+        // Fresh row: replay, regardless of skew.
+        let p = plan(
+            EngineChoice::Auto,
+            &PlannerInputs {
+                skew: 0.0,
+                row_fresh: true,
+                ..base
+            },
+        );
+        assert_eq!(
+            (p.engine, p.reason),
+            (EngineKind::Index, PlanReason::FreshRow)
+        );
+        // Skewed + loose εa + roomy deadline: build-through.
+        let p = plan(EngineChoice::Auto, &base);
+        assert_eq!(
+            (p.engine, p.reason),
+            (EngineKind::Index, PlanReason::SkewBuildThrough)
+        );
+        // Same but the deadline cannot absorb a build.
+        let p = plan(
+            EngineChoice::Auto,
+            &PlannerInputs {
+                deadline: Some(Duration::from_millis(5)),
+                ..base
+            },
+        );
+        assert_eq!(
+            (p.engine, p.reason),
+            (EngineKind::Probesim, PlanReason::TightDeadline)
+        );
+        // Regular graph or tight εa: nothing argues for the index.
+        for inputs in [
+            PlannerInputs { skew: 0.1, ..base },
+            PlannerInputs {
+                epsilon: 0.01,
+                ..base
+            },
+        ] {
+            let p = plan(EngineChoice::Auto, &inputs);
+            assert_eq!(
+                (p.engine, p.reason),
+                (EngineKind::Probesim, PlanReason::Default)
+            );
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_equal_across_all_query_kinds() {
+        let graph = toy_graph();
+        let engine = engine();
+        let mut session = engine.session(&graph);
+        let mut index = IndexEngine::new();
+        let queries = [
+            Query::SingleSource { node: A },
+            Query::TopK { node: A, k: 3 },
+            Query::Threshold { node: A, tau: 0.01 },
+        ];
+        // First query builds through; the rest replay the same row.
+        for (i, &query) in queries.iter().enumerate() {
+            let via_index = index
+                .run(&mut session, 0, query, ProbeBudget::unlimited())
+                .unwrap();
+            let direct = session.run(query).unwrap();
+            assert_eq!(via_index.scores, direct.scores, "query #{i}");
+            assert_eq!(via_index.ranking(), direct.ranking(), "query #{i}");
+            assert_eq!(via_index.stats.planner_engine, 1);
+            if i == 0 {
+                assert_eq!(via_index.stats.index_rows_stale, 1);
+                assert!(via_index.stats.walks > 0, "build-through does probe work");
+            } else {
+                assert_eq!(via_index.stats.index_rows_used, via_index.scores.len());
+                assert_eq!(via_index.stats.walks, 0, "replays do zero probe work");
+                assert_eq!(via_index.stats.total_work(), via_index.scores.len());
+            }
+        }
+        assert_eq!(index.rows_built(), 1);
+        assert_eq!(index.rows_replayed(), 2);
+    }
+
+    #[test]
+    fn stale_rows_are_bypassed_and_rebuilt() {
+        let graph = toy_graph();
+        let engine = engine();
+        let mut session = engine.session(&graph);
+        let mut index = IndexEngine::new();
+        let query = Query::SingleSource { node: A };
+        index
+            .run(&mut session, 0, query, ProbeBudget::unlimited())
+            .unwrap();
+        assert!(index.row_fresh(A, 0, graph.num_nodes()));
+        // An update lands: version moves to 1, the row goes stale.
+        index.note_update(1);
+        assert!(!index.row_fresh(A, 1, graph.num_nodes()));
+        assert_eq!(index.dirty_len(), 1);
+        // A query at version 1 must not trust the version-0 row.
+        let out = index
+            .run(&mut session, 1, query, ProbeBudget::unlimited())
+            .unwrap();
+        assert_eq!(out.stats.index_rows_stale, 1);
+        assert!(index.row_fresh(A, 1, graph.num_nodes()));
+        // ... and a pinned query back at version 0 must not trust the
+        // version-1 row either: stamps match exactly, not at-least.
+        assert!(!index.row_fresh(A, 0, graph.num_nodes()));
+        assert!(index.replay(query, 0, graph.num_nodes()).is_none());
+    }
+
+    #[test]
+    fn repair_drains_the_dirty_queue_off_the_query_path() {
+        let graph = toy_graph();
+        let engine = engine();
+        let mut session = engine.session(&graph);
+        let mut index = IndexEngine::new();
+        for node in [A, B] {
+            index
+                .run(
+                    &mut session,
+                    0,
+                    Query::SingleSource { node },
+                    ProbeBudget::unlimited(),
+                )
+                .unwrap();
+        }
+        index.note_update(1);
+        assert_eq!(index.dirty_len(), 2);
+        // BTreeSet-backed queue order is deterministic: insertion order.
+        assert_eq!(index.repair_next(&mut session, 1), Some(A));
+        assert_eq!(index.repair_next(&mut session, 1), Some(B));
+        assert_eq!(index.repair_next(&mut session, 1), None);
+        assert_eq!(index.repairs(), 2);
+        // Repaired rows replay without fallback.
+        let out = index
+            .run(
+                &mut session,
+                1,
+                Query::SingleSource { node: A },
+                ProbeBudget::unlimited(),
+            )
+            .unwrap();
+        assert_eq!(out.stats.index_rows_stale, 0);
+        assert!(out.stats.index_rows_used > 0);
+        // Repairing rows that were already rebuilt is a no-op.
+        index.note_update(1);
+        assert_eq!(index.repair_next(&mut session, 1), None);
+    }
+
+    #[test]
+    fn epsilon_i_truncates_rows_with_bounded_error() {
+        let graph = toy_graph();
+        let engine = engine();
+        let mut session = engine.session(&graph);
+        let query = Query::SingleSource { node: A };
+        let direct = session.run(query).unwrap();
+        let epsilon_i = 0.05;
+        let mut index = IndexEngine::new().with_epsilon_i(epsilon_i);
+        index
+            .run(&mut session, 0, query, ProbeBudget::unlimited())
+            .unwrap();
+        let replay = index.replay(query, 0, graph.num_nodes()).unwrap();
+        assert!(replay.scores.len() <= direct.scores.len());
+        for v in 0..graph.num_nodes() as NodeId {
+            let err = (replay.scores.score(v) - direct.scores.score(v)).abs();
+            assert!(err <= epsilon_i, "node {v}: error {err} > εi");
+        }
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_arena_compacts() {
+        let graph = toy_graph();
+        let engine = engine();
+        let mut session = engine.session(&graph);
+        let mut index = IndexEngine::new().with_max_rows(2);
+        for node in 0..4u32 {
+            index
+                .run(
+                    &mut session,
+                    0,
+                    Query::SingleSource { node },
+                    ProbeBudget::unlimited(),
+                )
+                .unwrap();
+        }
+        assert_eq!(index.table().rows(), 2);
+        // The two newest rows survive.
+        assert!(index
+            .replay(Query::SingleSource { node: 0 }, 0, graph.num_nodes())
+            .is_none());
+        assert!(index
+            .replay(Query::SingleSource { node: 3 }, 0, graph.num_nodes())
+            .is_some());
+        // Dead spans are tracked and compaction rebuilds deterministically.
+        assert!(index.table().dead_entries() > 0 || index.table().live_entries() > 0);
+        let mut table = index.table().clone();
+        table.dead = table.nodes.len(); // force: everything dead
+        table.rows.clear();
+        table.order.clear();
+        table.maybe_compact();
+        if table.nodes.len() >= COMPACT_MIN_ENTRIES {
+            assert_eq!(table.dead_entries(), 0);
+        }
+    }
+
+    #[test]
+    fn invalid_queries_never_replay() {
+        let graph = toy_graph();
+        let engine = engine();
+        let mut session = engine.session(&graph);
+        let mut index = IndexEngine::new();
+        index
+            .run(
+                &mut session,
+                0,
+                Query::SingleSource { node: A },
+                ProbeBudget::unlimited(),
+            )
+            .unwrap();
+        // Shape-invalid queries fall through to the session's typed error
+        // even when a fresh row exists for the source.
+        assert!(index
+            .replay(Query::TopK { node: A, k: 0 }, 0, graph.num_nodes())
+            .is_none());
+        let err = index
+            .run(
+                &mut session,
+                0,
+                Query::TopK { node: A, k: 0 },
+                ProbeBudget::unlimited(),
+            )
+            .unwrap_err();
+        assert_eq!(err, QueryError::InvalidK { k: 0 });
+        // Out-of-range sources cannot replay either.
+        let oob = graph.num_nodes() as NodeId;
+        assert!(index
+            .replay(Query::SingleSource { node: oob }, 0, graph.num_nodes())
+            .is_none());
+    }
+}

@@ -116,11 +116,34 @@
 //! --contrast out.json` (or the `probesim` CLI's `--probe-path
 //! fused|legacy`) to A/B the tiers on identical seeds and compare
 //! `edges_expanded`/`total_work`.
+//!
+//! ## The second engine: the contribution index
+//!
+//! The paper's engine is index-free; [`index`] adds the opposite
+//! trade-off as a **second engine** behind the same query surface.
+//! [`IndexEngine`] caches one truncated reverse-PPR contribution row
+//! per source — the row is exactly the sparse single-source result, so
+//! the first query on a source *is* the build (a normal probe run) and
+//! later queries on it replay in `O(row)` with zero probe work.
+//! Because the per-query RNG is keyed by `(seed, node)` only, a replay
+//! is **bit-equal** to a fresh run for all three query kinds; an
+//! optional `εi` truncation trades at most `εi` of additive error for
+//! smaller rows.
+//!
+//! Rows carry the store version they were built at and replay only for
+//! queries at *exactly* that version — under a live update stream
+//! (wired via `GraphStore`'s mutation observer and drained lazily by
+//! [`IndexEngine::repair_next`]) staleness costs a rebuild, never
+//! correctness. [`plan`] is the adaptive per-query planner the service
+//! tier uses under [`EngineChoice::Auto`]: replay fresh rows always,
+//! build through only when access skew, `k`, `εp` and the deadline say
+//! the row will pay for itself.
 
 pub mod accum;
 pub mod budget;
 pub mod config;
 pub mod frontier;
+pub mod index;
 pub mod par;
 pub mod probe;
 pub mod result;
@@ -134,6 +157,10 @@ pub mod workspace;
 pub use accum::ScoreSink;
 pub use budget::{BudgetExceeded, ProbeBudget};
 pub use config::{ErrorBudget, Optimizations, ProbeSimConfig, ProbeStrategy};
+pub use index::{
+    plan, EngineChoice, EngineKind, EnginePlan, IndexEngine, ParseEngineChoiceError, PlanReason,
+    PlannerInputs,
+};
 pub use result::{QueryStats, SingleSourceResult};
 pub use session::{BatchOutput, Query, QueryError, QueryOutput, QuerySession, SparseScores};
 pub use single_source::ProbeSim;

@@ -1,0 +1,292 @@
+//! The contribution-index engine is answer-invisible.
+//!
+//! [`IndexEngine`] answers a query either by replaying a cached
+//! reverse-PPR contribution row or by falling back to a normal probe
+//! run (which doubles as the row build). Because the per-query RNG is
+//! keyed by `(seed, node)` only, a replayed answer must be **bit-equal**
+//! to a fresh run of the index-free engine — for every query kind, both
+//! probe paths (fused and legacy), every probe strategy, and regardless
+//! of how many rows were built, replayed, or evicted in between.
+//!
+//! The version contract is exact, not at-least: a row replays only for
+//! queries at the exact store version it was built on. These properties
+//! drive a live [`GraphStore`] through update batches (wired to the
+//! engine via the mutation observer, exactly as the service tier does),
+//! lazy repairs, capacity eviction, and an overlay-compaction boundary,
+//! and check that the index never serves an answer a fresh engine would
+//! not produce — staleness may cost a rebuild, never correctness.
+
+use std::sync::{Arc, Mutex};
+
+use probesim_core::{
+    IndexEngine, ProbeBudget, ProbeSim, ProbeSimConfig, ProbeStrategy, Query, QueryOutput,
+};
+use probesim_graph::{CsrGraph, GraphStore, GraphUpdate, NodeId};
+use proptest::prelude::*;
+
+fn engine(fuse: bool, strategy: ProbeStrategy) -> ProbeSim {
+    let mut cfg = ProbeSimConfig::new(0.6, 0.15, 0.05)
+        .with_seed(0x1DEC5)
+        .with_num_walks(60);
+    cfg.optimizations.fuse_probes = fuse;
+    cfg.optimizations.strategy = strategy;
+    ProbeSim::new(cfg)
+}
+
+/// All three query kinds on one source — one cached row serves them all.
+fn queries(node: NodeId) -> [Query; 3] {
+    [
+        Query::SingleSource { node },
+        Query::TopK { node, k: 3 },
+        Query::Threshold { node, tau: 0.05 },
+    ]
+}
+
+/// Scores and ranking must match bit-for-bit. Stats are *not* compared:
+/// a replay reports `index_rows_used` instead of probe counters — that
+/// asymmetry is the engine's observable cost model, not an answer.
+fn assert_answers_bit_identical(via_index: &QueryOutput, direct: &QueryOutput, context: &str) {
+    assert_eq!(
+        via_index.scores.len(),
+        direct.scores.len(),
+        "{context}: touched-set sizes differ"
+    );
+    for ((va, sa), (vb, sb)) in via_index.scores.iter().zip(direct.scores.iter()) {
+        assert_eq!(va, vb, "{context}: touched sets differ");
+        assert_eq!(sa.to_bits(), sb.to_bits(), "{context}: node {va}");
+    }
+    assert_eq!(via_index.ranking(), direct.ranking(), "{context}");
+}
+
+fn csr(n: usize, raw_edges: Vec<(u32, u32)>) -> CsrGraph {
+    let edges: Vec<(u32, u32)> = raw_edges
+        .into_iter()
+        .map(|(u, v)| (u % n as u32, v % n as u32))
+        .filter(|&(u, v)| u != v)
+        .collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+fn updates(n: usize, raw: Vec<(u32, u32, bool)>) -> Vec<GraphUpdate> {
+    raw.into_iter()
+        .map(|(u, v, insert)| {
+            let (u, v) = (u % n as u32, v % n as u32);
+            let v = if u == v { (v + 1) % n as u32 } else { v };
+            if insert {
+                GraphUpdate::Insert { u, v }
+            } else {
+                GraphUpdate::Remove { u, v }
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Static graph, CSR backend: an index engine fed a revisiting query
+    /// stream answers every query bit-identically to fresh direct runs —
+    /// for both probe paths, every strategy, and all three query kinds —
+    /// and replays really are replays (zero probe work) whenever the
+    /// source's row survived capacity eviction.
+    #[test]
+    fn index_answers_bit_identically_on_static_graphs(
+        n in 8usize..32,
+        raw_edges in prop::collection::vec((0u32..32, 0u32..32), 10..120),
+        visits in prop::collection::vec(0u32..8, 4..16),
+        fuse in any::<bool>(),
+        strategy_pick in 0usize..3,
+        max_rows in 1usize..6,
+    ) {
+        let graph = csr(n, raw_edges);
+        let strategy = [
+            ProbeStrategy::Deterministic,
+            ProbeStrategy::Randomized,
+            ProbeStrategy::Hybrid,
+        ][strategy_pick];
+        let e = engine(fuse, strategy);
+        let mut session = e.session(&graph);
+        // A small capacity forces evictions mid-stream; evicted sources
+        // silently build through again — answers must not notice.
+        let mut index = IndexEngine::new().with_max_rows(max_rows);
+        for (i, &source) in visits.iter().enumerate() {
+            let query = queries(source)[i % 3];
+            let fresh = index.row_fresh(source, 0, n);
+            let via_index = index
+                .run(&mut session, 0, query, ProbeBudget::unlimited())
+                .unwrap();
+            let direct = session.run(query).unwrap();
+            assert_answers_bit_identical(
+                &via_index,
+                &direct,
+                &format!("visit {i} source {source} {strategy:?} fuse={fuse}"),
+            );
+            prop_assert_eq!(via_index.stats.planner_engine, 1);
+            if fresh {
+                prop_assert_eq!(via_index.stats.walks, 0, "a replay does no probe work");
+                prop_assert_eq!(via_index.stats.index_rows_used, via_index.scores.len());
+            } else {
+                prop_assert_eq!(via_index.stats.index_rows_stale, 1);
+            }
+        }
+        prop_assert!(index.table().rows() <= max_rows);
+        prop_assert_eq!(
+            index.rows_built() + index.rows_replayed(),
+            visits.len() as u64
+        );
+    }
+
+    /// Live store churn: with the index wired to the store's mutation
+    /// observer (the service-tier wiring), every query at the current
+    /// version — before, between, and after update batches, with lazy
+    /// repairs draining in the background and across an overlay
+    /// compaction — answers bit-identically to a fresh direct run on the
+    /// same snapshot. The exact-version contract holds throughout: after
+    /// an effective batch, a previously cached row is never replayed
+    /// until it has been rebuilt at the new version.
+    #[test]
+    fn index_stays_bit_equal_under_live_updates_and_repair(
+        n in 8usize..24,
+        raw_edges in prop::collection::vec((0u32..24, 0u32..24), 10..80),
+        raw_batches in prop::collection::vec(
+            prop::collection::vec((0u32..24, 0u32..24, any::<bool>()), 1..6),
+            1..5,
+        ),
+        node in 0u32..8,
+        fuse in any::<bool>(),
+    ) {
+        let base = csr(n, raw_edges);
+        let mut store = GraphStore::from_view(&base);
+        // Arc<Mutex<…>> only because the observer must be Send + Sync;
+        // this test is single-threaded.
+        let index = Arc::new(Mutex::new(IndexEngine::new()));
+        store.set_mutation_observer({
+            let index = Arc::clone(&index);
+            move |version| index.lock().unwrap().note_update(version)
+        });
+        let e = engine(fuse, ProbeStrategy::Hybrid);
+
+        // Warm the cache at version 0 across all query kinds: the first
+        // query builds the row, the other two kinds replay it.
+        let v0 = store.version();
+        let snap0 = store.snapshot();
+        {
+            let mut session = e.session(snap0.clone());
+            for (i, query) in queries(node).into_iter().enumerate() {
+                let via_index = index
+                    .lock()
+                    .unwrap()
+                    .run(&mut session, v0, query, ProbeBudget::unlimited())
+                    .unwrap();
+                let direct = session.run(query).unwrap();
+                assert_answers_bit_identical(&via_index, &direct, &format!("warmup #{i}"));
+                prop_assert_eq!(via_index.stats.index_rows_stale, usize::from(i == 0));
+            }
+        }
+
+        for (round, raw_batch) in raw_batches.into_iter().enumerate() {
+            let effective = store.apply_all(updates(n, raw_batch));
+            let version = store.version();
+            let mut session = e.session(store.snapshot());
+            // Mid-repair staleness: after an effective batch the cached
+            // row's stamp no longer matches, so the very first query at
+            // the new version must fall back to a rebuild.
+            let fresh_before = index.lock().unwrap().row_fresh(node, version, n);
+            prop_assert_eq!(fresh_before, effective == 0, "round {round}");
+            if effective > 0 {
+                prop_assert!(
+                    index.lock().unwrap().dirty_len() > 0,
+                    "the observer must have queued the stale row"
+                );
+            }
+            let query = queries(node)[round % 3];
+            let via_index = index
+                .lock()
+                .unwrap()
+                .run(&mut session, version, query, ProbeBudget::unlimited())
+                .unwrap();
+            let direct = session.run(query).unwrap();
+            assert_answers_bit_identical(&via_index, &direct, &format!("round {round}"));
+            prop_assert_eq!(via_index.stats.index_rows_stale, usize::from(!fresh_before));
+            // Drain the repair queue off the query path, then a replay
+            // must serve the *current* edge set.
+            while index.lock().unwrap().repair_next(&mut session, version).is_some() {}
+            let replayed = index
+                .lock()
+                .unwrap()
+                .replay(Query::SingleSource { node }, version, n)
+                .unwrap();
+            let direct = session.run(Query::SingleSource { node }).unwrap();
+            assert_answers_bit_identical(&replayed, &direct, &format!("post-repair {round}"));
+        }
+
+        // Overlay compaction folds the representation but not the logical
+        // graph: the version is unchanged, so the cached row replays
+        // across the boundary and still matches a fresh run bit-for-bit.
+        let version = store.version();
+        store.compact();
+        prop_assert_eq!(store.version(), version, "compaction must not bump the version");
+        let mut session = e.session(store.snapshot());
+        let via_index = index
+            .lock()
+            .unwrap()
+            .run(&mut session, version, Query::TopK { node, k: 3 }, ProbeBudget::unlimited())
+            .unwrap();
+        prop_assert_eq!(
+            via_index.stats.index_rows_stale, 0,
+            "the row is still fresh across compaction"
+        );
+        let direct = session.run(Query::TopK { node, k: 3 }).unwrap();
+        assert_answers_bit_identical(&via_index, &direct, "post-compaction replay");
+
+        // Pinned read back at version 0: the row cached for `node` is now
+        // stamped at the latest version, so a v0 session must *not* get a
+        // replay of it — exact-stamp matching, not at-least — and its
+        // build-through answer must match a fresh run on the old snapshot.
+        if store.version() > v0 {
+            prop_assert!(
+                index.lock().unwrap().replay(Query::SingleSource { node }, v0, n).is_none(),
+                "a newer row must never serve a version-pinned read"
+            );
+        }
+        let mut pinned = e.session(snap0);
+        let via_index = index
+            .lock()
+            .unwrap()
+            .run(&mut pinned, v0, Query::SingleSource { node }, ProbeBudget::unlimited())
+            .unwrap();
+        let direct = pinned.run(Query::SingleSource { node }).unwrap();
+        assert_answers_bit_identical(&via_index, &direct, "pinned v0 read");
+    }
+
+    /// εi-truncated rows trade exactness for size with a bounded error:
+    /// every replayed score is within εi of the fresh answer, on every
+    /// query kind, and truncation never invents touched nodes.
+    #[test]
+    fn epsilon_i_replays_concentrate_within_the_truncation_budget(
+        n in 8usize..24,
+        raw_edges in prop::collection::vec((0u32..24, 0u32..24), 10..80),
+        node in 0u32..8,
+        epsilon_i in 0.001f64..0.2,
+        fuse in any::<bool>(),
+    ) {
+        let graph = csr(n, raw_edges);
+        let e = engine(fuse, ProbeStrategy::Hybrid);
+        let mut session = e.session(&graph);
+        let mut index = IndexEngine::new().with_epsilon_i(epsilon_i);
+        // Build the row once, then check every kind's replay against the
+        // untruncated direct answer.
+        index
+            .run(&mut session, 0, Query::SingleSource { node }, ProbeBudget::unlimited())
+            .unwrap();
+        for query in queries(node) {
+            let replay = index.replay(query, 0, n).unwrap();
+            let direct = session.run(query).unwrap();
+            prop_assert!(replay.scores.len() <= direct.scores.len());
+            for v in 0..n as NodeId {
+                let err = (replay.scores.score(v) - direct.scores.score(v)).abs();
+                prop_assert!(err <= epsilon_i + 1e-12, "node {v}: error {err} > εi {epsilon_i}");
+            }
+        }
+    }
+}

@@ -92,5 +92,7 @@ pub use request::{
 pub use service::{QueryService, ServiceBuilder, ServiceStats};
 
 // Re-exported so service callers need no direct probesim-graph dep for
-// the common writer-path types.
+// the common writer-path types, nor a probesim-core dep for the engine
+// selection types the request API speaks.
+pub use probesim_core::{EngineChoice, EngineKind};
 pub use probesim_graph::{Commit, GraphSnapshot, GraphStore, GraphUpdate};

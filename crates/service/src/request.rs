@@ -4,7 +4,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use probesim_core::{Query, QueryError, QueryOutput};
+use probesim_core::{EngineChoice, EngineKind, Query, QueryError, QueryOutput};
 
 /// Scheduling class of a request. Interactive requests are always
 /// dequeued before batch requests (strict two-level priority, no aging —
@@ -111,6 +111,10 @@ pub struct Request {
     pub priority: Priority,
     /// Version requirement.
     pub consistency: Consistency,
+    /// Engine override for A/B comparison: `None` defers to the
+    /// service's configured [`EngineChoice`] (the adaptive planner when
+    /// that is `Auto`); `Some(..)` forces this request's plan.
+    pub engine: Option<EngineChoice>,
 }
 
 impl Request {
@@ -123,6 +127,7 @@ impl Request {
             work_cap: None,
             priority: Priority::default(),
             consistency: Consistency::default(),
+            engine: None,
         }
     }
 
@@ -149,6 +154,13 @@ impl Request {
         self.consistency = consistency;
         self
     }
+
+    /// Forces an engine for this request (A/B override of the service's
+    /// configured [`EngineChoice`]).
+    pub fn with_engine(mut self, engine: EngineChoice) -> Request {
+        self.engine = Some(engine);
+        self
+    }
 }
 
 /// A successfully answered request.
@@ -169,6 +181,10 @@ pub struct Response {
     pub queue_wait: Duration,
     /// Time spent resolving + executing (cache hits: lookup time only).
     pub exec_time: Duration,
+    /// The engine that produced `output` — what the planner resolved an
+    /// `auto` request to. For cache hits: the engine of the cached
+    /// execution (the stored output's counters carry the provenance).
+    pub engine: EngineKind,
 }
 
 /// Why the service could not answer a request.
@@ -269,15 +285,18 @@ mod tests {
             .with_deadline(Duration::from_millis(20))
             .with_work_cap(1_000)
             .with_priority(Priority::Batch)
-            .with_consistency(Consistency::Pinned(7));
+            .with_consistency(Consistency::Pinned(7))
+            .with_engine(EngineChoice::Index);
         assert_eq!(r.deadline, Some(Duration::from_millis(20)));
         assert_eq!(r.work_cap, Some(1_000));
         assert_eq!(r.priority, Priority::Batch);
         assert_eq!(r.consistency, Consistency::Pinned(7));
+        assert_eq!(r.engine, Some(EngineChoice::Index));
         let d = Request::new(Query::SingleSource { node: 0 });
         assert_eq!(d.priority, Priority::Interactive);
         assert_eq!(d.consistency, Consistency::Latest);
         assert_eq!(d.deadline, None);
+        assert_eq!(d.engine, None, "no override: the service's choice rules");
     }
 
     #[test]

@@ -4,14 +4,14 @@
 //! probesim generate   <dataset> [--scale ci|laptop] [--out graph.psim]
 //! probesim stats      <graph-file>
 //! probesim query      <graph-file> --node N [--top K | --tau T] [--eps E] [--delta D]
-//!                     [--decay C] [--seed S] [--probe-path fused|legacy] [--store]
-//!                     [--output text|json]
+//!                     [--decay C] [--seed S] [--probe-path fused|legacy]
+//!                     [--engine probesim|index|auto] [--store] [--output text|json]
 //! probesim batch      <graph-file> --nodes A,B,C [--top K] [--threads T] [--store]
-//!                     [--readers N] [--output text|json]
+//!                     [--engine probesim|index|auto] [--readers N] [--output text|json]
 //! probesim serve-bench <graph-file> [--queries N] [--distinct D] [--workers W]
 //!                     [--deadline-ms MS] [--work-cap W] [--cache-capacity C]
 //!                     [--consistency latest|pinned|at-least] [--update-every K]
-//!                     [--replicas R] [--eps E] [--seed S]
+//!                     [--engine probesim|index|auto] [--replicas R] [--eps E] [--seed S]
 //! probesim pair       <graph-file> --u A --v B [--walks R] [--decay C]
 //! ```
 //!
@@ -32,6 +32,14 @@
 //! path. `batch --store --readers N` shards the batch across `N` reader
 //! threads, each holding its own snapshot clone
 //! (`ProbeSim::par_batch_owned`).
+//!
+//! `--engine` selects the answering engine through the shared
+//! [`EngineChoice`] wire form: `probesim` (index-free, the paper's
+//! engine), `index` (the precomputed PPR-contribution table,
+//! [`IndexEngine`]), or `auto` (in `serve-bench`, the service's adaptive
+//! per-query planner). Answers are bit-identical across engines — the
+//! per-query RNG is keyed by `(seed, node)` only — and the stats JSON
+//! shows the `index_rows_used` / `index_rows_stale` replay split.
 //!
 //! `serve-bench` drives the full serving facade
 //! (`probesim_service::QueryService`): a Zipf-repeated query stream with
@@ -69,15 +77,22 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   probesim generate <dataset> [--scale ci|laptop] [--out FILE]
   probesim stats    <graph-file>
-  probesim query    <graph-file> --node N [--top K | --tau T] [--eps E] [--delta D] [--decay C] [--seed S] [--probe-path fused|legacy] [--store] [--output text|json]
-  probesim batch    <graph-file> --nodes A,B,C [--top K] [--threads T] [--eps E] [--seed S] [--probe-path fused|legacy] [--store] [--readers N] [--output text|json]
-  probesim serve-bench <graph-file> [--queries N] [--distinct D] [--workers W] [--deadline-ms MS] [--work-cap W] [--cache-capacity C] [--consistency latest|pinned[:V]|at-least[:V]] [--update-every K] [--replicas R] [--eps E] [--seed S]
+  probesim query    <graph-file> --node N [--top K | --tau T] [--eps E] [--delta D] [--decay C] [--seed S] [--probe-path fused|legacy] [--engine probesim|index|auto] [--store] [--output text|json]
+  probesim batch    <graph-file> --nodes A,B,C [--top K] [--threads T] [--eps E] [--seed S] [--probe-path fused|legacy] [--engine probesim|index|auto] [--store] [--readers N] [--output text|json]
+  probesim serve-bench <graph-file> [--queries N] [--distinct D] [--workers W] [--deadline-ms MS] [--work-cap W] [--cache-capacity C] [--consistency latest|pinned[:V]|at-least[:V]] [--engine probesim|index|auto] [--update-every K] [--replicas R] [--eps E] [--seed S]
   probesim pair     <graph-file> --u A --v B [--walks R] [--decay C] [--seed S]
 
   --store      route the graph through the versioned GraphStore and query an
                owned snapshot (identical answers; the serving configuration)
   --readers N  with --store: shard the batch over N snapshot-holding reader
                threads (default: --threads)
+  --engine X   probesim (default, the index-free paper engine) | index (the
+               PPR-contribution table) | auto (the per-query planner; in
+               serve-bench the JSON reports which engine answered). Answers
+               are bit-identical across engines. For query, index is always
+               a cold build-through; in batch one table serves the whole
+               node list sequentially, so repeated nodes replay their row
+               (--threads/--readers apply to the probesim engine only)
 
 serve-bench (drives the QueryService facade, prints one JSON object):
   --queries N          stream length (default 64)
@@ -249,6 +264,17 @@ fn engine_from_flags(args: &[String]) -> Result<ProbeSim, String> {
     Ok(ProbeSim::new(config))
 }
 
+/// Parses `--engine probesim|index|auto` through the shared
+/// [`EngineChoice`] wire form — the same `FromStr` the service request
+/// path and the fleet config use. Default: `probesim` (the index-free
+/// paper engine).
+fn engine_choice_from_flags(args: &[String]) -> Result<EngineChoice, String> {
+    flag_str(args, "--engine")
+        .unwrap_or("probesim")
+        .parse()
+        .map_err(|e: probesim::core::ParseEngineChoiceError| format!("--engine: {e}"))
+}
+
 fn query(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("query: missing graph file")?;
     let graph = load_graph(path)?;
@@ -258,6 +284,7 @@ fn query(args: &[String]) -> Result<(), String> {
     }
     let format = output_format(args)?;
     let engine = engine_from_flags(args)?;
+    let engine_choice = engine_choice_from_flags(args)?;
     // --tau selects a threshold query; --top (default 10) a top-k query.
     let query = match flag_str(args, "--tau") {
         Some(raw) => {
@@ -272,13 +299,23 @@ fn query(args: &[String]) -> Result<(), String> {
         },
     };
     // Session construction (O(n) scratch) stays outside the timed region
-    // so the reported time measures the query alone, on both paths.
+    // so the reported time measures the query alone, on both paths. With
+    // --engine index|auto the run goes through a fresh contribution
+    // table: a one-shot query is always a build-through, so the reported
+    // cost is the honest cold-index cost (replays show up in `batch`,
+    // where one table serves the whole node list).
     fn timed_run<G: GraphView + Sync>(
         mut session: QuerySession<G>,
         query: Query,
+        choice: EngineChoice,
     ) -> (Result<QueryOutput, QueryError>, f64) {
         let start = std::time::Instant::now();
-        let output = session.run(query);
+        let output = match choice {
+            EngineChoice::Probesim => session.run(query),
+            EngineChoice::Index | EngineChoice::Auto => {
+                IndexEngine::new().run(&mut session, 0, query, ProbeBudget::unlimited())
+            }
+        };
         (output, start.elapsed().as_secs_f64())
     }
     // Invalid input (out-of-range node, k = 0, bad tau) surfaces here as a
@@ -286,9 +323,9 @@ fn query(args: &[String]) -> Result<(), String> {
     // a version-pinned snapshot (same answers, serving configuration).
     let (result, elapsed) = if has_flag(args, "--store") {
         let store = probesim_graph::GraphStore::from_csr(graph);
-        timed_run(engine.session(store.snapshot()), query)
+        timed_run(engine.session(store.snapshot()), query, engine_choice)
     } else {
-        timed_run(engine.session(&graph), query)
+        timed_run(engine.session(&graph), query, engine_choice)
     };
     let output = result.map_err(|e| e.to_string())?;
     match format {
@@ -329,6 +366,7 @@ fn batch(args: &[String]) -> Result<(), String> {
     let threads: usize = flag(args, "--threads", 0)?;
     let format = output_format(args)?;
     let engine = engine_from_flags(args)?;
+    let engine_choice = engine_choice_from_flags(args)?;
     let queries: Vec<Query> = nodes_raw
         .split(',')
         .map(|tok| {
@@ -341,16 +379,47 @@ fn batch(args: &[String]) -> Result<(), String> {
     if has_flag(args, "--readers") && !has_flag(args, "--store") {
         return Err("batch: --readers only applies with --store (use --threads otherwise)".into());
     }
+    // With --engine index|auto, one contribution table serves the whole
+    // node list sequentially: the first visit to a source builds its
+    // row, every repeat replays it (the stats JSON shows the split as
+    // index_rows_stale vs index_rows_used). Answers are bit-identical
+    // to the probesim path — the RNG is keyed by (seed, node) only.
+    fn index_batch<G: GraphView + Sync>(
+        mut session: QuerySession<G>,
+        queries: &[Query],
+    ) -> Result<BatchOutput, QueryError> {
+        let mut index = IndexEngine::new();
+        let mut outputs = Vec::with_capacity(queries.len());
+        let mut stats = QueryStats::default();
+        for &query in queries {
+            let output = index.run(&mut session, 0, query, ProbeBudget::unlimited())?;
+            stats.merge(&output.stats);
+            outputs.push(output);
+        }
+        Ok(BatchOutput { outputs, stats })
+    }
     let start = std::time::Instant::now();
-    let batch = if has_flag(args, "--store") {
-        // Snapshot-per-thread: each reader owns an Arc-cheap clone of
-        // one published version; answers are bit-identical to the
-        // shared-borrow path.
-        let readers: usize = flag(args, "--readers", threads)?;
-        let store = probesim_graph::GraphStore::from_csr(graph);
-        engine.par_batch_owned(&store.snapshot(), &queries, readers)
-    } else {
-        engine.par_batch(&graph, &queries, threads)
+    let batch = match engine_choice {
+        EngineChoice::Probesim => {
+            if has_flag(args, "--store") {
+                // Snapshot-per-thread: each reader owns an Arc-cheap clone of
+                // one published version; answers are bit-identical to the
+                // shared-borrow path.
+                let readers: usize = flag(args, "--readers", threads)?;
+                let store = probesim_graph::GraphStore::from_csr(graph);
+                engine.par_batch_owned(&store.snapshot(), &queries, readers)
+            } else {
+                engine.par_batch(&graph, &queries, threads)
+            }
+        }
+        EngineChoice::Index | EngineChoice::Auto => {
+            if has_flag(args, "--store") {
+                let store = probesim_graph::GraphStore::from_csr(graph);
+                index_batch(engine.session(store.snapshot()), &queries)
+            } else {
+                index_batch(engine.session(&graph), &queries)
+            }
+        }
     }
     .map_err(|e| e.to_string())?;
     let elapsed = start.elapsed().as_secs_f64();
@@ -483,6 +552,7 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
         .transpose()?;
     let consistency_name = flag_str(args, "--consistency").unwrap_or("latest");
     let engine = engine_from_flags(args)?;
+    let engine_choice = engine_choice_from_flags(args)?;
     let n = graph.num_nodes();
     if n == 0 {
         return Err("serve-bench: graph has no nodes".into());
@@ -524,6 +594,8 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
     let mut hits = 0u64;
     let mut errors = 0u64;
     let mut read_your_writes = 0u64;
+    let mut answered_by_probesim = 0u64;
+    let mut answered_by_index = 0u64;
     let mut last_commit: Option<u64> = None;
     let wall = std::time::Instant::now();
     for i in 0..queries {
@@ -556,7 +628,8 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
         let mut request = Request::new(Query::SingleSource {
             node: query_nodes[rank],
         })
-        .with_consistency(consistency);
+        .with_consistency(consistency)
+        .with_engine(engine_choice);
         if let Some(cap) = work_cap {
             request = request.with_work_cap(cap);
         }
@@ -566,6 +639,13 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
                 exec_secs.push(response.exec_time.as_secs_f64());
                 if response.cache_hit {
                     hits += 1;
+                }
+                // Provenance tally: which engine actually answered —
+                // under `auto` the planner decides per query, so the
+                // split is the planner's observable behavior.
+                match response.engine {
+                    EngineKind::Probesim => answered_by_probesim += 1,
+                    EngineKind::Index => answered_by_index += 1,
                 }
             }
             Err(_) => errors += 1,
@@ -616,6 +696,8 @@ fn serve_bench(args: &[String]) -> Result<(), String> {
     println!(
         "{{\"queries\": {queries}, \"distinct\": {}, \"workers\": {}, \
          \"consistency\": \"{consistency_name}\", \"deadline_ms\": {}, \"work_cap\": {}, \
+         \"engine\": {{\"requested\": \"{engine_choice}\", \"answered_by\": \
+         {{\"probesim\": {answered_by_probesim}, \"index\": {answered_by_index}}}}}, \
          \"version\": {}, \"applied_version\": {}, \"queue_depth\": {}, \
          \"read_your_writes\": {read_your_writes}, \"elapsed_secs\": {}, \
          \"cache\": {{\"capacity\": {cache_capacity}, \"hits\": {hits}, \

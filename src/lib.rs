@@ -89,8 +89,9 @@ pub mod prelude {
         MonteCarlo, PowerMethod, TopSim, TopSimConfig, TopSimVariant, Tsf, TsfConfig,
     };
     pub use probesim_core::{
-        BatchOutput, Optimizations, ProbeBudget, ProbeSim, ProbeSimConfig, ProbeStrategy, Query,
-        QueryError, QueryOutput, QuerySession, QueryStats, SingleSourceResult, SparseScores,
+        BatchOutput, EngineChoice, EngineKind, IndexEngine, Optimizations, ProbeBudget, ProbeSim,
+        ProbeSimConfig, ProbeStrategy, Query, QueryError, QueryOutput, QuerySession, QueryStats,
+        SingleSourceResult, SparseScores,
     };
     pub use probesim_datasets::{Dataset, Scale};
     pub use probesim_eval::{GroundTruth, Pool, SimRankAlgorithm};
